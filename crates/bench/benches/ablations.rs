@@ -1,0 +1,54 @@
+//! Ablations of Rubik's design choices (DESIGN.md Sec. 5):
+//!
+//! * octile progress rows vs a single row vs 32 rows,
+//! * the Gaussian-approximation cutoff (4 vs 16 vs 64 explicit positions).
+//!
+//! The bench measures table-construction cost for each configuration; the
+//! accuracy side of the ablation is covered by unit tests in
+//! `rubik-core::tables`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rubik::core::{OnlineProfiler, TargetTailTables};
+use rubik::stats::DeterministicRng;
+
+fn histograms() -> (rubik::Histogram, rubik::Histogram) {
+    let mut profiler = OnlineProfiler::new(4096);
+    let mut rng = DeterministicRng::new(3);
+    for _ in 0..4096 {
+        profiler.record(rng.lognormal(6e5, 0.5), rng.lognormal(80e-6, 0.5));
+    }
+    (
+        profiler.compute_histogram().unwrap(),
+        profiler.membound_histogram().unwrap(),
+    )
+}
+
+fn bench_progress_rows(c: &mut Criterion) {
+    let (compute, memory) = histograms();
+    let mut group = c.benchmark_group("ablation_progress_rows");
+    for &rows in &[1usize, 4, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter(|| TargetTailTables::build_with(&compute, &memory, 0.95, rows, 16))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gaussian_cutoff(c: &mut Criterion) {
+    let (compute, memory) = histograms();
+    let mut group = c.benchmark_group("ablation_gaussian_cutoff");
+    for &cutoff in &[4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(cutoff), &cutoff, |b, &cutoff| {
+            b.iter(|| TargetTailTables::build_with(&compute, &memory, 0.95, 8, cutoff))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_progress_rows, bench_gaussian_cutoff
+}
+criterion_main!(benches);

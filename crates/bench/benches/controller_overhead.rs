@@ -1,0 +1,75 @@
+//! Controller overhead (paper Sec. 4.2, "Cost"): building the target tail
+//! tables should take well under a millisecond, and each per-arrival
+//! frequency decision should take negligible time.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use rubik::core::{OnlineProfiler, TargetTailTables};
+use rubik::stats::DeterministicRng;
+use rubik::{DvfsConfig, DvfsPolicy, RubikConfig, RubikController};
+use rubik_sim::{InServiceView, QueuedView, ServerState};
+
+fn profiled_histograms() -> (rubik::Histogram, rubik::Histogram) {
+    let mut profiler = OnlineProfiler::new(4096);
+    let mut rng = DeterministicRng::new(1);
+    for _ in 0..4096 {
+        profiler.record(rng.lognormal(6e5, 0.3), rng.lognormal(80e-6, 0.3));
+    }
+    (
+        profiler.compute_histogram().unwrap(),
+        profiler.membound_histogram().unwrap(),
+    )
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let (compute, memory) = profiled_histograms();
+    c.bench_function("target_tail_tables_build_128_buckets", |b| {
+        b.iter(|| TargetTailTables::build(&compute, &memory, 0.95))
+    });
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let dvfs = DvfsConfig::haswell_like();
+    let mut rubik = RubikController::new(RubikConfig::new(1e-3), dvfs.clone());
+    let mut rng = DeterministicRng::new(2);
+    rubik.seed_profile((0..2048).map(|_| (rng.lognormal(6e5, 0.3), rng.lognormal(80e-6, 0.3))));
+
+    let state = ServerState {
+        now: 1e-4,
+        current_freq: dvfs.min(),
+        target_freq: dvfs.min(),
+        in_service: Some(InServiceView {
+            id: 0,
+            arrival: 0.0,
+            elapsed_compute_cycles: 3e5,
+            elapsed_membound_time: 40e-6,
+            oracle_compute_cycles: 6e5,
+            oracle_membound_time: 80e-6,
+            class: 0,
+        }),
+        queued: (1..6)
+            .map(|i| QueuedView {
+                id: i,
+                arrival: 5e-5,
+                oracle_compute_cycles: 6e5,
+                oracle_membound_time: 80e-6,
+                class: 0,
+            })
+            .collect(),
+    };
+
+    c.bench_function("rubik_per_arrival_decision_queue_of_6", |b| {
+        b.iter_batched(
+            || state.clone(),
+            |s| rubik.on_arrival(&s),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table_build, bench_decision
+}
+criterion_main!(benches);

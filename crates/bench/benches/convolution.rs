@@ -1,0 +1,29 @@
+//! Convolution cost: the paper uses FFTs to accelerate the convolutions that
+//! build the target tail tables; this bench quantifies the FFT vs direct
+//! crossover for the 128-bucket distributions Rubik uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rubik::stats::fft::{convolve_direct, convolve_fft};
+
+fn bench_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convolution");
+    for &len in &[128usize, 512, 2048] {
+        let a: Vec<f64> = (0..len).map(|i| 1.0 / (i + 1) as f64).collect();
+        let b = a.clone();
+        group.bench_with_input(BenchmarkId::new("direct", len), &len, |bench, _| {
+            bench.iter(|| convolve_direct(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("fft", len), &len, |bench, _| {
+            bench.iter(|| convolve_fft(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_convolution
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Fig. 2: short-term variability in latency-critical workloads.
+//!
+//! * Fig. 2a — CDF of instantaneous QPS (5 ms windows) normalized to the mean,
+//! * Fig. 2b — a masstree execution trace (QPS, service time, queue length,
+//!   response time over time),
+//! * Fig. 2c — normalized tail latency vs load for all five applications.
+
+use rubik::{AppProfile, FixedFrequencyPolicy, Server};
+use rubik_bench::{print_header, print_row, Harness, TAIL_QUANTILE};
+
+fn main() {
+    let harness = Harness::new();
+    let apps = AppProfile::all();
+
+    println!("# Fig. 2a: CDF of instantaneous QPS (5 ms windows), normalized to mean");
+    print_header(&["app", "p10", "p25", "p50", "p75", "p90", "p99", "max"]);
+    for (i, app) in apps.iter().enumerate() {
+        let trace = harness.trace(app, 0.5, i as u64);
+        let qps = trace.qps_series(0.005);
+        let mean = qps.iter().sum::<f64>() / qps.len() as f64;
+        let norm: Vec<f64> = qps.iter().map(|q| q / mean).collect();
+        let p = |q: f64| rubik::stats::percentile(&norm, q).unwrap();
+        print_row(
+            app.name(),
+            &[p(0.1), p(0.25), p(0.5), p(0.75), p(0.9), p(0.99), norm.iter().cloned().fold(0.0, f64::max)],
+        );
+    }
+
+    println!();
+    println!("# Fig. 2b: masstree execution trace at 50% load (100 ms buckets)");
+    print_header(&["t_s", "qps", "mean_service_us", "mean_queue_len", "mean_response_us"]);
+    let masstree = AppProfile::masstree();
+    let trace = harness.trace(&masstree, 0.5, 50);
+    let mut policy = FixedFrequencyPolicy::new(harness.sim.dvfs.nominal());
+    let result = Server::new(harness.sim.clone()).run(&trace, &mut policy);
+    let bucket = 0.1;
+    let buckets = (result.end_time() / bucket).ceil() as usize;
+    for b in 0..buckets.min(40) {
+        let lo = b as f64 * bucket;
+        let hi = lo + bucket;
+        let recs: Vec<_> = result
+            .records()
+            .iter()
+            .filter(|r| r.arrival >= lo && r.arrival < hi)
+            .collect();
+        if recs.is_empty() {
+            continue;
+        }
+        let n = recs.len() as f64;
+        println!(
+            "{:.1}\t{:.0}\t{:.1}\t{:.2}\t{:.1}",
+            lo,
+            n / bucket,
+            recs.iter().map(|r| r.service_time()).sum::<f64>() / n * 1e6,
+            recs.iter().map(|r| r.queue_len_at_arrival as f64).sum::<f64>() / n,
+            recs.iter().map(|r| r.latency()).sum::<f64>() / n * 1e6,
+        );
+    }
+
+    println!();
+    println!("# Fig. 2c: tail latency vs load, normalized to the 95th-percentile service time");
+    print_header(&["app", "20%", "30%", "40%", "50%", "60%", "70%", "80%"]);
+    for (i, app) in apps.iter().enumerate() {
+        let mut row = Vec::new();
+        for (j, load) in [0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8].into_iter().enumerate() {
+            let trace = harness.trace(app, load, 100 + (i * 10 + j) as u64);
+            let mut policy = FixedFrequencyPolicy::new(harness.sim.dvfs.nominal());
+            let result = Server::new(harness.sim.clone()).run(&trace, &mut policy);
+            let tail = result.tail_latency(TAIL_QUANTILE).unwrap();
+            let service_tail =
+                rubik::stats::percentile(&result.service_times(), TAIL_QUANTILE).unwrap();
+            row.push(tail / service_tail);
+        }
+        print_row(app.name(), &row);
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 9: trace-driven load sweeps for every application — tail latency
+//! (9a) and core energy per request (9b) under Fixed-frequency, StaticOracle,
+//! DynamicOracle, Rubik without feedback, and Rubik.
+
+use rubik::AppProfile;
+use rubik_bench::{print_header, Harness};
+
+fn main() {
+    // The full Table-3 request counts make DynamicOracle slow; a reduced
+    // count preserves the curves' shape.
+    let harness = Harness::new().with_requests(2500);
+    let loads = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+
+    for (i, app) in AppProfile::all().iter().enumerate() {
+        let bound = harness.latency_bound(app);
+        println!("# Fig. 9: {} (tail bound {:.0} us)", app.name(), bound * 1e6);
+        print_header(&[
+            "load",
+            "fixed_tail_us",
+            "static_tail_us",
+            "dynamic_tail_us",
+            "rubik_nofb_tail_us",
+            "rubik_tail_us",
+            "fixed_mJ",
+            "static_mJ",
+            "dynamic_mJ",
+            "rubik_nofb_mJ",
+            "rubik_mJ",
+        ]);
+        for (j, load) in loads.into_iter().enumerate() {
+            // The 50% point is evaluated on the bound-defining trace (same
+            // convention as fig06) so that StaticOracle lands exactly at the
+            // nominal frequency there, as in the paper.
+            let seed = if load == 0.5 { 777 } else { (i * 100 + j) as u64 };
+            let trace = harness.trace(app, load, seed);
+            let fixed = harness.run_fixed(&trace, harness.sim.dvfs.nominal());
+            let (static_oracle, _) = harness.run_static_oracle(&trace, bound);
+            let dynamic = harness.run_dynamic_oracle(&trace, bound);
+            let (rubik_nofb, _) = harness.run_rubik(&trace, bound, false);
+            let (rubik, _) = harness.run_rubik(&trace, bound, true);
+            println!(
+                "{:.0}%\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
+                load * 100.0,
+                fixed.tail_latency * 1e6,
+                static_oracle.tail_latency * 1e6,
+                dynamic.tail_latency * 1e6,
+                rubik_nofb.tail_latency * 1e6,
+                rubik.tail_latency * 1e6,
+                fixed.energy_per_request * 1e3,
+                static_oracle.energy_per_request * 1e3,
+                dynamic.energy_per_request * 1e3,
+                rubik_nofb.energy_per_request * 1e3,
+                rubik.energy_per_request * 1e3,
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,40 @@
+//! Fig. 12: full-system power savings of Rubik at 30% load. Core savings are
+//! large (Fig. 6) but idle platform power (uncore, DRAM, PSU, disks) dilutes
+//! them at the server level — the motivation for RubikColoc.
+
+use rubik::{AppProfile, ServerPowerModel};
+use rubik_bench::{print_header, Harness};
+
+fn main() {
+    let harness = Harness::new();
+    let server = ServerPowerModel::paper_simulated();
+    println!("# Fig. 12: full-system power savings (%) at 30% load");
+    print_header(&["app", "core_savings_%", "system_savings_%"]);
+    for (i, app) in AppProfile::all().iter().enumerate() {
+        let bound = harness.latency_bound(app);
+        let trace = harness.trace(app, 0.3, i as u64);
+
+        let fixed = harness.run_fixed(&trace, harness.sim.dvfs.nominal());
+        let (rubik_summary, rubik_result) = harness.run_rubik(&trace, bound, true);
+
+        // Server power: 6 identical cores each running one copy of the app.
+        let mut fixed_policy = rubik::FixedFrequencyPolicy::new(harness.sim.dvfs.nominal());
+        let fixed_result = rubik::Server::new(harness.sim.clone()).run(&trace, &mut fixed_policy);
+        let duration = fixed_result.end_time().max(rubik_result.end_time());
+        let fixed_power = server.average_power(
+            &vec![fixed_result.freq_residency(); server.cores()],
+            duration,
+        );
+        let rubik_power = server.average_power(
+            &vec![rubik_result.freq_residency(); server.cores()],
+            duration,
+        );
+
+        println!(
+            "{}\t{:.1}\t{:.1}",
+            app.name(),
+            Harness::savings_percent(&fixed, &rubik_summary),
+            (1.0 - rubik_power / fixed_power) * 100.0
+        );
+    }
+}

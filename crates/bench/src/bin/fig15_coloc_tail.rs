@@ -1,0 +1,65 @@
+//! Fig. 15: distribution of tail latency (relative to the bound) across
+//! LC-application x batch-mix combinations at 60% load, for the four
+//! colocation schemes.
+
+use rubik::{AppProfile, BatchMix, ColocScheme, ColocatedCore};
+use rubik_bench::print_header;
+
+fn main() {
+    // The paper uses 5 apps x 20 mixes = 100 combinations; a reduced grid of
+    // 5 x 4 = 20 keeps the harness fast while preserving the distributions.
+    let mixes_per_app = 4;
+    let requests = 1500;
+    let load = 0.6;
+
+    let core = ColocatedCore::new();
+    let apps = AppProfile::all();
+    let mixes = BatchMix::paper_mixes(2015);
+
+    println!("# Fig. 15: normalized tail latency across workload mixes at 60% load (sorted, descending)");
+    let mut per_scheme: Vec<(String, Vec<f64>)> = Vec::new();
+    for scheme in ColocScheme::all() {
+        let mut tails = Vec::new();
+        for (i, app) in apps.iter().enumerate() {
+            let bound = core.latency_bound(app, requests, 10 + i as u64);
+            for m in 0..mixes_per_app {
+                let mix = &mixes[(i * mixes_per_app + m) % mixes.len()];
+                let outcome = core.run(
+                    scheme,
+                    app,
+                    load,
+                    mix,
+                    bound,
+                    requests,
+                    (100 + i * 10 + m) as u64,
+                );
+                tails.push(outcome.normalized_tail);
+            }
+        }
+        tails.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        per_scheme.push((scheme.name().to_string(), tails));
+    }
+
+    print_header(&["mix_rank", "StaticColoc", "RubikColoc", "HW-T", "HW-TPW"]);
+    let n = per_scheme[0].1.len();
+    let col = |name: &str| {
+        per_scheme
+            .iter()
+            .find(|(s, _)| s == name)
+            .map(|(_, v)| v.clone())
+            .unwrap()
+    };
+    let static_c = col("StaticColoc");
+    let rubik_c = col("RubikColoc");
+    let hwt = col("HW-T");
+    let hwtpw = col("HW-TPW");
+    for i in 0..n {
+        println!(
+            "{}\t{:.2}\t{:.2}\t{:.2}\t{:.2}",
+            i, static_c[i], rubik_c[i], hwt[i], hwtpw[i]
+        );
+    }
+    println!();
+    println!("# max normalized tails: StaticColoc {:.2}, RubikColoc {:.2}, HW-T {:.2}, HW-TPW {:.2}",
+        static_c[0], rubik_c[0], hwt[0], hwtpw[0]);
+}

@@ -1,0 +1,46 @@
+//! Fig. 16: datacenter power and server count for the segregated baseline vs
+//! the RubikColoc-managed colocated datacenter, as the LC load varies from
+//! 10% to 60%. Both are normalized to the segregated datacenter at 60% load.
+
+use rubik::{DatacenterComparison, DatacenterConfig};
+use rubik_bench::print_header;
+
+fn main() {
+    let mut config = DatacenterConfig::paper();
+    config.requests_per_sample = 1500;
+    let dc = DatacenterComparison::new(config);
+
+    let loads = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
+    let points = dc.sweep(&loads);
+    let reference = points.last().expect("non-empty sweep");
+    let ref_power = reference.segregated_power;
+    let ref_servers = reference.segregated_servers as f64;
+
+    println!("# Fig. 16: normalized datacenter power and server count (reference: segregated @ 60% load)");
+    print_header(&[
+        "lc_load",
+        "segregated_power",
+        "coloc_power",
+        "segregated_servers",
+        "coloc_servers",
+        "coloc_worst_tail",
+    ]);
+    for p in &points {
+        println!(
+            "{:.0}%\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.2}",
+            p.lc_load * 100.0,
+            p.segregated_power / ref_power,
+            p.coloc_power / ref_power,
+            p.segregated_servers as f64 / ref_servers,
+            p.coloc_servers as f64 / ref_servers,
+            p.worst_normalized_tail
+        );
+    }
+    println!();
+    let p10 = &points[0];
+    println!(
+        "# at 10% LC load: RubikColoc uses {:.0}% less power and {:.0}% fewer servers than the segregated datacenter at the same load",
+        (1.0 - p10.coloc_power / p10.segregated_power) * 100.0,
+        (1.0 - p10.coloc_servers as f64 / p10.segregated_servers as f64) * 100.0
+    );
+}

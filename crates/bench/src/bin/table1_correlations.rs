@@ -1,0 +1,45 @@
+//! Table 1: Pearson correlation of end-to-end response latency with service
+//! time, instantaneous QPS, and queue length, for each application.
+
+use rubik::stats::pearson;
+use rubik::{AppProfile, FixedFrequencyPolicy, Server};
+use rubik_bench::{print_header, print_row, Harness};
+
+fn main() {
+    let harness = Harness::new();
+    println!("# Table 1: correlation of response latency with service time, QPS, queue length");
+    print_header(&["app", "service_time", "instantaneous_qps", "queue_length"]);
+    for (i, app) in AppProfile::all().iter().enumerate() {
+        let trace = harness.trace(app, 0.5, i as u64);
+        let mut policy = FixedFrequencyPolicy::new(harness.sim.dvfs.nominal());
+        let result = Server::new(harness.sim.clone()).run(&trace, &mut policy);
+
+        let latencies = result.latencies();
+        let service = result.service_times();
+        let queue = result.queue_lengths();
+        // Instantaneous QPS seen by each request: arrivals in the surrounding
+        // 5 ms window.
+        let window = 0.005;
+        let arrivals: Vec<f64> = trace.requests().iter().map(|r| r.arrival).collect();
+        let qps: Vec<f64> = result
+            .records()
+            .iter()
+            .map(|r| {
+                arrivals
+                    .iter()
+                    .filter(|&&a| a >= r.arrival - window && a < r.arrival)
+                    .count() as f64
+                    / window
+            })
+            .collect();
+
+        print_row(
+            app.name(),
+            &[
+                pearson(&service, &latencies).unwrap_or(0.0),
+                pearson(&qps, &latencies).unwrap_or(0.0),
+                pearson(&queue, &latencies).unwrap_or(0.0),
+            ],
+        );
+    }
+}

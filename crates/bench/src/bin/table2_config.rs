@@ -1,0 +1,39 @@
+//! Table 2: the simulated CMP configuration used throughout the evaluation.
+
+use rubik::{CorePowerModel, DvfsConfig, ServerPowerModel, SimConfig, Tdp};
+
+fn main() {
+    let sim = SimConfig::paper_simulated();
+    let dvfs = DvfsConfig::haswell_like();
+    let power = CorePowerModel::haswell_like();
+    let server = ServerPowerModel::paper_simulated();
+    let tdp = Tdp::paper();
+
+    println!("# Table 2: simulated CMP configuration");
+    println!("cores\t{} (one LC application instance per core)", server.cores());
+    println!(
+        "dvfs\t{:.1}-{:.1} GHz in {} MHz steps, nominal {:.1} GHz",
+        dvfs.min().ghz(),
+        dvfs.max().ghz(),
+        dvfs.step_mhz(),
+        dvfs.nominal().ghz()
+    );
+    println!(
+        "vf_transition\t{:.0} us (Haswell-like FIVR per-core DVFS)",
+        dvfs.transition_latency() * 1e6
+    );
+    println!("tick_interval\t{:.0} ms (target tail table updates)", sim.tick_interval * 1e3);
+    println!("tdp\t{:.0} W", tdp.budget());
+    println!(
+        "core_power\tactive {:.1} W @ nominal, {:.1} W @ max, idle {:.1} W, sleep {:.1} W",
+        power.active_power(dvfs.nominal()),
+        power.active_power(dvfs.max()),
+        power.idle_power(dvfs.min()),
+        power.sleep_power()
+    );
+    println!(
+        "server_power\tidle {:.0} W, peak {:.0} W",
+        server.idle_power(),
+        server.peak_power()
+    );
+}

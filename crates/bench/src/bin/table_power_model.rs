@@ -1,0 +1,33 @@
+//! Power-model accuracy (Sec. 5.1): least-squares fit of the full-system
+//! power model on synthetic counter samples and its k-fold cross-validation
+//! error (the paper reports 5.1% mean and 11% worst-case on 20,000 samples).
+
+use rubik::power::regression::{k_fold_cross_validation, synthesize_samples, PowerRegression};
+use rubik_bench::print_header;
+
+fn main() {
+    println!("# Power-model fit and k-fold cross-validation (Sec. 5.1 methodology)");
+    print_header(&["samples", "noise_%", "folds", "mean_abs_err_%", "worst_abs_err_%"]);
+    for (samples, noise) in [(20_000usize, 0.05f64), (20_000, 0.02), (5_000, 0.05)] {
+        let data = synthesize_samples(samples, noise, 2015);
+        let report = k_fold_cross_validation(&data, 10);
+        println!(
+            "{}\t{:.0}\t{}\t{:.1}\t{:.1}",
+            samples,
+            noise * 100.0,
+            10,
+            report.mean_abs_error * 100.0,
+            report.worst_abs_error * 100.0
+        );
+    }
+
+    // Also report the in-sample fit coefficients for reference.
+    let data = synthesize_samples(20_000, 0.05, 2015);
+    let model = PowerRegression::fit(&data);
+    let c = model.coefficients();
+    println!();
+    println!(
+        "# fitted model: P = {:.2} + {:.2} * V^2 * f * util + {:.2} * V + {:.2} * mem",
+        c[0], c[1], c[2], c[3]
+    );
+}

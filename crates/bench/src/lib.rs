@@ -1,0 +1,227 @@
+//! Shared harness for the experiment-reproduction binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that prints the corresponding rows/series as tab-separated
+//! text. This library holds the pieces they share: building traces at the
+//! paper's loads, computing the latency bound (tail latency of the
+//! fixed-frequency scheme at 50% load), and running each scheme on a trace.
+
+use rubik::core::{replay, replay_energy, replay_tail};
+use rubik::{
+    AdrenalineOracle, AppProfile, CorePowerModel, DynamicOracle, FixedFrequencyPolicy, Freq,
+    RubikConfig, RubikController, RunResult, Server, SimConfig, StaticOracle, Trace,
+    WorkloadGenerator,
+};
+
+/// Tail percentile used throughout the evaluation.
+pub const TAIL_QUANTILE: f64 = 0.95;
+
+/// Default number of requests per experiment run. The paper's request counts
+/// (Table 3) are used where runtime allows; this default keeps the full
+/// harness runnable in minutes.
+pub const DEFAULT_REQUESTS: usize = 4000;
+
+/// The experiment context shared by the figure binaries.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Simulator configuration (Table 2).
+    pub sim: SimConfig,
+    /// Core power model.
+    pub power: CorePowerModel,
+    /// Requests per run.
+    pub requests: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+/// Outcome of one scheme on one trace.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeResult {
+    /// 95th-percentile latency (seconds).
+    pub tail_latency: f64,
+    /// Active + idle core energy per request (J).
+    pub energy_per_request: f64,
+    /// Core power savings relative to a reference energy (filled by callers).
+    pub busy_time: f64,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Harness {
+    /// Creates the default harness.
+    pub fn new() -> Self {
+        Self {
+            sim: SimConfig::paper_simulated(),
+            power: CorePowerModel::haswell_like(),
+            requests: DEFAULT_REQUESTS,
+            seed: 2015,
+        }
+    }
+
+    /// Creates a harness with the real-system DVFS latency (Sec. 5.5).
+    pub fn real_system() -> Self {
+        Self {
+            sim: SimConfig::paper_real_system(),
+            ..Self::new()
+        }
+    }
+
+    /// A harness with a custom request count (for the slower sweeps).
+    pub fn with_requests(mut self, requests: usize) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// The active-power closure used by the replay-based oracles.
+    pub fn active_power(&self) -> impl Fn(Freq) -> f64 + '_ {
+        move |f| self.power.active_power(f)
+    }
+
+    /// Generates a steady-load trace for an application.
+    pub fn trace(&self, profile: &AppProfile, load: f64, seed_offset: u64) -> Trace {
+        let mut generator = WorkloadGenerator::new(profile.clone(), self.seed + seed_offset);
+        generator.steady_trace(load, self.requests)
+    }
+
+    /// The latency bound for an application: the tail latency of the
+    /// fixed-frequency (nominal) scheme at 50% load (Sec. 5.2).
+    pub fn latency_bound(&self, profile: &AppProfile) -> f64 {
+        let trace = self.trace(profile, 0.5, 777);
+        StaticOracle::new(self.sim.dvfs.clone(), TAIL_QUANTILE)
+            .tail_at(&trace, self.sim.dvfs.nominal())
+            .expect("non-empty calibration trace")
+    }
+
+    /// Runs the fixed-frequency baseline.
+    pub fn run_fixed(&self, trace: &Trace, freq: Freq) -> SchemeResult {
+        let mut policy = FixedFrequencyPolicy::new(freq);
+        let result = Server::new(self.sim.clone()).run(trace, &mut policy);
+        self.summarize(trace, &result)
+    }
+
+    /// Runs Rubik (with or without feedback), returning the scheme summary
+    /// and the full simulation result.
+    pub fn run_rubik(&self, trace: &Trace, bound: f64, feedback: bool) -> (SchemeResult, RunResult) {
+        let mut cfg = RubikConfig::new(bound).with_profiling_window(2048);
+        if !feedback {
+            cfg = cfg.without_feedback();
+        }
+        let mut rubik = RubikController::new(cfg, self.sim.dvfs.clone());
+        rubik.seed_profile(
+            trace
+                .requests()
+                .iter()
+                .take(512)
+                .map(|r| (r.compute_cycles, r.membound_time)),
+        );
+        let result = Server::new(self.sim.clone()).run(trace, &mut rubik);
+        (self.summarize(trace, &result), result)
+    }
+
+    /// Runs the StaticOracle scheme on a trace.
+    pub fn run_static_oracle(&self, trace: &Trace, bound: f64) -> (SchemeResult, Freq) {
+        let oracle = StaticOracle::new(self.sim.dvfs.clone(), TAIL_QUANTILE);
+        let freq = oracle.lowest_feasible_freq(trace, bound);
+        (self.run_fixed(trace, freq), freq)
+    }
+
+    /// Runs the AdrenalineOracle scheme on a trace (replay-based, as the
+    /// scheme is defined offline).
+    pub fn run_adrenaline(&self, trace: &Trace, bound: f64) -> SchemeResult {
+        let policy = AdrenalineOracle::new(self.sim.dvfs.clone(), TAIL_QUANTILE)
+            .train(trace, bound, self.active_power());
+        let freqs = policy.assign(trace);
+        self.summarize_replay(trace, &freqs)
+    }
+
+    /// Runs the DynamicOracle scheme on a trace (replay-based).
+    pub fn run_dynamic_oracle(&self, trace: &Trace, bound: f64) -> SchemeResult {
+        let schedule = DynamicOracle::new(self.sim.dvfs.clone(), TAIL_QUANTILE).schedule(
+            trace,
+            bound,
+            self.active_power(),
+        );
+        self.summarize_replay(trace, &schedule.freqs)
+    }
+
+    fn summarize(&self, trace: &Trace, result: &RunResult) -> SchemeResult {
+        let residency = result.freq_residency();
+        SchemeResult {
+            tail_latency: result.tail_latency(TAIL_QUANTILE).unwrap_or(0.0),
+            energy_per_request: self.power.energy_per_request(&residency, trace.len().max(1)),
+            busy_time: residency.busy_time(),
+        }
+    }
+
+    fn summarize_replay(&self, trace: &Trace, freqs: &[Freq]) -> SchemeResult {
+        let records = replay(trace, freqs);
+        let tail = replay_tail(&records, TAIL_QUANTILE).unwrap_or(0.0);
+        // Replay-based schemes are charged active energy plus idle energy at
+        // the minimum frequency for the rest of the trace duration, so they
+        // are comparable with the event-simulated schemes.
+        let active = replay_energy(trace, freqs, self.active_power());
+        let busy: f64 = records.iter().map(|r| r.service_time()).sum();
+        let duration = records
+            .iter()
+            .map(|r| r.completion)
+            .fold(0.0f64, f64::max);
+        let idle = (duration - busy).max(0.0) * self.power.idle_power(self.sim.dvfs.min());
+        SchemeResult {
+            tail_latency: tail,
+            energy_per_request: (active + idle) / trace.len().max(1) as f64,
+            busy_time: busy,
+        }
+    }
+
+    /// Power savings of `scheme` relative to `baseline`, in percent.
+    pub fn savings_percent(baseline: &SchemeResult, scheme: &SchemeResult) -> f64 {
+        (1.0 - scheme.energy_per_request / baseline.energy_per_request) * 100.0
+    }
+}
+
+/// Prints a tab-separated header line.
+pub fn print_header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Prints a tab-separated row of values with 4 significant digits.
+pub fn print_row(label: &str, values: &[f64]) {
+    let cells: Vec<String> = values.iter().map(|v| format!("{v:.4}")).collect();
+    println!("{label}\t{}", cells.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_bound_is_above_the_mean_service_time() {
+        let h = Harness::new().with_requests(1500);
+        let profile = AppProfile::masstree();
+        let bound = h.latency_bound(&profile);
+        assert!(bound > profile.mean_service_time());
+        assert!(bound < 50.0 * profile.mean_service_time());
+    }
+
+    #[test]
+    fn scheme_runners_produce_consistent_summaries() {
+        let h = Harness::new().with_requests(800);
+        let profile = AppProfile::masstree();
+        let bound = h.latency_bound(&profile);
+        let trace = h.trace(&profile, 0.4, 1);
+
+        let fixed = h.run_fixed(&trace, h.sim.dvfs.nominal());
+        let (rubik, _) = h.run_rubik(&trace, bound, true);
+        let (static_oracle, freq) = h.run_static_oracle(&trace, bound);
+
+        assert!(fixed.energy_per_request > 0.0);
+        assert!(rubik.tail_latency <= bound * 1.2);
+        assert!(static_oracle.tail_latency <= bound * 1.001);
+        assert!(freq <= h.sim.dvfs.nominal());
+        assert!(Harness::savings_percent(&fixed, &rubik) > 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Online profiling of per-request service demand.
+//!
+//! Rubik estimates two probability distributions from performance counters
+//! (paper Sec. 4.2): per-request compute cycles `P[C = c]` and per-request
+//! memory-bound time `P[M = t]`. The [`OnlineProfiler`] accumulates the
+//! demands of completed requests (which the simulator reports in each
+//! [`rubik_sim::RequestRecord`]) over a sliding window of recent requests and
+//! produces the 128-bucket histograms that the target tail tables are built
+//! from.
+
+use std::collections::VecDeque;
+
+use rubik_stats::Histogram;
+
+/// Number of histogram buckets, matching the paper's implementation
+/// ("We use 128-bucket distributions", Sec. 4.2).
+pub const DEFAULT_BUCKETS: usize = 128;
+
+/// Sliding-window profiler of per-request compute and memory demand.
+#[derive(Debug, Clone)]
+pub struct OnlineProfiler {
+    window: usize,
+    buckets: usize,
+    compute_cycles: VecDeque<f64>,
+    membound_times: VecDeque<f64>,
+}
+
+impl OnlineProfiler {
+    /// Creates a profiler that keeps the most recent `window` requests and
+    /// builds `DEFAULT_BUCKETS`-bucket histograms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        Self::with_buckets(window, DEFAULT_BUCKETS)
+    }
+
+    /// Creates a profiler with an explicit bucket count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `buckets == 0`.
+    pub fn with_buckets(window: usize, buckets: usize) -> Self {
+        assert!(window > 0, "profiling window must be non-empty");
+        assert!(buckets > 0, "histograms need at least one bucket");
+        Self {
+            window,
+            buckets,
+            compute_cycles: VecDeque::with_capacity(window),
+            membound_times: VecDeque::with_capacity(window),
+        }
+    }
+
+    /// Records the demand of one completed request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either demand is negative or non-finite.
+    pub fn record(&mut self, compute_cycles: f64, membound_time: f64) {
+        assert!(
+            compute_cycles.is_finite() && compute_cycles >= 0.0,
+            "compute cycles must be finite and non-negative"
+        );
+        assert!(
+            membound_time.is_finite() && membound_time >= 0.0,
+            "memory-bound time must be finite and non-negative"
+        );
+        if self.compute_cycles.len() == self.window {
+            self.compute_cycles.pop_front();
+            self.membound_times.pop_front();
+        }
+        self.compute_cycles.push_back(compute_cycles);
+        self.membound_times.push_back(membound_time);
+    }
+
+    /// Number of requests currently in the window.
+    pub fn len(&self) -> usize {
+        self.compute_cycles.len()
+    }
+
+    /// Whether the profiler has seen no requests yet.
+    pub fn is_empty(&self) -> bool {
+        self.compute_cycles.is_empty()
+    }
+
+    /// Seeds the profiler with known demands (e.g. from a captured trace or a
+    /// previous run) so that Rubik starts with informed tables instead of a
+    /// warm-up period.
+    pub fn seed<I>(&mut self, demands: I)
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        for (c, m) in demands {
+            self.record(c, m);
+        }
+    }
+
+    /// Histogram of per-request compute cycles, or `None` until at least one
+    /// request has been recorded.
+    pub fn compute_histogram(&self) -> Option<Histogram> {
+        if self.is_empty() {
+            return None;
+        }
+        let samples: Vec<f64> = self.compute_cycles.iter().copied().collect();
+        Some(Histogram::from_samples(&samples, self.buckets))
+    }
+
+    /// Histogram of per-request memory-bound time, or `None` until at least
+    /// one request has been recorded. All-zero memory demand yields a
+    /// degenerate single-bucket histogram at zero width 1, which downstream
+    /// code treats as "no memory component".
+    pub fn membound_histogram(&self) -> Option<Histogram> {
+        if self.is_empty() {
+            return None;
+        }
+        let samples: Vec<f64> = self.membound_times.iter().copied().collect();
+        Some(Histogram::from_samples(&samples, self.buckets))
+    }
+
+    /// Mean compute cycles over the window (0 if empty).
+    pub fn mean_compute_cycles(&self) -> f64 {
+        mean(&self.compute_cycles)
+    }
+
+    /// Mean memory-bound time over the window (0 if empty).
+    pub fn mean_membound_time(&self) -> f64 {
+        mean(&self.membound_times)
+    }
+}
+
+fn mean(v: &VecDeque<f64>) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_profiler_has_no_histograms() {
+        let p = OnlineProfiler::new(100);
+        assert!(p.is_empty());
+        assert!(p.compute_histogram().is_none());
+        assert!(p.membound_histogram().is_none());
+        assert_eq!(p.mean_compute_cycles(), 0.0);
+    }
+
+    #[test]
+    fn records_and_builds_histograms() {
+        let mut p = OnlineProfiler::new(100);
+        for i in 1..=50 {
+            p.record(i as f64 * 1000.0, i as f64 * 1e-6);
+        }
+        assert_eq!(p.len(), 50);
+        let c = p.compute_histogram().unwrap();
+        let m = p.membound_histogram().unwrap();
+        assert!(c.quantile(0.95) >= 45_000.0);
+        assert!(m.quantile(0.95) >= 45e-6);
+        assert!((p.mean_compute_cycles() - 25_500.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn window_evicts_old_samples() {
+        let mut p = OnlineProfiler::new(10);
+        // Ten huge requests followed by ten tiny ones: the window should only
+        // remember the tiny ones.
+        for _ in 0..10 {
+            p.record(1e9, 0.0);
+        }
+        for _ in 0..10 {
+            p.record(1e3, 0.0);
+        }
+        assert_eq!(p.len(), 10);
+        assert!(p.compute_histogram().unwrap().quantile(0.99) <= 1e3 + 1.0);
+    }
+
+    #[test]
+    fn seed_prepopulates_the_window() {
+        let mut p = OnlineProfiler::new(100);
+        p.seed((0..20).map(|i| (1000.0 + i as f64, 1e-6)));
+        assert_eq!(p.len(), 20);
+        assert!(p.compute_histogram().is_some());
+    }
+
+    #[test]
+    fn zero_memory_demand_is_representable() {
+        let mut p = OnlineProfiler::new(10);
+        p.record(1000.0, 0.0);
+        p.record(2000.0, 0.0);
+        let m = p.membound_histogram().unwrap();
+        assert!(m.quantile(0.95) <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_demand() {
+        let mut p = OnlineProfiler::new(10);
+        p.record(-1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_zero_window() {
+        let _ = OnlineProfiler::new(0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Fast trace replay under per-request frequency assignments.
+//!
+//! The oracle baselines (StaticOracle, DynamicOracle, AdrenalineOracle) are
+//! defined over a *fixed request trace* (paper Sec. 5.2–5.3): each request is
+//! assigned one frequency, and the resulting latencies follow from FIFO
+//! queueing. Because the oracles are idealized, the replay ignores V/F
+//! transition latency; this only makes the oracles stronger, which is the
+//! conservative direction when comparing Rubik against them.
+
+use rubik_sim::{Freq, RequestRecord, Trace};
+
+/// Replays a trace where request `i` runs entirely at `freqs[i]`, returning
+/// the per-request records (FIFO, single server, work-conserving).
+///
+/// # Panics
+///
+/// Panics if `freqs.len() != trace.len()`.
+pub fn replay(trace: &Trace, freqs: &[Freq]) -> Vec<RequestRecord> {
+    assert_eq!(
+        freqs.len(),
+        trace.len(),
+        "one frequency per request is required"
+    );
+    let mut records = Vec::with_capacity(trace.len());
+    let mut server_free_at = 0.0f64;
+    let mut in_system: Vec<f64> = Vec::new(); // completion times of prior requests
+
+    for (spec, &freq) in trace.requests().iter().zip(freqs) {
+        // Queue length seen at arrival: prior requests not yet completed.
+        in_system.retain(|&c| c > spec.arrival);
+        let queue_len_at_arrival = in_system.len();
+
+        let start = server_free_at.max(spec.arrival);
+        let service = spec.service_time_at(freq);
+        let completion = start + service;
+        server_free_at = completion;
+        in_system.push(completion);
+
+        records.push(RequestRecord {
+            id: spec.id,
+            arrival: spec.arrival,
+            start,
+            completion,
+            compute_cycles: spec.compute_cycles,
+            membound_time: spec.membound_time,
+            queue_len_at_arrival,
+            class: spec.class,
+        });
+    }
+    records
+}
+
+/// Active core energy of a replay: each request is charged
+/// `active_power(f_i) × service_time_i`. Idle energy is not included (the
+/// oracles are compared on active energy, as in Fig. 9b).
+///
+/// # Panics
+///
+/// Panics if `freqs.len() != trace.len()`.
+pub fn replay_energy<P>(trace: &Trace, freqs: &[Freq], active_power: P) -> f64
+where
+    P: Fn(Freq) -> f64,
+{
+    assert_eq!(freqs.len(), trace.len());
+    trace
+        .requests()
+        .iter()
+        .zip(freqs)
+        .map(|(spec, &f)| active_power(f) * spec.service_time_at(f))
+        .sum()
+}
+
+/// Tail latency of a replayed record set at quantile `q`.
+pub fn replay_tail(records: &[RequestRecord], q: f64) -> Option<f64> {
+    let latencies: Vec<f64> = records.iter().map(|r| r.latency()).collect();
+    rubik_stats::percentile(&latencies, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubik_sim::RequestSpec;
+
+    fn nominal() -> Freq {
+        Freq::from_mhz(2400)
+    }
+
+    #[test]
+    fn replay_matches_hand_computed_fifo() {
+        let trace = Trace::new(vec![
+            RequestSpec::new(0, 0.0, 2.4e6, 0.0),  // 1 ms at nominal
+            RequestSpec::new(1, 0.5e-3, 2.4e6, 0.0), // arrives mid-service
+            RequestSpec::new(2, 5e-3, 2.4e6, 0.0),  // arrives when idle
+        ]);
+        let records = replay(&trace, &vec![nominal(); 3]);
+        assert!((records[0].latency() - 1e-3).abs() < 1e-12);
+        assert!((records[1].latency() - 1.5e-3).abs() < 1e-12);
+        assert!((records[2].latency() - 1e-3).abs() < 1e-12);
+        assert_eq!(records[1].queue_len_at_arrival, 1);
+        assert_eq!(records[2].queue_len_at_arrival, 0);
+    }
+
+    #[test]
+    fn per_request_frequencies_apply_independently() {
+        let trace = Trace::new(vec![
+            RequestSpec::new(0, 0.0, 2.4e6, 0.0),
+            RequestSpec::new(1, 10.0, 2.4e6, 0.0),
+        ]);
+        let records = replay(&trace, &[Freq::from_mhz(800), Freq::from_mhz(3400)]);
+        assert!((records[0].service_time() - 3e-3).abs() < 1e-9);
+        assert!((records[1].service_time() - 2.4e6 / 3.4e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_agrees_with_event_simulator_at_fixed_frequency() {
+        use rubik_sim::{FixedFrequencyPolicy, Server, SimConfig};
+        use rubik_workloads::{AppProfile, WorkloadGenerator};
+
+        let mut generator = WorkloadGenerator::new(AppProfile::shore(), 3);
+        let trace = generator.steady_trace(0.5, 500);
+        let freqs = vec![nominal(); trace.len()];
+        let replayed = replay(&trace, &freqs);
+
+        let mut policy = FixedFrequencyPolicy::new(nominal());
+        let simulated = Server::new(SimConfig::default()).run(&trace, &mut policy);
+
+        // Both models implement the same FIFO queue; latencies must agree.
+        let mut sim_records: Vec<_> = simulated.records().to_vec();
+        sim_records.sort_by_key(|r| r.id);
+        for (a, b) in replayed.iter().zip(&sim_records) {
+            assert_eq!(a.id, b.id);
+            assert!(
+                (a.latency() - b.latency()).abs() < 1e-9,
+                "id {}: {} vs {}",
+                a.id,
+                a.latency(),
+                b.latency()
+            );
+        }
+    }
+
+    #[test]
+    fn energy_prefers_lower_frequencies() {
+        let trace = Trace::new(vec![RequestSpec::new(0, 0.0, 2.4e6, 0.0)]);
+        // A convex-ish power curve for the test.
+        let power = |f: Freq| 2.0 * f.ghz() * f.ghz();
+        let slow = replay_energy(&trace, &[Freq::from_mhz(1200)], power);
+        let fast = replay_energy(&trace, &[Freq::from_mhz(2400)], power);
+        assert!(slow < fast);
+    }
+
+    #[test]
+    fn replay_tail_reports_percentile() {
+        let trace = Trace::new(
+            (0..100)
+                .map(|i| RequestSpec::new(i, i as f64, 2.4e6, 0.0))
+                .collect(),
+        );
+        let records = replay(&trace, &vec![nominal(); 100]);
+        let tail = replay_tail(&records, 0.95).unwrap();
+        assert!((tail - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one frequency per request")]
+    fn rejects_mismatched_lengths() {
+        let trace = Trace::new(vec![RequestSpec::new(0, 0.0, 1.0, 0.0)]);
+        let _ = replay(&trace, &[]);
+    }
+}

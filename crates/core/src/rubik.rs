@@ -1,0 +1,519 @@
+//! The Rubik controller (paper Sec. 4).
+//!
+//! On every request arrival and completion, Rubik finds the lowest frequency
+//! that keeps the tail-latency bound for *every* request currently in the
+//! system:
+//!
+//! ```text
+//! f  ≥  max_i   c_i / (L − (t_i + m_i))          (Eq. 2)
+//! ```
+//!
+//! where, for the request at queue position `i`, `t_i` is the time it has
+//! already spent in the system, and `c_i` / `m_i` are the tail remaining
+//! compute cycles and memory-bound time read from the precomputed
+//! [`TargetTailTables`]. Requests whose slack `L − t_i − m_i` is gone force
+//! the maximum frequency. When the system is idle, the core drops to the
+//! minimum frequency.
+//!
+//! The tables are rebuilt periodically (every simulator tick, 100 ms in the
+//! paper) from the [`OnlineProfiler`]'s sliding window; a PI
+//! [`FeedbackController`] trims the internal latency target using the tail
+//! latency measured over a rolling window (1 s in the paper).
+
+use rubik_sim::{DvfsConfig, DvfsPolicy, Freq, PolicyDecision, RequestRecord, ServerState};
+use rubik_stats::RollingTailTracker;
+use serde::{Deserialize, Serialize};
+
+use crate::feedback::FeedbackController;
+use crate::profiler::OnlineProfiler;
+use crate::tables::{TargetTailTables, DEFAULT_GAUSSIAN_CUTOFF, DEFAULT_PROGRESS_ROWS};
+
+/// Configuration of the Rubik controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RubikConfig {
+    /// The tail-latency bound `L`, in seconds.
+    pub latency_bound: f64,
+    /// The tail percentile the bound applies to (0.95 in the paper).
+    pub quantile: f64,
+    /// Number of recent requests the online profiler keeps.
+    pub profiling_window: usize,
+    /// Minimum profiled requests before the analytical model is trusted;
+    /// until then Rubik runs at the nominal frequency when busy.
+    pub min_samples: usize,
+    /// Number of progress (ω) rows in the target tail tables.
+    pub progress_rows: usize,
+    /// Queue depth at which the Gaussian approximation takes over.
+    pub gaussian_cutoff: usize,
+    /// Whether the PI feedback fine-tuning is enabled.
+    pub feedback: bool,
+    /// Window over which measured tail latency feeds the PI controller, in
+    /// seconds (1 s in the paper).
+    pub feedback_window: f64,
+}
+
+impl RubikConfig {
+    /// Creates a configuration with the paper's defaults for the given
+    /// tail-latency bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency_bound <= 0`.
+    pub fn new(latency_bound: f64) -> Self {
+        assert!(latency_bound > 0.0, "latency bound must be positive");
+        Self {
+            latency_bound,
+            quantile: 0.95,
+            profiling_window: 4096,
+            min_samples: 64,
+            progress_rows: DEFAULT_PROGRESS_ROWS,
+            gaussian_cutoff: DEFAULT_GAUSSIAN_CUTOFF,
+            feedback: true,
+            feedback_window: 1.0,
+        }
+    }
+
+    /// Disables the PI feedback fine-tuning ("Rubik (No Feedback Control)" in
+    /// Fig. 9).
+    pub fn without_feedback(mut self) -> Self {
+        self.feedback = false;
+        self
+    }
+
+    /// Sets the tail percentile (e.g. 0.99).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantile is not in `(0, 1)`.
+    pub fn with_quantile(mut self, quantile: f64) -> Self {
+        assert!(quantile > 0.0 && quantile < 1.0);
+        self.quantile = quantile;
+        self
+    }
+
+    /// Sets the table dimensions (used by ablation benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn with_table_shape(mut self, progress_rows: usize, gaussian_cutoff: usize) -> Self {
+        assert!(progress_rows > 0 && gaussian_cutoff > 0);
+        self.progress_rows = progress_rows;
+        self.gaussian_cutoff = gaussian_cutoff;
+        self
+    }
+
+    /// Sets the profiling window size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn with_profiling_window(mut self, window: usize) -> Self {
+        assert!(window > 0);
+        self.profiling_window = window;
+        self
+    }
+}
+
+/// Counters describing what the controller did during a run; useful for
+/// tests, ablations, and the paper's overhead discussion.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RubikStats {
+    /// Number of frequency decisions evaluated (arrivals + completions).
+    pub decisions: u64,
+    /// Number of times the target tail tables were rebuilt.
+    pub table_rebuilds: u64,
+    /// Number of decisions made before the model had enough samples.
+    pub cold_decisions: u64,
+    /// Number of decisions where some request had no slack left (forcing the
+    /// maximum frequency).
+    pub saturated_decisions: u64,
+}
+
+/// The Rubik fine-grain DVFS controller.
+#[derive(Debug, Clone)]
+pub struct RubikController {
+    config: RubikConfig,
+    dvfs: DvfsConfig,
+    profiler: OnlineProfiler,
+    tables: Option<TargetTailTables>,
+    feedback: FeedbackController,
+    measured: RollingTailTracker,
+    last_feedback_update: f64,
+    stats: RubikStats,
+}
+
+impl RubikController {
+    /// Creates a Rubik controller for the given DVFS domain.
+    pub fn new(config: RubikConfig, dvfs: DvfsConfig) -> Self {
+        let measured = RollingTailTracker::new(config.feedback_window, config.quantile);
+        Self {
+            profiler: OnlineProfiler::new(config.profiling_window),
+            tables: None,
+            feedback: FeedbackController::paper_default(),
+            measured,
+            last_feedback_update: 0.0,
+            stats: RubikStats::default(),
+            config,
+            dvfs,
+        }
+    }
+
+    /// Seeds the profiler with known per-request demands (compute cycles,
+    /// memory-bound time) and builds the tables immediately. Useful when a
+    /// trace has been captured previously, and in tests.
+    pub fn seed_profile<I>(&mut self, demands: I)
+    where
+        I: IntoIterator<Item = (f64, f64)>,
+    {
+        self.profiler.seed(demands);
+        self.rebuild_tables();
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &RubikConfig {
+        &self.config
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> RubikStats {
+        self.stats
+    }
+
+    /// The current target tail tables, if the model has been built.
+    pub fn tables(&self) -> Option<&TargetTailTables> {
+        self.tables.as_ref()
+    }
+
+    /// The internal latency target currently in use (external bound scaled by
+    /// the feedback controller).
+    pub fn internal_target(&self) -> f64 {
+        if self.config.feedback {
+            self.feedback.internal_target(self.config.latency_bound)
+        } else {
+            self.config.latency_bound
+        }
+    }
+
+    fn rebuild_tables(&mut self) {
+        if self.profiler.len() < self.config.min_samples {
+            return;
+        }
+        let compute = self
+            .profiler
+            .compute_histogram()
+            .expect("profiler has samples");
+        let memory = self
+            .profiler
+            .membound_histogram()
+            .expect("profiler has samples");
+        self.tables = Some(TargetTailTables::build_with(
+            &compute,
+            &memory,
+            self.config.quantile,
+            self.config.progress_rows,
+            self.config.gaussian_cutoff,
+        ));
+        self.stats.table_rebuilds += 1;
+    }
+
+    /// Evaluates Eq. 2 for the current state and returns the chosen
+    /// frequency.
+    fn decide(&mut self, state: &ServerState) -> Freq {
+        self.stats.decisions += 1;
+
+        if state.is_idle() {
+            return self.dvfs.min();
+        }
+        let tables = match &self.tables {
+            Some(t) => t,
+            None => {
+                // Model not warmed up yet: run at nominal, the paper's
+                // baseline frequency.
+                self.stats.cold_decisions += 1;
+                return self.dvfs.nominal();
+            }
+        };
+        let bound = self.internal_target();
+
+        let in_service = state
+            .in_service
+            .as_ref()
+            .expect("non-idle state has a request in service");
+        let elapsed_compute = in_service.elapsed_compute_cycles;
+        let elapsed_mem = in_service.elapsed_membound_time;
+
+        let mut required_hz: f64 = 0.0;
+        let mut saturated = false;
+
+        // Position 0: the request in service.
+        let mut consider = |pos: usize, arrival: f64| {
+            let (c, m) = tables.tails(elapsed_compute, elapsed_mem, pos);
+            let waited = state.now - arrival;
+            let slack = bound - waited - m;
+            if slack <= 0.0 {
+                saturated = true;
+            } else {
+                required_hz = required_hz.max(c / slack);
+            }
+        };
+
+        consider(0, in_service.arrival);
+        for (j, q) in state.queued.iter().enumerate() {
+            consider(j + 1, q.arrival);
+        }
+
+        if saturated {
+            self.stats.saturated_decisions += 1;
+            return self.dvfs.max();
+        }
+        self.dvfs.ceil_level(required_hz)
+    }
+}
+
+impl DvfsPolicy for RubikController {
+    fn name(&self) -> &str {
+        if self.config.feedback {
+            "rubik"
+        } else {
+            "rubik-no-feedback"
+        }
+    }
+
+    fn on_arrival(&mut self, state: &ServerState) -> PolicyDecision {
+        PolicyDecision::SetFrequency(self.decide(state))
+    }
+
+    fn on_completion(&mut self, state: &ServerState, record: &RequestRecord) -> PolicyDecision {
+        self.profiler
+            .record(record.compute_cycles, record.membound_time);
+        self.measured.record(record.completion, record.latency());
+        PolicyDecision::SetFrequency(self.decide(state))
+    }
+
+    fn on_tick(&mut self, state: &ServerState) -> PolicyDecision {
+        // Rebuild the target tail tables from the latest profile (the 100 ms
+        // periodic update of Sec. 4.2).
+        self.rebuild_tables();
+
+        // Feedback fine-tuning over the rolling measurement window.
+        if self.config.feedback
+            && state.now - self.last_feedback_update >= self.config.feedback_window
+        {
+            self.last_feedback_update = state.now;
+            self.measured.advance(state.now);
+            if let Some(tail) = self.measured.tail() {
+                self.feedback.update(tail, self.config.latency_bound);
+            }
+        }
+
+        PolicyDecision::SetFrequency(self.decide(state))
+    }
+
+    fn idle_frequency(&self) -> Option<Freq> {
+        Some(self.dvfs.min())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubik_sim::{Server, SimConfig};
+    use rubik_workloads::{AppProfile, WorkloadGenerator};
+
+    fn run_app(profile: AppProfile, load: f64, n: usize, bound: f64, feedback: bool) -> (f64, f64) {
+        let sim_config = SimConfig::default();
+        let mut generator = WorkloadGenerator::new(profile, 42);
+        let trace = generator.steady_trace(load, n);
+
+        let mut cfg = RubikConfig::new(bound).with_profiling_window(1024);
+        if !feedback {
+            cfg = cfg.without_feedback();
+        }
+        let mut rubik = RubikController::new(cfg, sim_config.dvfs.clone());
+        // Seed from the trace itself so the short test run starts warm, as a
+        // long-running server would be.
+        rubik.seed_profile(
+            trace
+                .requests()
+                .iter()
+                .take(512)
+                .map(|r| (r.compute_cycles, r.membound_time)),
+        );
+
+        let result = Server::new(sim_config).run(&trace, &mut rubik);
+        let tail = result.tail_latency(0.95).unwrap();
+        let mean_freq_time_weighted = {
+            let res = result.freq_residency();
+            let busy = res.busy_time();
+            res.busy
+                .iter()
+                .map(|(f, t)| f.ghz() * t / busy)
+                .sum::<f64>()
+        };
+        (tail, mean_freq_time_weighted)
+    }
+
+    #[test]
+    fn meets_tail_bound_on_masstree_at_moderate_load() {
+        let profile = AppProfile::masstree();
+        // Bound chosen near the fixed-frequency tail at 50% load for this
+        // model (~3x the mean service time).
+        let bound = 3.0 * profile.mean_service_time();
+        let (tail, mean_freq) = run_app(profile, 0.4, 3000, bound, false);
+        assert!(tail <= bound * 1.10, "tail {tail} vs bound {bound}");
+        // And it should actually have slowed down below nominal on average.
+        assert!(mean_freq < 2.4, "mean busy frequency {mean_freq} GHz");
+    }
+
+    #[test]
+    fn low_load_uses_lower_frequencies_than_high_load() {
+        let profile = AppProfile::masstree();
+        let bound = 3.0 * profile.mean_service_time();
+        let (_, freq_low) = run_app(profile.clone(), 0.2, 2000, bound, false);
+        let (_, freq_high) = run_app(profile, 0.7, 2000, bound, false);
+        assert!(
+            freq_low < freq_high,
+            "low-load mean freq {freq_low} should be below high-load {freq_high}"
+        );
+    }
+
+    #[test]
+    fn idle_system_requests_minimum_frequency() {
+        let dvfs = DvfsConfig::haswell_like();
+        let mut rubik = RubikController::new(RubikConfig::new(1e-3), dvfs.clone());
+        let state = ServerState {
+            now: 0.0,
+            current_freq: dvfs.nominal(),
+            target_freq: dvfs.nominal(),
+            in_service: None,
+            queued: vec![],
+        };
+        assert_eq!(rubik.on_tick(&state), PolicyDecision::SetFrequency(dvfs.min()));
+        assert_eq!(rubik.idle_frequency(), Some(dvfs.min()));
+    }
+
+    #[test]
+    fn cold_controller_runs_at_nominal_when_busy() {
+        let dvfs = DvfsConfig::haswell_like();
+        let mut rubik = RubikController::new(RubikConfig::new(1e-3), dvfs.clone());
+        let state = ServerState {
+            now: 0.0,
+            current_freq: dvfs.min(),
+            target_freq: dvfs.min(),
+            in_service: Some(rubik_sim::InServiceView {
+                id: 0,
+                arrival: 0.0,
+                elapsed_compute_cycles: 0.0,
+                elapsed_membound_time: 0.0,
+                oracle_compute_cycles: 1e6,
+                oracle_membound_time: 0.0,
+                class: 0,
+            }),
+            queued: vec![],
+        };
+        assert_eq!(
+            rubik.on_arrival(&state),
+            PolicyDecision::SetFrequency(dvfs.nominal())
+        );
+        assert_eq!(rubik.stats().cold_decisions, 1);
+    }
+
+    #[test]
+    fn exhausted_slack_forces_maximum_frequency() {
+        let dvfs = DvfsConfig::haswell_like();
+        let mut rubik = RubikController::new(
+            RubikConfig::new(1e-3).without_feedback(),
+            dvfs.clone(),
+        );
+        rubik.seed_profile((0..200).map(|i| (1e6 + (i % 7) as f64 * 1e4, 0.0)));
+        // A request that has already waited longer than the bound.
+        let state = ServerState {
+            now: 0.01,
+            current_freq: dvfs.min(),
+            target_freq: dvfs.min(),
+            in_service: Some(rubik_sim::InServiceView {
+                id: 0,
+                arrival: 0.0,
+                elapsed_compute_cycles: 0.0,
+                elapsed_membound_time: 0.0,
+                oracle_compute_cycles: 1e6,
+                oracle_membound_time: 0.0,
+                class: 0,
+            }),
+            queued: vec![],
+        };
+        assert_eq!(
+            rubik.on_arrival(&state),
+            PolicyDecision::SetFrequency(dvfs.max())
+        );
+        assert_eq!(rubik.stats().saturated_decisions, 1);
+    }
+
+    #[test]
+    fn longer_queues_demand_higher_frequencies() {
+        let dvfs = DvfsConfig::haswell_like();
+        let mut rubik = RubikController::new(
+            RubikConfig::new(2e-3).without_feedback(),
+            dvfs.clone(),
+        );
+        rubik.seed_profile((0..500).map(|i| (5e5 + (i % 13) as f64 * 1e4, 0.0)));
+
+        let in_service = rubik_sim::InServiceView {
+            id: 0,
+            arrival: 0.0,
+            elapsed_compute_cycles: 0.0,
+            elapsed_membound_time: 0.0,
+            oracle_compute_cycles: 5e5,
+            oracle_membound_time: 0.0,
+            class: 0,
+        };
+        let mk_state = |queued: usize| ServerState {
+            now: 1e-4,
+            current_freq: dvfs.min(),
+            target_freq: dvfs.min(),
+            in_service: Some(in_service),
+            queued: (0..queued)
+                .map(|i| rubik_sim::QueuedView {
+                    id: i as u64 + 1,
+                    arrival: 1e-4,
+                    oracle_compute_cycles: 5e5,
+                    oracle_membound_time: 0.0,
+                    class: 0,
+                })
+                .collect(),
+        };
+
+        let freq_of = |d: PolicyDecision| match d {
+            PolicyDecision::SetFrequency(f) => f,
+            PolicyDecision::Keep => panic!("expected a frequency"),
+        };
+        let short = freq_of(rubik.on_arrival(&mk_state(0)));
+        let long = freq_of(rubik.on_arrival(&mk_state(8)));
+        assert!(long > short, "queue of 8 chose {long}, empty queue chose {short}");
+    }
+
+    #[test]
+    fn feedback_relaxes_target_when_there_is_headroom() {
+        let profile = AppProfile::masstree();
+        let bound = 3.0 * profile.mean_service_time();
+        let sim_config = SimConfig::default();
+        let mut generator = WorkloadGenerator::new(profile, 7);
+        let trace = generator.steady_trace(0.3, 3000);
+        let mut rubik = RubikController::new(
+            RubikConfig::new(bound).with_profiling_window(1024),
+            sim_config.dvfs.clone(),
+        );
+        rubik.seed_profile(
+            trace
+                .requests()
+                .iter()
+                .take(256)
+                .map(|r| (r.compute_cycles, r.membound_time)),
+        );
+        let _ = Server::new(sim_config).run(&trace, &mut rubik);
+        // The conservative analytical model leaves headroom at 30% load, so
+        // the feedback loop should have relaxed the internal target.
+        assert!(rubik.internal_target() >= bound);
+        assert!(rubik.stats().table_rebuilds > 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! StaticOracle: the lowest static frequency that meets the tail bound.
+//!
+//! The paper's StaticOracle (Sec. 5.2) chooses, for a given request trace and
+//! load, the lowest single frequency whose 95th-percentile latency stays
+//! within the bound. It upper-bounds the savings of feedback controllers such
+//! as Pegasus, which must additionally guard-band. The oracle is "trained"
+//! on the exact trace it is evaluated on — that is what makes it an oracle.
+
+use rubik_sim::{DvfsConfig, Freq, Trace};
+
+use crate::replay::{replay, replay_tail};
+
+/// Finds static-oracle frequencies for traces.
+#[derive(Debug, Clone)]
+pub struct StaticOracle {
+    dvfs: DvfsConfig,
+    quantile: f64,
+}
+
+impl StaticOracle {
+    /// Creates an oracle over the given DVFS domain and tail quantile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantile is not in `(0, 1)`.
+    pub fn new(dvfs: DvfsConfig, quantile: f64) -> Self {
+        assert!(quantile > 0.0 && quantile < 1.0, "quantile must be in (0, 1)");
+        Self { dvfs, quantile }
+    }
+
+    /// The lowest frequency level whose tail latency on `trace` is within
+    /// `latency_bound`, or the maximum level if no level meets the bound
+    /// (matching the paper's behaviour at overload, where StaticOracle keeps
+    /// the tail as low as possible).
+    pub fn lowest_feasible_freq(&self, trace: &Trace, latency_bound: f64) -> Freq {
+        assert!(latency_bound > 0.0, "latency bound must be positive");
+        for level in self.dvfs.levels() {
+            if let Some(tail) = self.tail_at(trace, level) {
+                if tail <= latency_bound {
+                    return level;
+                }
+            } else {
+                // An empty trace meets any bound at the lowest level.
+                return level;
+            }
+        }
+        self.dvfs.max()
+    }
+
+    /// Tail latency of the trace when every request runs at `freq`.
+    pub fn tail_at(&self, trace: &Trace, freq: Freq) -> Option<f64> {
+        let records = replay(trace, &vec![freq; trace.len()]);
+        replay_tail(&records, self.quantile)
+    }
+
+    /// The quantile used for tail computations.
+    pub fn quantile(&self) -> f64 {
+        self.quantile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubik_sim::FixedFrequencyPolicy;
+    use rubik_workloads::{AppProfile, WorkloadGenerator};
+
+    fn oracle() -> StaticOracle {
+        StaticOracle::new(DvfsConfig::haswell_like(), 0.95)
+    }
+
+    fn trace(load: f64, n: usize, seed: u64) -> Trace {
+        let mut g = WorkloadGenerator::new(AppProfile::masstree(), seed);
+        g.steady_trace(load, n)
+    }
+
+    #[test]
+    fn chosen_frequency_meets_the_bound() {
+        let t = trace(0.4, 3000, 1);
+        let o = oracle();
+        let bound = o.tail_at(&t, Freq::from_mhz(2400)).unwrap() * 1.0;
+        let f = o.lowest_feasible_freq(&t, bound);
+        assert!(o.tail_at(&t, f).unwrap() <= bound);
+        assert!(f <= Freq::from_mhz(2400));
+    }
+
+    #[test]
+    fn chosen_frequency_is_the_lowest_feasible() {
+        let t = trace(0.4, 3000, 2);
+        let o = oracle();
+        let bound = o.tail_at(&t, Freq::from_mhz(2400)).unwrap();
+        let f = o.lowest_feasible_freq(&t, bound);
+        if f > DvfsConfig::haswell_like().min() {
+            let one_lower = Freq::from_mhz(f.mhz() - 200);
+            assert!(o.tail_at(&t, one_lower).unwrap() > bound);
+        }
+    }
+
+    #[test]
+    fn higher_load_needs_higher_static_frequency() {
+        let o = oracle();
+        // Define the bound from the 50%-load tail at nominal, as the paper does.
+        let t50 = trace(0.5, 4000, 3);
+        let bound = o.tail_at(&t50, Freq::from_mhz(2400)).unwrap();
+        let f30 = o.lowest_feasible_freq(&trace(0.3, 4000, 3), bound);
+        let f50 = o.lowest_feasible_freq(&t50, bound);
+        assert!(f30 <= f50, "f30 {f30} vs f50 {f50}");
+        assert!(f30 < Freq::from_mhz(2400));
+    }
+
+    #[test]
+    fn infeasible_bound_returns_max_frequency() {
+        let t = trace(0.6, 2000, 4);
+        let o = oracle();
+        assert_eq!(o.lowest_feasible_freq(&t, 1e-9), DvfsConfig::haswell_like().max());
+    }
+
+    #[test]
+    fn oracle_frequency_matches_event_simulation_tail() {
+        // The frequency chosen from replay should also meet the bound in the
+        // full event-driven simulator (which adds only V/F transition
+        // effects, absent at a fixed frequency).
+        use rubik_sim::{Server, SimConfig};
+        let t = trace(0.45, 2000, 5);
+        let o = oracle();
+        let bound = o.tail_at(&t, Freq::from_mhz(2400)).unwrap() * 1.1;
+        let f = o.lowest_feasible_freq(&t, bound);
+        let mut policy = FixedFrequencyPolicy::new(f);
+        let result = Server::new(SimConfig::default()).run(&t, &mut policy);
+        assert!(result.tail_latency(0.95).unwrap() <= bound * 1.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn rejects_bad_quantile() {
+        let _ = StaticOracle::new(DvfsConfig::haswell_like(), 0.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! Target tail tables.
+//!
+//! The core of Rubik's efficiency (paper Sec. 4.2, Fig. 5): instead of
+//! convolving service-demand distributions on every frequency decision, the
+//! controller periodically precomputes two small lookup tables — one for
+//! compute cycles and one for memory-bound time. Each row corresponds to a
+//! quantile band (octiles in the paper's implementation) of how much work the
+//! in-service request has already performed (ω), and each column to a queue
+//! position. Entry `(row, i)` is the target-quantile ("tail") amount of
+//! *remaining* work until the request at queue position `i` completes:
+//!
+//! * position 0 is the request in service, whose remaining-work distribution
+//!   is the service distribution conditioned on ω,
+//! * position `i > 0` adds `i` further independent draws of the service
+//!   distribution (a convolution per position),
+//! * for positions at or beyond the configurable cutoff (16 in the paper),
+//!   the distribution is replaced by its Gaussian (CLT) approximation, so
+//!   the tables stay small no matter how long the queue grows.
+
+use rubik_stats::{GaussianTail, Histogram};
+use serde::{Deserialize, Serialize};
+
+/// Queue depth at which the Gaussian approximation takes over
+/// ("We use this formulation for i ≥ 16", Sec. 4.2).
+pub const DEFAULT_GAUSSIAN_CUTOFF: usize = 16;
+
+/// Number of progress (ω) rows; the paper's implementation uses octiles.
+pub const DEFAULT_PROGRESS_ROWS: usize = 8;
+
+/// Mean memory-bound time below which the memory component is treated as
+/// absent (avoids charging a full histogram bucket of phantom memory time to
+/// compute-only workloads).
+const NEGLIGIBLE_MEM_TIME: f64 = 1e-9;
+
+/// One precomputed table (compute cycles or memory time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct TailTable {
+    /// `rows[row][pos]`: tail remaining work for queue position `pos` when
+    /// the in-service request's elapsed work falls in band `row`.
+    rows: Vec<Vec<f64>>,
+    /// Lower boundary of each elapsed-work band (ascending; first is 0).
+    boundaries: Vec<f64>,
+    /// Mean/variance of the conditioned in-service distribution, per row
+    /// (used by the Gaussian extension).
+    cond_mean: Vec<f64>,
+    cond_var: Vec<f64>,
+    /// Mean/variance of the unconditioned service distribution.
+    mean: f64,
+    var: f64,
+}
+
+impl TailTable {
+    fn build(hist: &Histogram, quantile: f64, rows: usize, cutoff: usize) -> Self {
+        let z = GaussianTail::new(quantile);
+        let mut table_rows = Vec::with_capacity(rows);
+        let mut boundaries = Vec::with_capacity(rows);
+        let mut cond_mean = Vec::with_capacity(rows);
+        let mut cond_var = Vec::with_capacity(rows);
+
+        // Trim negligible tail mass so repeated convolutions stay cheap.
+        let base = hist.trim_tail(1e-9);
+
+        for row in 0..rows {
+            let boundary = if row == 0 {
+                0.0
+            } else {
+                base.quantile(row as f64 / rows as f64)
+            };
+            boundaries.push(boundary);
+            let conditioned = base.conditional_on_elapsed(boundary);
+            cond_mean.push(conditioned.mean());
+            cond_var.push(conditioned.variance());
+
+            let mut row_vals = Vec::with_capacity(cutoff);
+            let mut cumulative = conditioned;
+            row_vals.push(cumulative.quantile(quantile));
+            for _ in 1..cutoff {
+                cumulative = cumulative.convolve(&base).trim_tail(1e-9);
+                row_vals.push(cumulative.quantile(quantile));
+            }
+            table_rows.push(row_vals);
+        }
+
+        let _ = z; // z is re-derived at lookup time from the stored quantile
+        Self {
+            rows: table_rows,
+            boundaries,
+            cond_mean,
+            cond_var,
+            mean: base.mean(),
+            var: base.variance(),
+        }
+    }
+
+    fn zero(rows: usize, cutoff: usize) -> Self {
+        Self {
+            rows: vec![vec![0.0; cutoff]; rows],
+            boundaries: vec![0.0; rows],
+            cond_mean: vec![0.0; rows],
+            cond_var: vec![0.0; rows],
+            mean: 0.0,
+            var: 0.0,
+        }
+    }
+
+    fn row_for(&self, elapsed: f64) -> usize {
+        // Largest row whose boundary is <= elapsed. Boundaries are ascending.
+        let mut row = 0;
+        for (i, &b) in self.boundaries.iter().enumerate() {
+            if elapsed >= b {
+                row = i;
+            } else {
+                break;
+            }
+        }
+        row
+    }
+
+    fn lookup(&self, elapsed: f64, pos: usize, tail: &GaussianTail) -> f64 {
+        let row = self.row_for(elapsed);
+        if pos < self.rows[row].len() {
+            self.rows[row][pos]
+        } else {
+            let mean = self.cond_mean[row] + pos as f64 * self.mean;
+            let var = self.cond_var[row] + pos as f64 * self.var;
+            tail.tail(mean, var)
+        }
+    }
+}
+
+/// The pair of precomputed tables Rubik consults on every decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetTailTables {
+    compute: TailTable,
+    memory: TailTable,
+    quantile: f64,
+    cutoff: usize,
+}
+
+impl TargetTailTables {
+    /// Builds the tables from the profiled compute-cycle and memory-time
+    /// histograms for the given tail quantile (e.g. 0.95), with the paper's
+    /// default table shape (8 progress rows, Gaussian beyond depth 16).
+    pub fn build(compute: &Histogram, memory: &Histogram, quantile: f64) -> Self {
+        Self::build_with(
+            compute,
+            memory,
+            quantile,
+            DEFAULT_PROGRESS_ROWS,
+            DEFAULT_GAUSSIAN_CUTOFF,
+        )
+    }
+
+    /// Builds the tables with explicit table dimensions (used by the
+    /// ablation benches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is not in `(0, 1)`, or `rows`/`cutoff` are zero.
+    pub fn build_with(
+        compute: &Histogram,
+        memory: &Histogram,
+        quantile: f64,
+        rows: usize,
+        cutoff: usize,
+    ) -> Self {
+        assert!(quantile > 0.0 && quantile < 1.0, "quantile must be in (0, 1)");
+        assert!(rows > 0 && cutoff > 0, "table dimensions must be positive");
+        let compute_table = TailTable::build(compute, quantile, rows, cutoff);
+        let memory_table = if memory.mean() < NEGLIGIBLE_MEM_TIME {
+            TailTable::zero(rows, cutoff)
+        } else {
+            TailTable::build(memory, quantile, rows, cutoff)
+        };
+        Self {
+            compute: compute_table,
+            memory: memory_table,
+            quantile,
+            cutoff,
+        }
+    }
+
+    /// The tail quantile the tables were built for.
+    pub fn quantile(&self) -> f64 {
+        self.quantile
+    }
+
+    /// The queue depth beyond which the Gaussian approximation is used.
+    pub fn gaussian_cutoff(&self) -> usize {
+        self.cutoff
+    }
+
+    /// Tail *remaining compute cycles* until the request at queue position
+    /// `pos` completes, given that the in-service request has already
+    /// executed `elapsed_compute_cycles`.
+    pub fn tail_compute_cycles(&self, elapsed_compute_cycles: f64, pos: usize) -> f64 {
+        let z = GaussianTail::new(self.quantile);
+        self.compute.lookup(elapsed_compute_cycles, pos, &z)
+    }
+
+    /// Tail *remaining memory-bound time* until the request at queue position
+    /// `pos` completes, given the in-service request's elapsed memory time.
+    pub fn tail_membound_time(&self, elapsed_membound_time: f64, pos: usize) -> f64 {
+        let z = GaussianTail::new(self.quantile);
+        self.memory.lookup(elapsed_membound_time, pos, &z)
+    }
+
+    /// Convenience: both tails at once.
+    pub fn tails(&self, elapsed_compute: f64, elapsed_mem: f64, pos: usize) -> (f64, f64) {
+        (
+            self.tail_compute_cycles(elapsed_compute, pos),
+            self.tail_membound_time(elapsed_mem, pos),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubik_stats::DeterministicRng;
+
+    fn lognormal_hist(mean: f64, cov: f64, n: usize, seed: u64) -> Histogram {
+        let mut rng = DeterministicRng::new(seed);
+        let samples: Vec<f64> = (0..n).map(|_| rng.lognormal(mean, cov)).collect();
+        Histogram::from_samples(&samples, 128)
+    }
+
+    fn zero_hist() -> Histogram {
+        Histogram::from_samples(&[0.0, 0.0, 0.0], 4)
+    }
+
+    #[test]
+    fn deeper_queue_positions_have_larger_tails() {
+        let c = lognormal_hist(1e6, 0.3, 5000, 1);
+        let t = TargetTailTables::build(&c, &zero_hist(), 0.95);
+        let mut prev = 0.0;
+        for pos in 0..32 {
+            let tail = t.tail_compute_cycles(0.0, pos);
+            assert!(tail > prev, "pos {pos}: {tail} <= {prev}");
+            prev = tail;
+        }
+    }
+
+    #[test]
+    fn tail_grows_roughly_linearly_with_queue_depth() {
+        let c = lognormal_hist(1e6, 0.3, 5000, 2);
+        let t = TargetTailTables::build(&c, &zero_hist(), 0.95);
+        let t1 = t.tail_compute_cycles(0.0, 1);
+        let t9 = t.tail_compute_cycles(0.0, 9);
+        // Tail at depth 9 should be close to (but less than) 5x the tail at
+        // depth 1: independent work averages out, so the tail grows slower
+        // than proportionally (the effect Rubik exploits, Sec. 4.1).
+        assert!(t9 < 5.2 * t1, "t9 = {t9}, t1 = {t1}");
+        assert!(t9 > 3.0 * t1);
+    }
+
+    #[test]
+    fn per_position_tail_shrinks_relative_to_naive_sum() {
+        // The tail of a sum is less than the sum of tails (the queue's
+        // completion time concentrates). This is why the last queued request
+        // rarely sets the frequency.
+        let c = lognormal_hist(1e6, 0.5, 5000, 3);
+        let t = TargetTailTables::build(&c, &zero_hist(), 0.95);
+        let single = t.tail_compute_cycles(0.0, 0);
+        let ten = t.tail_compute_cycles(0.0, 9);
+        assert!(ten < 10.0 * single);
+    }
+
+    #[test]
+    fn more_elapsed_work_reduces_the_remaining_tail_for_clustered_work() {
+        let c = lognormal_hist(1e6, 0.2, 5000, 4);
+        let t = TargetTailTables::build(&c, &zero_hist(), 0.95);
+        let fresh = t.tail_compute_cycles(0.0, 0);
+        let after_median = t.tail_compute_cycles(1e6, 0);
+        assert!(after_median < fresh, "{after_median} vs {fresh}");
+    }
+
+    #[test]
+    fn gaussian_extension_is_continuous_at_the_cutoff() {
+        let c = lognormal_hist(1e6, 0.3, 5000, 5);
+        let t = TargetTailTables::build(&c, &zero_hist(), 0.95);
+        let last_explicit = t.tail_compute_cycles(0.0, DEFAULT_GAUSSIAN_CUTOFF - 1);
+        let first_gaussian = t.tail_compute_cycles(0.0, DEFAULT_GAUSSIAN_CUTOFF);
+        let ratio = first_gaussian / last_explicit;
+        // The approximation should hand over smoothly: one extra request's
+        // worth of work, not a jump.
+        assert!(ratio > 1.0 && ratio < 1.2, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn zero_memory_distribution_contributes_nothing() {
+        let c = lognormal_hist(1e6, 0.3, 2000, 6);
+        let t = TargetTailTables::build(&c, &zero_hist(), 0.95);
+        for pos in 0..20 {
+            assert_eq!(t.tail_membound_time(0.0, pos), 0.0);
+        }
+    }
+
+    #[test]
+    fn memory_table_tracks_memory_distribution() {
+        let c = lognormal_hist(1e6, 0.3, 2000, 7);
+        let m = lognormal_hist(100e-6, 0.3, 2000, 8);
+        let t = TargetTailTables::build(&c, &m, 0.95);
+        let m0 = t.tail_membound_time(0.0, 0);
+        assert!(m0 > 100e-6 && m0 < 300e-6, "m0 = {m0}");
+        assert!(t.tail_membound_time(0.0, 3) > 3.0 * 100e-6);
+    }
+
+    #[test]
+    fn higher_quantile_produces_larger_tails() {
+        let c = lognormal_hist(1e6, 0.5, 3000, 9);
+        let t95 = TargetTailTables::build(&c, &zero_hist(), 0.95);
+        let t99 = TargetTailTables::build(&c, &zero_hist(), 0.99);
+        assert!(t99.tail_compute_cycles(0.0, 0) > t95.tail_compute_cycles(0.0, 0));
+        assert!(t99.tail_compute_cycles(0.0, 5) > t95.tail_compute_cycles(0.0, 5));
+    }
+
+    #[test]
+    fn custom_dimensions_are_respected() {
+        let c = lognormal_hist(1e6, 0.3, 1000, 10);
+        let t = TargetTailTables::build_with(&c, &zero_hist(), 0.95, 4, 8);
+        assert_eq!(t.gaussian_cutoff(), 8);
+        // Depth 8 and beyond uses the Gaussian extension and still grows.
+        assert!(t.tail_compute_cycles(0.0, 8) > t.tail_compute_cycles(0.0, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn rejects_invalid_quantile() {
+        let c = lognormal_hist(1e6, 0.3, 100, 11);
+        let _ = TargetTailTables::build(&c, &zero_hist(), 1.0);
+    }
+}

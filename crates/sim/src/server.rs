@@ -1,0 +1,590 @@
+//! The event-driven single-core server simulator.
+//!
+//! One core serves a FIFO queue of requests from a [`Trace`]. A request with
+//! compute demand `C` cycles and memory-bound time `M` seconds, served
+//! uninterrupted at frequency `f`, takes `C/f + M` seconds. Compute and
+//! memory progress are interleaved proportionally, so frequency changes in
+//! the middle of a request take effect smoothly and the controller can
+//! observe how many compute cycles (ω) the running request has already
+//! executed.
+//!
+//! The simulator invokes the [`DvfsPolicy`] on every arrival, every
+//! completion, and on a periodic tick; requested frequency changes take
+//! effect after the configured V/F transition latency, during which the core
+//! keeps running at the old frequency (paper Sec. 2.1 / Table 2).
+
+use crate::config::{IdleMode, SimConfig};
+use crate::freq::Freq;
+use crate::policy::{DvfsPolicy, InServiceView, PolicyDecision, QueuedView, ServerState};
+use crate::request::{RequestRecord, RequestSpec, Trace};
+use crate::result::{CoreActivity, RunResult, Segment};
+use std::collections::VecDeque;
+
+/// Tolerance used to batch events that occur at "the same" instant.
+const TIME_EPS: f64 = 1e-12;
+
+/// The single-core server simulator.
+///
+/// `Server` is stateless across runs: [`Server::run`] consumes a trace and a
+/// policy and produces a [`RunResult`]. This makes it cheap to sweep loads,
+/// policies, and seeds from the benchmark harness.
+#[derive(Debug, Clone, Default)]
+pub struct Server {
+    config: SimConfig,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    idx: usize,
+    start: f64,
+    /// Fraction of the request's work completed, in `[0, 1]`.
+    progress: f64,
+    /// Remaining core wake-up time before progress accrues (deep sleep only).
+    wakeup_remaining: f64,
+    queue_len_at_arrival: usize,
+}
+
+struct SimState<'a> {
+    trace: &'a [RequestSpec],
+    now: f64,
+    queue: VecDeque<(usize, usize)>, // (trace index, queue length at arrival)
+    running: Option<Running>,
+    current_freq: Freq,
+    target_freq: Freq,
+    pending_transition: Option<(Freq, f64)>,
+    next_arrival: usize,
+    next_tick: f64,
+    asleep: bool,
+    records: Vec<RequestRecord>,
+    segments: Vec<Segment>,
+}
+
+impl Server {
+    /// Creates a server with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Self { config }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs the trace under the given policy and returns the per-request
+    /// records and the frequency/activity timeline.
+    pub fn run(&self, trace: &Trace, policy: &mut dyn DvfsPolicy) -> RunResult {
+        let start_freq = policy
+            .idle_frequency()
+            .unwrap_or_else(|| self.config.dvfs.nominal());
+        let mut st = SimState {
+            trace: trace.requests(),
+            now: 0.0,
+            queue: VecDeque::new(),
+            running: None,
+            current_freq: start_freq,
+            target_freq: start_freq,
+            pending_transition: None,
+            next_arrival: 0,
+            next_tick: self.config.tick_interval,
+            asleep: matches!(self.config.idle_mode, IdleMode::Sleep { .. }),
+            records: Vec::with_capacity(trace.len()),
+            segments: Vec::new(),
+        };
+
+        loop {
+            let next_time = match self.next_event_time(&st) {
+                Some(t) => t,
+                None => break,
+            };
+            self.advance_to(&mut st, next_time);
+            self.handle_events(&mut st, policy);
+        }
+
+        let end = st.now;
+        RunResult::new(st.records, st.segments, end)
+    }
+
+    fn service_time(&self, spec: &RequestSpec, freq: Freq) -> f64 {
+        spec.service_time_at(freq)
+    }
+
+    fn completion_time(&self, st: &SimState<'_>) -> Option<f64> {
+        let r = st.running.as_ref()?;
+        let spec = &st.trace[r.idx];
+        let total = self.service_time(spec, st.current_freq);
+        let remaining = (1.0 - r.progress).max(0.0) * total + r.wakeup_remaining;
+        Some(st.now + remaining)
+    }
+
+    fn next_event_time(&self, st: &SimState<'_>) -> Option<f64> {
+        let mut next: Option<f64> = None;
+        let mut consider = |t: Option<f64>| {
+            if let Some(t) = t {
+                next = Some(match next {
+                    Some(n) => n.min(t),
+                    None => t,
+                });
+            }
+        };
+
+        consider(st.trace.get(st.next_arrival).map(|r| r.arrival.max(st.now)));
+        consider(self.completion_time(st));
+        consider(st.pending_transition.map(|(_, t)| t));
+
+        // Ticks only matter while there is or will be work; without this the
+        // loop would tick forever after the last completion.
+        let more_work =
+            st.next_arrival < st.trace.len() || st.running.is_some() || !st.queue.is_empty();
+        if more_work {
+            consider(Some(st.next_tick.max(st.now)));
+        }
+        next
+    }
+
+    fn advance_to(&self, st: &mut SimState<'_>, t: f64) {
+        let t = t.max(st.now);
+        if t > st.now + TIME_EPS {
+            let activity = if st.running.is_some() {
+                CoreActivity::Busy
+            } else if st.asleep {
+                CoreActivity::Sleep
+            } else {
+                CoreActivity::Idle
+            };
+            push_segment(&mut st.segments, st.now, t, st.current_freq, activity);
+
+            if let Some(r) = st.running.as_mut() {
+                let mut dt = t - st.now;
+                if r.wakeup_remaining > 0.0 {
+                    let consumed = r.wakeup_remaining.min(dt);
+                    r.wakeup_remaining -= consumed;
+                    dt -= consumed;
+                }
+                if dt > 0.0 {
+                    let spec = &st.trace[r.idx];
+                    let total = self.service_time(spec, st.current_freq);
+                    if total > 0.0 {
+                        r.progress = (r.progress + dt / total).min(1.0);
+                    } else {
+                        r.progress = 1.0;
+                    }
+                }
+            }
+        }
+        st.now = t;
+    }
+
+    fn handle_events(&self, st: &mut SimState<'_>, policy: &mut dyn DvfsPolicy) {
+        // 1. Apply a V/F transition that has become effective.
+        if let Some((f, t)) = st.pending_transition {
+            if t <= st.now + TIME_EPS {
+                st.current_freq = f;
+                st.pending_transition = None;
+            }
+        }
+
+        // 2. Completion of the running request.
+        if let Some(t) = self.completion_time(st) {
+            if t <= st.now + TIME_EPS {
+                self.complete_running(st, policy);
+            }
+        }
+
+        // 3. Arrivals.
+        while st
+            .trace
+            .get(st.next_arrival)
+            .is_some_and(|r| r.arrival <= st.now + TIME_EPS)
+        {
+            self.handle_arrival(st, policy);
+        }
+
+        // 4. Periodic tick.
+        if st.next_tick <= st.now + TIME_EPS {
+            st.next_tick += self.config.tick_interval;
+            let state = self.snapshot(st);
+            let decision = policy.on_tick(&state);
+            self.apply_decision(st, decision);
+        }
+    }
+
+    fn complete_running(&self, st: &mut SimState<'_>, policy: &mut dyn DvfsPolicy) {
+        let running = st.running.take().expect("completion without a running request");
+        let spec = st.trace[running.idx];
+        let record = RequestRecord {
+            id: spec.id,
+            arrival: spec.arrival,
+            start: running.start,
+            completion: st.now,
+            compute_cycles: spec.compute_cycles,
+            membound_time: spec.membound_time,
+            queue_len_at_arrival: running.queue_len_at_arrival,
+            class: spec.class,
+        };
+        st.records.push(record);
+
+        // Start the next queued request, if any.
+        if let Some((idx, qlen)) = st.queue.pop_front() {
+            st.running = Some(Running {
+                idx,
+                start: st.now,
+                progress: 0.0,
+                wakeup_remaining: 0.0,
+                queue_len_at_arrival: qlen,
+            });
+        } else if matches!(self.config.idle_mode, IdleMode::Sleep { .. }) {
+            st.asleep = true;
+        }
+
+        let state = self.snapshot(st);
+        let decision = policy.on_completion(&state, &record);
+        self.apply_decision(st, decision);
+    }
+
+    fn handle_arrival(&self, st: &mut SimState<'_>, policy: &mut dyn DvfsPolicy) {
+        let idx = st.next_arrival;
+        st.next_arrival += 1;
+        let pending_before = st.queue.len() + usize::from(st.running.is_some());
+
+        if st.running.is_none() {
+            let wakeup = match (st.asleep, self.config.idle_mode) {
+                (true, IdleMode::Sleep { wakeup_latency }) => wakeup_latency,
+                _ => 0.0,
+            };
+            st.asleep = false;
+            st.running = Some(Running {
+                idx,
+                start: st.now,
+                progress: 0.0,
+                wakeup_remaining: wakeup,
+                queue_len_at_arrival: pending_before,
+            });
+        } else {
+            st.queue.push_back((idx, pending_before));
+        }
+
+        let state = self.snapshot(st);
+        let decision = policy.on_arrival(&state);
+        self.apply_decision(st, decision);
+    }
+
+    fn apply_decision(&self, st: &mut SimState<'_>, decision: PolicyDecision) {
+        let f = match decision {
+            PolicyDecision::Keep => return,
+            PolicyDecision::SetFrequency(f) => f,
+        };
+        assert!(
+            self.config.dvfs.is_level(f),
+            "policy requested {f}, which is not an available DVFS level"
+        );
+        if f == st.target_freq {
+            return;
+        }
+        st.target_freq = f;
+        let latency = self.config.dvfs.transition_latency();
+        if latency <= 0.0 {
+            st.current_freq = f;
+            st.pending_transition = None;
+        } else {
+            st.pending_transition = Some((f, st.now + latency));
+        }
+    }
+
+    fn snapshot(&self, st: &SimState<'_>) -> ServerState {
+        let in_service = st.running.as_ref().map(|r| {
+            let spec = &st.trace[r.idx];
+            InServiceView {
+                id: spec.id,
+                arrival: spec.arrival,
+                elapsed_compute_cycles: r.progress * spec.compute_cycles,
+                elapsed_membound_time: r.progress * spec.membound_time,
+                oracle_compute_cycles: spec.compute_cycles,
+                oracle_membound_time: spec.membound_time,
+                class: spec.class,
+            }
+        });
+        let queued = st
+            .queue
+            .iter()
+            .map(|&(idx, _)| {
+                let spec = &st.trace[idx];
+                QueuedView {
+                    id: spec.id,
+                    arrival: spec.arrival,
+                    oracle_compute_cycles: spec.compute_cycles,
+                    oracle_membound_time: spec.membound_time,
+                    class: spec.class,
+                }
+            })
+            .collect();
+        ServerState {
+            now: st.now,
+            current_freq: st.current_freq,
+            target_freq: st.target_freq,
+            in_service,
+            queued,
+        }
+    }
+}
+
+fn push_segment(segments: &mut Vec<Segment>, start: f64, end: f64, freq: Freq, activity: CoreActivity) {
+    if end <= start {
+        return;
+    }
+    if let Some(last) = segments.last_mut() {
+        if last.freq == freq && last.activity == activity && (last.end - start).abs() < TIME_EPS {
+            last.end = end;
+            return;
+        }
+    }
+    segments.push(Segment {
+        start,
+        end,
+        freq,
+        activity,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::DvfsConfig;
+    use crate::policy::FixedFrequencyPolicy;
+
+    fn cfg() -> SimConfig {
+        SimConfig::paper_simulated()
+    }
+
+    fn nominal() -> Freq {
+        cfg().dvfs.nominal()
+    }
+
+    #[test]
+    fn empty_trace_produces_empty_result() {
+        let server = Server::new(cfg());
+        let mut policy = FixedFrequencyPolicy::new(nominal());
+        let result = server.run(&Trace::default(), &mut policy);
+        assert!(result.records().is_empty());
+        assert!(result.segments().is_empty());
+    }
+
+    #[test]
+    fn single_request_latency_matches_service_time() {
+        // 2.4 M cycles at 2.4 GHz = 1 ms, plus 0.5 ms memory time.
+        let trace = Trace::new(vec![RequestSpec::new(0, 0.0, 2.4e6, 0.5e-3)]);
+        let server = Server::new(cfg());
+        let mut policy = FixedFrequencyPolicy::new(nominal());
+        let result = server.run(&trace, &mut policy);
+        assert_eq!(result.records().len(), 1);
+        assert!((result.records()[0].latency() - 1.5e-3).abs() < 1e-9);
+        assert!((result.records()[0].queueing_delay()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn back_to_back_requests_queue_fifo() {
+        // Both arrive at t=0; the second waits for the first.
+        let trace = Trace::new(vec![
+            RequestSpec::new(0, 0.0, 2.4e6, 0.0),
+            RequestSpec::new(1, 0.0, 2.4e6, 0.0),
+        ]);
+        let server = Server::new(cfg());
+        let mut policy = FixedFrequencyPolicy::new(nominal());
+        let result = server.run(&trace, &mut policy);
+        assert_eq!(result.records().len(), 2);
+        let r0 = &result.records()[0];
+        let r1 = &result.records()[1];
+        assert_eq!(r0.id, 0);
+        assert_eq!(r1.id, 1);
+        assert!((r0.latency() - 1e-3).abs() < 1e-9);
+        assert!((r1.latency() - 2e-3).abs() < 1e-9);
+        assert!((r1.queueing_delay() - 1e-3).abs() < 1e-9);
+        assert_eq!(r0.queue_len_at_arrival, 0);
+        assert_eq!(r1.queue_len_at_arrival, 1);
+    }
+
+    #[test]
+    fn idle_gaps_are_recorded_as_idle_segments() {
+        let trace = Trace::new(vec![
+            RequestSpec::new(0, 0.0, 2.4e6, 0.0),
+            RequestSpec::new(1, 0.01, 2.4e6, 0.0),
+        ]);
+        let server = Server::new(cfg());
+        let mut policy = FixedFrequencyPolicy::new(nominal());
+        let result = server.run(&trace, &mut policy);
+        let res = result.freq_residency();
+        assert!((res.busy_time() - 2e-3).abs() < 1e-9);
+        assert!((res.idle_time() - (0.01 - 1e-3)).abs() < 1e-9);
+        assert!(res.sleep < 1e-12);
+    }
+
+    #[test]
+    fn sleep_mode_records_sleep_and_delays_wakeup() {
+        let config = cfg().with_idle_mode(IdleMode::Sleep { wakeup_latency: 100e-6 });
+        let trace = Trace::new(vec![
+            RequestSpec::new(0, 0.0, 2.4e6, 0.0),
+            RequestSpec::new(1, 0.01, 2.4e6, 0.0),
+        ]);
+        let server = Server::new(config);
+        let mut policy = FixedFrequencyPolicy::new(nominal());
+        let result = server.run(&trace, &mut policy);
+        // Second request pays the 100 µs wake-up.
+        assert!((result.records()[1].latency() - (1e-3 + 100e-6)).abs() < 1e-9);
+        let res = result.freq_residency();
+        assert!(res.sleep > 0.0);
+        assert!(res.idle_time() < 1e-12);
+    }
+
+    #[test]
+    fn lower_frequency_stretches_only_compute() {
+        let trace = Trace::new(vec![RequestSpec::new(0, 0.0, 2.4e6, 1e-3)]);
+        let server = Server::new(cfg());
+        let mut fast = FixedFrequencyPolicy::new(Freq::from_mhz(2400));
+        let mut slow = FixedFrequencyPolicy::new(Freq::from_mhz(1200));
+        let lat_fast = server.run(&trace, &mut fast).records()[0].latency();
+        let lat_slow = server.run(&trace, &mut slow).records()[0].latency();
+        assert!((lat_fast - 2e-3).abs() < 1e-9);
+        assert!((lat_slow - 3e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn frequency_transition_latency_delays_effect() {
+        // A policy that asks for max frequency on the first arrival. With a
+        // huge transition latency the request still completes at the starting
+        // frequency.
+        struct BoostOnArrival;
+        impl DvfsPolicy for BoostOnArrival {
+            fn name(&self) -> &str {
+                "boost"
+            }
+            fn on_arrival(&mut self, _state: &ServerState) -> PolicyDecision {
+                PolicyDecision::SetFrequency(Freq::from_mhz(3400))
+            }
+            fn on_completion(&mut self, _s: &ServerState, _r: &RequestRecord) -> PolicyDecision {
+                PolicyDecision::Keep
+            }
+            fn idle_frequency(&self) -> Option<Freq> {
+                Some(Freq::from_mhz(800))
+            }
+        }
+
+        let trace = Trace::new(vec![RequestSpec::new(0, 0.0, 0.8e6, 0.0)]); // 1 ms at 0.8 GHz
+        let slow_transition = SimConfig::default().with_dvfs(
+            DvfsConfig::haswell_like().with_transition_latency(10.0),
+        );
+        let server = Server::new(slow_transition);
+        let lat = server.run(&trace, &mut BoostOnArrival).records()[0].latency();
+        assert!((lat - 1e-3).abs() < 1e-9);
+
+        // With an instantaneous transition the request runs at 3.4 GHz.
+        let fast_transition = SimConfig::default()
+            .with_dvfs(DvfsConfig::haswell_like().with_transition_latency(0.0));
+        let server = Server::new(fast_transition);
+        let lat = server.run(&trace, &mut BoostOnArrival).records()[0].latency();
+        assert!((lat - 0.8e6 / 3.4e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mid_request_frequency_change_blends_progress() {
+        // Request needs 2.4e6 cycles. It starts at 0.8 GHz; after 1 ms a
+        // second (zero-work) arrival triggers a boost to 2.4 GHz (instant
+        // transitions). In the first 1 ms it completes 0.8e6 cycles; the
+        // remaining 1.6e6 cycles take 1/1.5 ms at 2.4 GHz.
+        struct BoostOnSecondArrival {
+            seen: usize,
+        }
+        impl DvfsPolicy for BoostOnSecondArrival {
+            fn name(&self) -> &str {
+                "boost-second"
+            }
+            fn on_arrival(&mut self, _state: &ServerState) -> PolicyDecision {
+                self.seen += 1;
+                if self.seen == 2 {
+                    PolicyDecision::SetFrequency(Freq::from_mhz(2400))
+                } else {
+                    PolicyDecision::Keep
+                }
+            }
+            fn on_completion(&mut self, _s: &ServerState, _r: &RequestRecord) -> PolicyDecision {
+                PolicyDecision::Keep
+            }
+            fn idle_frequency(&self) -> Option<Freq> {
+                Some(Freq::from_mhz(800))
+            }
+        }
+
+        let trace = Trace::new(vec![
+            RequestSpec::new(0, 0.0, 2.4e6, 0.0),
+            RequestSpec::new(1, 1e-3, 0.0, 0.0),
+        ]);
+        let config = SimConfig::default()
+            .with_dvfs(DvfsConfig::haswell_like().with_transition_latency(0.0));
+        let server = Server::new(config);
+        let result = server.run(&trace, &mut BoostOnSecondArrival { seen: 0 });
+        let r0 = result.records().iter().find(|r| r.id == 0).unwrap();
+        let expected = 1e-3 + 1.6e6 / 2.4e9;
+        assert!(
+            (r0.latency() - expected).abs() < 1e-8,
+            "latency {} vs expected {}",
+            r0.latency(),
+            expected
+        );
+    }
+
+    #[test]
+    fn segments_cover_the_run_without_gaps() {
+        let trace = Trace::new(vec![
+            RequestSpec::new(0, 0.0, 2.4e6, 0.0),
+            RequestSpec::new(1, 0.003, 2.4e6, 0.0),
+            RequestSpec::new(2, 0.004, 2.4e6, 0.0),
+        ]);
+        let server = Server::new(cfg());
+        let mut policy = FixedFrequencyPolicy::new(nominal());
+        let result = server.run(&trace, &mut policy);
+        let segs = result.segments();
+        assert!(!segs.is_empty());
+        assert!(segs[0].start.abs() < 1e-12);
+        for w in segs.windows(2) {
+            assert!((w[1].start - w[0].end).abs() < 1e-9, "gap in timeline");
+        }
+        assert!((segs.last().unwrap().end - result.end_time()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_requests_complete_and_ids_are_unique() {
+        let trace: Trace = (0..200)
+            .map(|i| RequestSpec::new(i, i as f64 * 2e-4, 1.0e6, 1e-5))
+            .collect();
+        let server = Server::new(cfg());
+        let mut policy = FixedFrequencyPolicy::new(nominal());
+        let result = server.run(&trace, &mut policy);
+        assert_eq!(result.records().len(), 200);
+        let mut ids: Vec<u64> = result.records().iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 200);
+        for r in result.records() {
+            assert!(r.completion >= r.start);
+            assert!(r.start >= r.arrival);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not an available DVFS level")]
+    fn policy_cannot_request_invalid_level() {
+        struct BadPolicy;
+        impl DvfsPolicy for BadPolicy {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn on_arrival(&mut self, _state: &ServerState) -> PolicyDecision {
+                PolicyDecision::SetFrequency(Freq::from_mhz(2500))
+            }
+            fn on_completion(&mut self, _s: &ServerState, _r: &RequestRecord) -> PolicyDecision {
+                PolicyDecision::Keep
+            }
+        }
+        let trace = Trace::new(vec![RequestSpec::new(0, 0.0, 1e6, 0.0)]);
+        let server = Server::new(cfg());
+        let _ = server.run(&trace, &mut BadPolicy);
+    }
+}

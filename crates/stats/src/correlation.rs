@@ -1,0 +1,93 @@
+//! Pearson correlation.
+//!
+//! Table 1 of the paper reports the Pearson correlation coefficients of
+//! end-to-end response latency with per-request service time, instantaneous
+//! QPS, and queue length. The `table1_correlations` bench binary regenerates
+//! that table with this function.
+
+/// Pearson correlation coefficient between two equal-length sample vectors.
+///
+/// Returns `None` when the inputs are shorter than two samples, have
+/// different lengths, or either series has zero variance (the coefficient is
+/// undefined in those cases).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mean_x = x.iter().sum::<f64>() / n;
+    let mean_y = y.iter().sum::<f64>() / n;
+
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mean_x;
+        let dy = b - mean_y;
+        cov += dx * dy;
+        var_x += dx * dx;
+        var_y += dy * dy;
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return None;
+    }
+    Some(cov / (var_x.sqrt() * var_y.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_is_undefined() {
+        let x = [1.0, 1.0, 1.0];
+        let y = [1.0, 2.0, 3.0];
+        assert!(pearson(&x, &y).is_none());
+    }
+
+    #[test]
+    fn mismatched_lengths_are_undefined() {
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn uncorrelated_series_is_near_zero() {
+        // x alternates, y is a slow ramp with a pattern orthogonal to x.
+        let x: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..1000).map(|i| (i / 2) as f64).collect();
+        let r = pearson(&x, &y).unwrap();
+        assert!(r.abs() < 0.05, "r = {r}");
+    }
+
+    #[test]
+    fn correlation_is_symmetric() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let y = [2.0, 4.0, 4.0, 9.0, 1.0];
+        let a = pearson(&x, &y).unwrap();
+        let b = pearson(&y, &x).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        let x = [0.3, 1.8, 2.2, 0.9, 4.4, 3.1];
+        let y = [1.1, 0.2, 3.3, 2.4, 0.5, 2.6];
+        let r = pearson(&x, &y).unwrap();
+        assert!((-1.0..=1.0).contains(&r));
+    }
+}

@@ -1,0 +1,257 @@
+//! Radix-2 complex FFT and FFT-accelerated convolution.
+//!
+//! The paper (Sec. 4.2, "Cost") uses FFTs to accelerate the convolutions that
+//! build the target tail tables; this module provides that primitive without
+//! any external dependency.
+
+use std::f64::consts::PI;
+
+/// A complex number represented as `(re, im)`.
+///
+/// A minimal internal representation; not exported as a general-purpose
+/// complex type.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    #[inline]
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        Self {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        Self {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+
+    #[inline]
+    fn sub(self, other: Self) -> Self {
+        Self {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+}
+
+/// Computes the in-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Iterative Cooley-Tukey butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * PI / len as f64;
+        let wlen = Complex::new(angle.cos(), angle.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            x.re *= inv_n;
+            x.im *= inv_n;
+        }
+    }
+}
+
+/// Direct O(n·m) convolution; used for small inputs and as a test oracle.
+pub fn convolve_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &x) in a.iter().enumerate() {
+        if x == 0.0 {
+            continue;
+        }
+        for (j, &y) in b.iter().enumerate() {
+            out[i + j] += x * y;
+        }
+    }
+    out
+}
+
+/// FFT-accelerated convolution of two real sequences.
+pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = out_len.next_power_of_two();
+
+    let mut fa: Vec<Complex> = a
+        .iter()
+        .map(|&x| Complex::new(x, 0.0))
+        .chain(std::iter::repeat(Complex::default()))
+        .take(n)
+        .collect();
+    let mut fb: Vec<Complex> = b
+        .iter()
+        .map(|&x| Complex::new(x, 0.0))
+        .chain(std::iter::repeat(Complex::default()))
+        .take(n)
+        .collect();
+
+    fft_in_place(&mut fa, false);
+    fft_in_place(&mut fb, false);
+    for i in 0..n {
+        fa[i] = fa[i].mul(fb[i]);
+    }
+    fft_in_place(&mut fa, true);
+
+    // Clamp tiny negative values produced by floating-point error: the
+    // convolution of non-negative PMFs must be non-negative.
+    fa.truncate(out_len);
+    fa.into_iter().map(|c| c.re.max(0.0)).collect()
+}
+
+/// Threshold (product of lengths) above which the FFT path is faster than the
+/// direct algorithm.
+const FFT_CROSSOVER: usize = 64 * 64;
+
+/// Convolves two real sequences, automatically choosing direct or FFT.
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.len().saturating_mul(b.len()) <= FFT_CROSSOVER {
+        convolve_direct(a, b)
+    } else {
+        convolve_fft(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn fft_roundtrip_recovers_input() {
+        let orig: Vec<Complex> = (0..16).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let mut data = orig.clone();
+        fft_in_place(&mut data, false);
+        fft_in_place(&mut data, true);
+        for (a, b) in data.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!(a.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft_in_place(&mut data, false);
+        for c in &data {
+            assert!((c.re - 1.0).abs() < 1e-12);
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn direct_convolution_known_answer() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [0.0, 1.0, 0.5];
+        let c = convolve_direct(&a, &b);
+        assert_close(&c, &[0.0, 1.0, 2.5, 4.0, 1.5], 1e-12);
+    }
+
+    #[test]
+    fn fft_matches_direct() {
+        let a: Vec<f64> = (0..100).map(|i| ((i * 37) % 11) as f64 / 10.0).collect();
+        let b: Vec<f64> = (0..73).map(|i| ((i * 13) % 7) as f64 / 6.0).collect();
+        let d = convolve_direct(&a, &b);
+        let f = convolve_fft(&a, &b);
+        assert_close(&d, &f, 1e-8);
+    }
+
+    #[test]
+    fn convolution_of_pmfs_sums_to_one() {
+        let a = vec![0.25; 4];
+        let b = vec![0.125; 8];
+        let c = convolve(&a, &b);
+        let total: f64 = c.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(convolve(&[1.0], &[]).is_empty());
+        assert!(convolve_fft(&[], &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::default(); 6];
+        fft_in_place(&mut data, false);
+    }
+
+    #[test]
+    fn fft_output_is_nonnegative_for_pmfs() {
+        // Even with floating point error, convolving PMFs must not produce
+        // negative mass.
+        let a = vec![1e-12; 200];
+        let b = vec![1e-12; 200];
+        for v in convolve_fft(&a, &b) {
+            assert!(v >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Gaussian (normal) tail approximations.
+//!
+//! For deep queues Rubik does not convolve explicitly: by Lyapunov's central
+//! limit theorem the completion distribution of the i-th queued request
+//! converges to a Gaussian with mean `E[S0] + i·E[S]` and variance
+//! `var[S0] + i·var[S]` (paper Sec. 4.2, "Large queues"). The controller
+//! precomputes the tail of a zero-centered Gaussian and adds the mean.
+
+/// Standard normal cumulative distribution function Φ(x).
+///
+/// Uses the complementary error function via the Abramowitz & Stegun 7.1.26
+/// polynomial approximation (absolute error < 1.5e-7), which is more than
+/// enough for picking DVFS frequencies.
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    // Φ(x) = 0.5 * erfc(-x / sqrt(2))
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+fn erfc(x: f64) -> f64 {
+    // A&S 7.1.26 on |x|, reflected for negative arguments.
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * z);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let e = poly * (-z * z).exp();
+    if x >= 0.0 {
+        e
+    } else {
+        2.0 - e
+    }
+}
+
+/// Quantile (inverse CDF) of the standard normal distribution.
+///
+/// Uses the Acklam rational approximation (relative error < 1.15e-9).
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+pub fn gaussian_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0, 1)");
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// Precomputed tail of a zero-centered Gaussian, used by Rubik for deep
+/// queues: `tail(i) = mean(i) + z_q · stddev(i)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianTail {
+    /// z-score of the target quantile (e.g. 1.645 for q = 0.95).
+    z: f64,
+}
+
+impl GaussianTail {
+    /// Creates a tail helper for quantile `q` (e.g. 0.95).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not strictly inside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        Self {
+            z: gaussian_quantile(q),
+        }
+    }
+
+    /// The z-score used.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// Tail value of a Gaussian with the given `mean` and `variance`, clamped
+    /// below at `mean` (a work distribution's tail is never below its mean
+    /// for the high quantiles Rubik uses).
+    pub fn tail(&self, mean: f64, variance: f64) -> f64 {
+        let std = variance.max(0.0).sqrt();
+        (mean + self.z * std).max(mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_at_zero_is_half() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((standard_normal_cdf(1.0) - 0.8413447).abs() < 1e-5);
+        assert!((standard_normal_cdf(-1.0) - 0.1586553).abs() < 1e-5);
+        assert!((standard_normal_cdf(1.6448536) - 0.95).abs() < 1e-5);
+        assert!((standard_normal_cdf(2.3263479) - 0.99).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert!((gaussian_quantile(0.5)).abs() < 1e-8);
+        assert!((gaussian_quantile(0.95) - 1.6448536).abs() < 1e-6);
+        assert!((gaussian_quantile(0.99) - 2.3263479).abs() < 1e-6);
+        assert!((gaussian_quantile(0.025) + 1.9599640).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantile_and_cdf_are_inverses() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = gaussian_quantile(p);
+            assert!((standard_normal_cdf(x) - p).abs() < 1e-5, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn tail_is_at_least_mean() {
+        let g = GaussianTail::new(0.95);
+        assert!(g.tail(10.0, 4.0) >= 10.0);
+        assert!(g.tail(10.0, 0.0) >= 10.0);
+        // 95th percentile of N(10, 4): 10 + 1.645*2 ≈ 13.29
+        assert!((g.tail(10.0, 4.0) - 13.2897).abs() < 1e-3);
+    }
+
+    #[test]
+    fn higher_quantile_gives_larger_tail() {
+        let lo = GaussianTail::new(0.9);
+        let hi = GaussianTail::new(0.99);
+        assert!(hi.tail(5.0, 1.0) > lo.tail(5.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1)")]
+    fn quantile_rejects_out_of_range() {
+        let _ = gaussian_quantile(1.0);
+    }
+}

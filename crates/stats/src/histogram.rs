@@ -1,0 +1,445 @@
+//! Fixed-bucket discrete probability distributions.
+//!
+//! Rubik represents per-request service demand as 128-bucket histograms
+//! (paper Sec. 4.2, "Cost"). The controller needs to:
+//!
+//! * build the histogram from online samples,
+//! * condition it on work already performed (`P[S = c + ω | S > ω]`),
+//! * convolve it with itself repeatedly to model queued requests,
+//! * extract tail quantiles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::fft;
+
+/// A discrete probability distribution over a non-negative quantity
+/// (cycles, seconds, ...), represented as equal-width buckets.
+///
+/// Bucket `i` covers the half-open interval
+/// `[i * bucket_width, (i + 1) * bucket_width)`, and the value reported for a
+/// bucket is its upper edge (a conservative choice: quantiles never
+/// under-estimate the quantity, which is the safe direction for a controller
+/// that must meet a latency bound).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    bucket_width: f64,
+    /// Probability mass per bucket. Always sums to 1 (within fp error) for a
+    /// non-empty histogram.
+    pmf: Vec<f64>,
+}
+
+impl Histogram {
+    /// Builds a histogram from raw samples using `buckets` equal-width
+    /// buckets spanning `[0, max_sample]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets == 0` or if `samples` is empty or contains a
+    /// negative or non-finite value.
+    pub fn from_samples(samples: &[f64], buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram must have at least one bucket");
+        assert!(!samples.is_empty(), "cannot build a histogram from no samples");
+        let mut max = 0.0f64;
+        for &s in samples {
+            assert!(s.is_finite() && s >= 0.0, "samples must be finite and non-negative");
+            if s > max {
+                max = s;
+            }
+        }
+        // Degenerate case: all samples are zero. Use a vanishingly small
+        // bucket width so the distribution's mean and quantiles are ~0 (a
+        // width of 1.0 would invent a full unit of phantom work).
+        let bucket_width = if max > 0.0 { max / buckets as f64 } else { 1e-30 };
+        let mut pmf = vec![0.0; buckets];
+        let w = 1.0 / samples.len() as f64;
+        for &s in samples {
+            let idx = ((s / bucket_width) as usize).min(buckets - 1);
+            pmf[idx] += w;
+        }
+        Self { bucket_width, pmf }
+    }
+
+    /// Creates a histogram directly from a probability mass function.
+    ///
+    /// The PMF is normalized to sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width <= 0`, `pmf` is empty, contains negative mass,
+    /// or sums to zero.
+    pub fn from_pmf(pmf: Vec<f64>, bucket_width: f64) -> Self {
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        assert!(!pmf.is_empty(), "pmf must be non-empty");
+        let mut total = 0.0;
+        for &p in &pmf {
+            assert!(p >= 0.0 && p.is_finite(), "pmf entries must be non-negative");
+            total += p;
+        }
+        assert!(total > 0.0, "pmf must have positive total mass");
+        let pmf = pmf.into_iter().map(|p| p / total).collect();
+        Self { bucket_width, pmf }
+    }
+
+    /// A distribution that is zero with probability one.
+    pub fn zero() -> Self {
+        Self {
+            bucket_width: 1.0,
+            pmf: vec![1.0],
+        }
+    }
+
+    /// The width of each bucket, in the histogram's unit.
+    pub fn bucket_width(&self) -> f64 {
+        self.bucket_width
+    }
+
+    /// Number of buckets.
+    pub fn len(&self) -> usize {
+        self.pmf.len()
+    }
+
+    /// Whether the histogram has no buckets (never true for constructed
+    /// histograms; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.pmf.is_empty()
+    }
+
+    /// The probability mass function.
+    pub fn pmf(&self) -> &[f64] {
+        &self.pmf
+    }
+
+    /// The representative value (upper edge) of bucket `i`.
+    #[inline]
+    pub fn bucket_value(&self, i: usize) -> f64 {
+        (i + 1) as f64 * self.bucket_width
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * self.bucket_value(i))
+            .sum()
+    }
+
+    /// Variance of the distribution.
+    pub fn variance(&self) -> f64 {
+        let mean = self.mean();
+        self.pmf
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let v = self.bucket_value(i);
+                p * (v - mean) * (v - mean)
+            })
+            .sum()
+    }
+
+    /// The `q`-quantile (e.g. `q = 0.95` for the 95th percentile), reported
+    /// conservatively as the upper edge of the bucket where the CDF crosses
+    /// `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut cum = 0.0;
+        for (i, &p) in self.pmf.iter().enumerate() {
+            cum += p;
+            if cum >= q - 1e-12 {
+                return self.bucket_value(i);
+            }
+        }
+        self.bucket_value(self.pmf.len() - 1)
+    }
+
+    /// Cumulative probability `P[X <= x]`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        let idx = (x / self.bucket_width).floor() as usize;
+        if idx >= self.pmf.len() {
+            return 1.0;
+        }
+        self.pmf[..=idx].iter().sum::<f64>().min(1.0)
+    }
+
+    /// Distribution of the *remaining* quantity given that `elapsed` has
+    /// already been consumed without the event occurring:
+    /// `P[S_rem = c] = P[S = c + elapsed | S > elapsed]`.
+    ///
+    /// This is how Rubik conditions the service-cycle distribution of the
+    /// request currently in service on the ω cycles it has already executed
+    /// (paper Sec. 4.1).
+    ///
+    /// If `elapsed` exceeds the histogram's support, the request has outlived
+    /// every observed sample; the conservative choice is to return a
+    /// one-bucket distribution at one bucket width (it will complete "soon",
+    /// but not instantaneously).
+    pub fn conditional_on_elapsed(&self, elapsed: f64) -> Histogram {
+        assert!(elapsed >= 0.0, "elapsed must be non-negative");
+        let shift = (elapsed / self.bucket_width).floor() as usize;
+        if shift >= self.pmf.len() {
+            return Histogram {
+                bucket_width: self.bucket_width,
+                pmf: vec![1.0],
+            };
+        }
+        let tail_mass: f64 = self.pmf[shift..].iter().sum();
+        if tail_mass <= 0.0 {
+            return Histogram {
+                bucket_width: self.bucket_width,
+                pmf: vec![1.0],
+            };
+        }
+        let pmf: Vec<f64> = self.pmf[shift..].iter().map(|&p| p / tail_mass).collect();
+        Histogram {
+            bucket_width: self.bucket_width,
+            pmf,
+        }
+    }
+
+    /// Convolution of two distributions: the distribution of the sum of two
+    /// independent draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket widths differ by more than 1 part in 10⁶: summing
+    /// distributions only makes sense on a common grid. Use
+    /// [`Histogram::rebucket`] first.
+    pub fn convolve(&self, other: &Histogram) -> Histogram {
+        let rel = (self.bucket_width - other.bucket_width).abs()
+            / self.bucket_width.max(other.bucket_width);
+        assert!(
+            rel < 1e-6,
+            "cannot convolve histograms with different bucket widths ({} vs {})",
+            self.bucket_width,
+            other.bucket_width
+        );
+        // Representative values are upper edges ((i+1)·w), so the sum of the
+        // representatives of buckets i and j is (i+j+2)·w, which is bucket
+        // index i+j+1 in the result. Prepending one empty bucket keeps the
+        // convolution exact on representatives: means and variances add.
+        let mut pmf = Vec::with_capacity(self.pmf.len() + other.pmf.len());
+        pmf.push(0.0);
+        pmf.extend(fft::convolve(&self.pmf, &other.pmf));
+        Histogram {
+            bucket_width: self.bucket_width,
+            pmf,
+        }
+    }
+
+    /// Re-expresses the distribution on a grid with `buckets` buckets and the
+    /// given `bucket_width`, merging and/or truncating mass as needed. Mass
+    /// beyond the new support is accumulated in the last bucket so that
+    /// quantiles remain conservative.
+    pub fn rebucket(&self, bucket_width: f64, buckets: usize) -> Histogram {
+        assert!(bucket_width > 0.0 && buckets > 0);
+        let mut pmf = vec![0.0; buckets];
+        for (i, &p) in self.pmf.iter().enumerate() {
+            let v = self.bucket_value(i);
+            let idx = ((v / bucket_width).ceil() as usize).saturating_sub(1).min(buckets - 1);
+            pmf[idx] += p;
+        }
+        Histogram { bucket_width, pmf }
+    }
+
+    /// Scales the quantity axis by `factor` (e.g. converting cycles at one
+    /// frequency into seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor <= 0`.
+    pub fn scale(&self, factor: f64) -> Histogram {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Histogram {
+            bucket_width: self.bucket_width * factor,
+            pmf: self.pmf.clone(),
+        }
+    }
+
+    /// Truncates trailing buckets holding less than `epsilon` total mass,
+    /// renormalizing. Keeps convolution costs bounded.
+    pub fn trim_tail(&self, epsilon: f64) -> Histogram {
+        let mut cum = 0.0;
+        let mut cut = self.pmf.len();
+        for (i, &p) in self.pmf.iter().enumerate().rev() {
+            cum += p;
+            if cum > epsilon {
+                cut = i + 1;
+                break;
+            }
+        }
+        let pmf = self.pmf[..cut.max(1)].to_vec();
+        Histogram::from_pmf(pmf, self.bucket_width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_samples(n: usize, max: f64) -> Vec<f64> {
+        (0..n).map(|i| max * (i as f64 + 0.5) / n as f64).collect()
+    }
+
+    #[test]
+    fn from_samples_mass_sums_to_one() {
+        let h = Histogram::from_samples(&uniform_samples(1000, 10.0), 128);
+        let total: f64 = h.pmf().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(h.len(), 128);
+    }
+
+    #[test]
+    fn mean_of_uniform_is_centered() {
+        let h = Histogram::from_samples(&uniform_samples(10_000, 10.0), 128);
+        // Upper-edge representative values bias the mean up by at most one
+        // bucket width.
+        assert!((h.mean() - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let h = Histogram::from_samples(&uniform_samples(1000, 100.0), 64);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = h.quantile(q);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantile_never_underestimates_samples() {
+        // Conservative bucketing: the p-quantile of the histogram must be at
+        // least the p-quantile of the underlying samples.
+        let samples = uniform_samples(5000, 42.0);
+        let h = Histogram::from_samples(&samples, 128);
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let exact = sorted[((sorted.len() - 1) as f64 * q) as usize];
+            assert!(h.quantile(q) >= exact - 1e-9);
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let h = Histogram::from_samples(&uniform_samples(1000, 10.0), 32);
+        assert_eq!(h.cdf(-1.0), 0.0);
+        assert!((h.cdf(1e9) - 1.0).abs() < 1e-12);
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let c = h.cdf(i as f64 * 0.1);
+            assert!(c >= prev - 1e-12);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn conditional_on_zero_elapsed_is_identity() {
+        let h = Histogram::from_samples(&uniform_samples(1000, 10.0), 64);
+        let c = h.conditional_on_elapsed(0.0);
+        assert_eq!(c.len(), h.len());
+        for (a, b) in c.pmf().iter().zip(h.pmf()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conditional_shifts_and_renormalizes() {
+        let h = Histogram::from_pmf(vec![0.25, 0.25, 0.25, 0.25], 1.0);
+        // After 2 units elapsed, only buckets 2 and 3 remain, renormalized.
+        let c = h.conditional_on_elapsed(2.0);
+        assert_eq!(c.len(), 2);
+        assert!((c.pmf()[0] - 0.5).abs() < 1e-12);
+        assert!((c.pmf()[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_beyond_support_is_one_bucket() {
+        let h = Histogram::from_pmf(vec![0.5, 0.5], 1.0);
+        let c = h.conditional_on_elapsed(100.0);
+        assert_eq!(c.len(), 1);
+        assert!((c.pmf()[0] - 1.0).abs() < 1e-12);
+        assert_eq!(c.quantile(0.95), c.bucket_width());
+    }
+
+    #[test]
+    fn convolve_means_add() {
+        let a = Histogram::from_samples(&uniform_samples(2000, 4.0), 64);
+        let b = Histogram::from_samples(&uniform_samples(2000, 4.0), 64);
+        let c = a.convolve(&b);
+        assert!((c.mean() - (a.mean() + b.mean())).abs() < 1e-6 * c.mean());
+    }
+
+    #[test]
+    fn convolve_variances_add() {
+        let a = Histogram::from_samples(&uniform_samples(2000, 4.0), 64);
+        let c = a.convolve(&a);
+        assert!((c.variance() - 2.0 * a.variance()).abs() < 1e-3 * c.variance().max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket widths")]
+    fn convolve_rejects_mismatched_widths() {
+        let a = Histogram::from_pmf(vec![1.0], 1.0);
+        let b = Histogram::from_pmf(vec![1.0], 2.0);
+        let _ = a.convolve(&b);
+    }
+
+    #[test]
+    fn scale_scales_quantiles() {
+        let h = Histogram::from_samples(&uniform_samples(1000, 10.0), 64);
+        let s = h.scale(2.0);
+        assert!((s.quantile(0.9) - 2.0 * h.quantile(0.9)).abs() < 1e-9);
+        assert!((s.mean() - 2.0 * h.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebucket_preserves_total_mass_and_is_conservative() {
+        let h = Histogram::from_samples(&uniform_samples(1000, 10.0), 128);
+        let r = h.rebucket(0.5, 16);
+        assert!((r.pmf().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Mass beyond the new support is dumped into the last bucket, so the
+        // extreme quantile saturates at the new maximum.
+        assert!(r.quantile(0.99) <= 8.0 + 1e-9);
+        assert!(r.quantile(0.5) >= h.quantile(0.5) - 0.5);
+    }
+
+    #[test]
+    fn trim_tail_keeps_mass_normalized() {
+        let mut pmf = vec![0.0; 100];
+        pmf[0] = 0.999;
+        pmf[99] = 0.001;
+        let h = Histogram::from_pmf(pmf, 1.0);
+        let t = h.trim_tail(0.01);
+        assert!(t.len() < 100);
+        assert!((t.pmf().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_histogram() {
+        let z = Histogram::zero();
+        assert_eq!(z.quantile(0.99), 1.0);
+        assert!((z.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn from_samples_rejects_empty() {
+        let _ = Histogram::from_samples(&[], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_samples_rejects_negative() {
+        let _ = Histogram::from_samples(&[1.0, -2.0], 8);
+    }
+}

@@ -1,0 +1,135 @@
+//! Rolling-window tail-latency tracking.
+//!
+//! Rubik's feedback controller observes the measured tail latency over a
+//! rolling 1-second window (paper Sec. 4.2, "Feedback-based fine-tuning"),
+//! and the evaluation plots tails over rolling 200 ms windows (Fig. 1b,
+//! Fig. 10). [`RollingTailTracker`] keeps the samples that fall inside the
+//! window and reports their percentile on demand.
+
+use std::collections::VecDeque;
+
+use crate::percentile::percentile;
+
+/// Tracks `(completion_time, latency)` samples and reports the latency
+/// percentile over the most recent time window.
+#[derive(Debug, Clone)]
+pub struct RollingTailTracker {
+    window: f64,
+    quantile: f64,
+    samples: VecDeque<(f64, f64)>,
+}
+
+impl RollingTailTracker {
+    /// Creates a tracker over a window of `window` seconds reporting the
+    /// given `quantile` (e.g. 0.95).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window <= 0` or `quantile` is outside `[0, 1]`.
+    pub fn new(window: f64, quantile: f64) -> Self {
+        assert!(window > 0.0, "window must be positive");
+        assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0, 1]");
+        Self {
+            window,
+            quantile,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Records a request that completed at time `now` with the given
+    /// end-to-end `latency`, and evicts samples older than the window.
+    pub fn record(&mut self, now: f64, latency: f64) {
+        self.samples.push_back((now, latency));
+        self.evict(now);
+    }
+
+    /// Advances the window without recording a sample.
+    pub fn advance(&mut self, now: f64) {
+        self.evict(now);
+    }
+
+    fn evict(&mut self, now: f64) {
+        let cutoff = now - self.window;
+        while let Some(&(t, _)) = self.samples.front() {
+            if t < cutoff {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The tail latency over the current window, or `None` if the window has
+    /// no samples.
+    pub fn tail(&self) -> Option<f64> {
+        let latencies: Vec<f64> = self.samples.iter().map(|&(_, l)| l).collect();
+        percentile(&latencies, self.quantile)
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The configured window length in seconds.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// The configured quantile.
+    pub fn quantile(&self) -> f64 {
+        self.quantile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tracker_reports_none() {
+        let t = RollingTailTracker::new(1.0, 0.95);
+        assert!(t.tail().is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn tracks_percentile_of_window() {
+        let mut t = RollingTailTracker::new(10.0, 0.5);
+        for i in 0..10 {
+            t.record(i as f64 * 0.1, (i + 1) as f64);
+        }
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.tail(), Some(5.0));
+    }
+
+    #[test]
+    fn old_samples_are_evicted() {
+        let mut t = RollingTailTracker::new(1.0, 0.95);
+        t.record(0.0, 100.0);
+        t.record(0.5, 1.0);
+        t.record(2.0, 2.0); // evicts both earlier samples (cutoff = 1.0)
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.tail(), Some(2.0));
+    }
+
+    #[test]
+    fn advance_evicts_without_recording() {
+        let mut t = RollingTailTracker::new(1.0, 0.95);
+        t.record(0.0, 5.0);
+        t.advance(10.0);
+        assert!(t.is_empty());
+        assert!(t.tail().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn rejects_nonpositive_window() {
+        let _ = RollingTailTracker::new(0.0, 0.95);
+    }
+}

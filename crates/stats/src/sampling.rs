@@ -1,0 +1,298 @@
+//! Random sampling helpers.
+//!
+//! The workload models draw request inter-arrival times (exponential, i.e. a
+//! Markov input process, paper Sec. 5.1) and per-request service demands from
+//! parametric distributions. [`ServiceSampler`] covers the distribution
+//! shapes needed to mimic the five latency-critical applications, and
+//! [`DeterministicRng`] pins the RNG seed so every experiment is
+//! reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal, Pareto, Zipf};
+use serde::{Deserialize, Serialize};
+
+/// A seeded pseudo-random number generator with convenience draws for the
+/// distributions used across the reproduction.
+///
+/// Wrapping [`StdRng`] in a newtype keeps the choice of generator out of the
+/// public API and guarantees every consumer seeds explicitly.
+#[derive(Debug, Clone)]
+pub struct DeterministicRng {
+    rng: StdRng,
+}
+
+impl DeterministicRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(hi > lo, "range must be non-empty");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer draw in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot draw an index from an empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Exponential draw with the given `mean`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        Exp::new(1.0 / mean).expect("valid rate").sample(&mut self.rng)
+    }
+
+    /// Log-normal draw parameterized by the *target* mean and coefficient of
+    /// variation of the resulting distribution (not the underlying normal).
+    pub fn lognormal(&mut self, mean: f64, cov: f64) -> f64 {
+        assert!(mean > 0.0 && cov >= 0.0);
+        if cov == 0.0 {
+            return mean;
+        }
+        let sigma2 = (1.0 + cov * cov).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal::new(mu, sigma2.sqrt())
+            .expect("valid lognormal")
+            .sample(&mut self.rng)
+    }
+
+    /// Pareto draw with the given scale (minimum value) and shape.
+    pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
+        assert!(scale > 0.0 && shape > 0.0);
+        Pareto::new(scale, shape).expect("valid pareto").sample(&mut self.rng)
+    }
+
+    /// Zipf-distributed rank in `[1, n]` with exponent `s`.
+    pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n > 0 && s > 0.0);
+        Zipf::new(n, s).expect("valid zipf").sample(&mut self.rng) as u64
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p));
+        self.uniform() < p
+    }
+
+    /// Normal draw with given mean and standard deviation, truncated at zero.
+    pub fn normal_nonneg(&mut self, mean: f64, std: f64) -> f64 {
+        assert!(std >= 0.0);
+        let z = crate::gaussian::gaussian_quantile(self.uniform().clamp(1e-12, 1.0 - 1e-12));
+        (mean + std * z).max(0.0)
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// simulated server its own stream.
+    pub fn fork(&mut self) -> DeterministicRng {
+        DeterministicRng::new(self.rng.gen())
+    }
+}
+
+/// Parametric per-request service-demand sampler.
+///
+/// The unit is left to the caller (the workload models use cycles for compute
+/// demand and seconds for memory-bound time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServiceSampler {
+    /// Every request needs exactly this much work.
+    Constant(f64),
+    /// Exponentially distributed work with the given mean.
+    Exponential {
+        /// Mean of the distribution.
+        mean: f64,
+    },
+    /// Log-normal work with the given mean and coefficient of variation.
+    LogNormal {
+        /// Mean of the distribution.
+        mean: f64,
+        /// Coefficient of variation (stddev / mean).
+        cov: f64,
+    },
+    /// Pareto (heavy-tailed) work.
+    Pareto {
+        /// Minimum value (scale).
+        scale: f64,
+        /// Tail exponent; smaller is heavier.
+        shape: f64,
+    },
+    /// Two-class (short/long) bimodal work, as used to mimic applications
+    /// with distinct request classes (the situation Adrenaline exploits).
+    Bimodal {
+        /// Work of a short request.
+        short: f64,
+        /// Work of a long request.
+        long: f64,
+        /// Probability that a request is long.
+        long_fraction: f64,
+    },
+    /// Uniform work in `[lo, hi)`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+}
+
+impl ServiceSampler {
+    /// Draws one service demand.
+    pub fn sample(&self, rng: &mut DeterministicRng) -> f64 {
+        match *self {
+            ServiceSampler::Constant(v) => v,
+            ServiceSampler::Exponential { mean } => rng.exponential(mean),
+            ServiceSampler::LogNormal { mean, cov } => rng.lognormal(mean, cov),
+            ServiceSampler::Pareto { scale, shape } => rng.pareto(scale, shape),
+            ServiceSampler::Bimodal {
+                short,
+                long,
+                long_fraction,
+            } => {
+                if rng.bernoulli(long_fraction) {
+                    long
+                } else {
+                    short
+                }
+            }
+            ServiceSampler::Uniform { lo, hi } => rng.uniform_range(lo, hi),
+        }
+    }
+
+    /// Analytical mean of the sampler, where tractable.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceSampler::Constant(v) => v,
+            ServiceSampler::Exponential { mean } => mean,
+            ServiceSampler::LogNormal { mean, .. } => mean,
+            ServiceSampler::Pareto { scale, shape } => {
+                if shape > 1.0 {
+                    shape * scale / (shape - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+            ServiceSampler::Bimodal {
+                short,
+                long,
+                long_fraction,
+            } => short * (1.0 - long_fraction) + long * long_fraction,
+            ServiceSampler::Uniform { lo, hi } => (lo + hi) / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::OnlineStats;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DeterministicRng::new(42);
+        let mut b = DeterministicRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(), b.uniform());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DeterministicRng::new(1);
+        let mut b = DeterministicRng::new(2);
+        let same = (0..100).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut rng = DeterministicRng::new(7);
+        let s: OnlineStats = (0..50_000).map(|_| rng.exponential(3.0)).collect();
+        assert!((s.mean() - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn lognormal_mean_and_cov_converge() {
+        let mut rng = DeterministicRng::new(11);
+        let s: OnlineStats = (0..100_000).map(|_| rng.lognormal(2.0, 0.5)).collect();
+        assert!((s.mean() - 2.0).abs() < 0.05, "mean = {}", s.mean());
+        assert!((s.cov() - 0.5).abs() < 0.05, "cov = {}", s.cov());
+    }
+
+    #[test]
+    fn zipf_favors_low_ranks() {
+        let mut rng = DeterministicRng::new(3);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            let r = rng.zipf(10, 1.0) as usize;
+            counts[r - 1] += 1;
+        }
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[9]);
+    }
+
+    #[test]
+    fn samplers_are_nonnegative_and_match_mean() {
+        let mut rng = DeterministicRng::new(5);
+        let samplers = [
+            ServiceSampler::Constant(4.0),
+            ServiceSampler::Exponential { mean: 4.0 },
+            ServiceSampler::LogNormal { mean: 4.0, cov: 0.3 },
+            ServiceSampler::Bimodal {
+                short: 2.0,
+                long: 10.0,
+                long_fraction: 0.25,
+            },
+            ServiceSampler::Uniform { lo: 2.0, hi: 6.0 },
+        ];
+        for s in samplers {
+            let stats: OnlineStats = (0..50_000).map(|_| s.sample(&mut rng)).collect();
+            assert!(stats.min().unwrap() >= 0.0);
+            assert!(
+                (stats.mean() - s.mean()).abs() < 0.15 * s.mean(),
+                "{s:?}: mean {} vs {}",
+                stats.mean(),
+                s.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn bimodal_fraction_is_respected() {
+        let mut rng = DeterministicRng::new(17);
+        let s = ServiceSampler::Bimodal {
+            short: 1.0,
+            long: 100.0,
+            long_fraction: 0.1,
+        };
+        let longs = (0..20_000).filter(|_| s.sample(&mut rng) > 50.0).count();
+        let frac = longs as f64 / 20_000.0;
+        assert!((frac - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = DeterministicRng::new(99);
+        let mut child = a.fork();
+        // The child's stream differs from the parent's subsequent draws.
+        let same = (0..100).filter(|_| a.uniform() == child.uniform()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn normal_nonneg_truncates() {
+        let mut rng = DeterministicRng::new(23);
+        for _ in 0..1000 {
+            assert!(rng.normal_nonneg(0.1, 5.0) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the statistical primitives Rubik's correctness
+//! rests on: histograms never lose probability mass, quantiles are monotone
+//! and conservative, convolution preserves mass and adds means, and the
+//! Gaussian quantile inverts the CDF.
+
+use proptest::prelude::*;
+use rubik_stats::{convolve, gaussian_quantile, percentile, standard_normal_cdf, Histogram};
+
+fn sample_vec() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1e6, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_mass_is_conserved(samples in sample_vec(), buckets in 1usize..256) {
+        let hist = Histogram::from_samples(&samples, buckets);
+        let total: f64 = hist.pmf().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_conservative(samples in sample_vec()) {
+        let hist = Histogram::from_samples(&samples, 128);
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for i in 1..=10 {
+            let q = i as f64 / 10.0;
+            let v = hist.quantile(q);
+            prop_assert!(v >= prev);
+            prev = v;
+            // Conservative: never below the exact empirical quantile.
+            let exact = sorted[((sorted.len() - 1) as f64 * q) as usize];
+            prop_assert!(v >= exact - 1e-9);
+        }
+    }
+
+    #[test]
+    fn conditional_distribution_keeps_unit_mass(samples in sample_vec(), frac in 0.0f64..1.5) {
+        let hist = Histogram::from_samples(&samples, 64);
+        let elapsed = frac * hist.quantile(0.99);
+        let cond = hist.conditional_on_elapsed(elapsed);
+        let total: f64 = cond.pmf().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn convolution_preserves_mass_and_adds_means(a in sample_vec(), b in sample_vec()) {
+        let ha = Histogram::from_samples(&a, 64);
+        let hb = Histogram::from_samples(&b, 64).rebucket(ha.bucket_width(), 64);
+        let c = ha.convolve(&hb);
+        let total: f64 = c.pmf().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        prop_assert!((c.mean() - (ha.mean() + hb.mean())).abs() < 1e-6 * c.mean().max(1.0));
+    }
+
+    #[test]
+    fn raw_convolution_is_commutative(a in prop::collection::vec(0.0f64..1.0, 1..64),
+                                      b in prop::collection::vec(0.0f64..1.0, 1..64)) {
+        let ab = convolve(&a, &b);
+        let ba = convolve(&b, &a);
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn percentile_is_bounded_by_min_and_max(samples in sample_vec(), q in 0.0f64..=1.0) {
+        let p = percentile(&samples, q).unwrap();
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p >= min && p <= max);
+    }
+
+    #[test]
+    fn gaussian_quantile_inverts_cdf(p in 0.001f64..0.999) {
+        let x = gaussian_quantile(p);
+        prop_assert!((standard_normal_cdf(x) - p).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,152 @@
+//! Trace capture and replay.
+//!
+//! The paper's trace-driven characterization (Sec. 5.3) captures per-request
+//! arrival times, core cycles, and memory-bound times, and replays the same
+//! trace under different schemes so that every scheme sees an identical
+//! request stream. These helpers persist [`Trace`]s as JSON so experiments
+//! can be captured once and replayed by multiple harness binaries.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use rubik_sim::Trace;
+
+/// Errors returned by trace I/O.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// The underlying file could not be read or written.
+    Io(std::io::Error),
+    /// The file contents could not be parsed as a trace.
+    Parse(serde_json::Error),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace file I/O failed: {e}"),
+            TraceIoError::Parse(e) => write!(f, "trace file is not a valid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Parse(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Parse(e)
+    }
+}
+
+/// Serializes a trace to a JSON string.
+pub fn to_json(trace: &Trace) -> String {
+    serde_json::to_string(trace).expect("traces always serialize")
+}
+
+/// Parses a trace from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Parse`] if the string is not a valid trace.
+pub fn from_json(json: &str) -> Result<Trace, TraceIoError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// Writes a trace to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] if the file cannot be written.
+pub fn save<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<(), TraceIoError> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    writer.write_all(to_json(trace).as_bytes())?;
+    Ok(())
+}
+
+/// Reads a trace from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] if the file cannot be read and
+/// [`TraceIoError::Parse`] if it is not a valid trace.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Trace, TraceIoError> {
+    let file = File::open(path)?;
+    let mut reader = BufReader::new(file);
+    let mut contents = String::new();
+    reader.read_to_string(&mut contents)?;
+    from_json(&contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AppProfile, WorkloadGenerator};
+
+    /// JSON text round-trips floats to within one ULP; for trace replay that
+    /// is indistinguishable, so the tests compare with a tight relative
+    /// tolerance rather than bitwise equality.
+    fn assert_traces_equivalent(a: &Trace, b: &Trace) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.requests().iter().zip(b.requests()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.class, y.class);
+            assert!((x.arrival - y.arrival).abs() <= 1e-12 * x.arrival.abs().max(1.0));
+            assert!(
+                (x.compute_cycles - y.compute_cycles).abs()
+                    <= 1e-12 * x.compute_cycles.abs().max(1.0)
+            );
+            assert!(
+                (x.membound_time - y.membound_time).abs()
+                    <= 1e-12 * x.membound_time.abs().max(1.0)
+            );
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_trace() {
+        let mut g = WorkloadGenerator::new(AppProfile::masstree(), 1);
+        let trace = g.steady_trace(0.4, 200);
+        let json = to_json(&trace);
+        let back = from_json(&json).unwrap();
+        assert_traces_equivalent(&trace, &back);
+    }
+
+    #[test]
+    fn file_roundtrip_preserves_trace() {
+        let mut g = WorkloadGenerator::new(AppProfile::shore(), 2);
+        let trace = g.steady_trace(0.3, 100);
+        let dir = std::env::temp_dir();
+        let path = dir.join("rubik_trace_io_test.json");
+        save(&trace, &path).unwrap();
+        let back = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_traces_equivalent(&trace, &back);
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        let err = from_json("not json").unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(_)));
+        assert!(err.to_string().contains("not a valid trace"));
+    }
+
+    #[test]
+    fn missing_file_is_reported_as_io_error() {
+        let err = load("/nonexistent/rubik/trace.json").unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)));
+    }
+}

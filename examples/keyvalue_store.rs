@@ -1,0 +1,77 @@
+//! Key-value-store deep dive (the paper's masstree case study, Fig. 7).
+//!
+//! Runs masstree at 50% load under StaticOracle, AdrenalineOracle and Rubik,
+//! then prints the response-latency CDF and Rubik's busy-frequency histogram,
+//! showing how Rubik delays short requests (pushing the low end of the CDF
+//! right) to spend most of its time at low frequencies.
+//!
+//! ```text
+//! cargo run --release --example keyvalue_store
+//! ```
+
+use rubik::core::{replay, replay_tail};
+use rubik::{
+    AdrenalineOracle, AppProfile, CorePowerModel, Freq, RubikConfig, RubikController, Server,
+    SimConfig, StaticOracle, WorkloadGenerator,
+};
+
+fn main() {
+    let profile = AppProfile::masstree();
+    let load = 0.5;
+    let requests = 6_000;
+    let config = SimConfig::default();
+    let power = CorePowerModel::haswell_like();
+    let active_power = |f: Freq| power.active_power(f);
+
+    let mut generator = WorkloadGenerator::new(profile.clone(), 7);
+    let trace = generator.steady_trace(load, requests);
+
+    // Latency bound: tail latency at the nominal frequency (50% load).
+    let static_oracle = StaticOracle::new(config.dvfs.clone(), 0.95);
+    let bound = static_oracle
+        .tail_at(&trace, config.dvfs.nominal())
+        .expect("non-empty trace");
+
+    // StaticOracle: lowest feasible single frequency.
+    let so_freq = static_oracle.lowest_feasible_freq(&trace, bound);
+    let so_records = replay(&trace, &vec![so_freq; trace.len()]);
+
+    // AdrenalineOracle: boosted/unboosted pair tuned offline.
+    let adrenaline = AdrenalineOracle::new(config.dvfs.clone(), 0.95).train(&trace, bound, active_power);
+    let ao_records = replay(&trace, &adrenaline.assign(&trace));
+
+    // Rubik.
+    let mut rubik = RubikController::new(RubikConfig::new(bound), config.dvfs.clone());
+    let rubik_result = Server::new(config).run(&trace, &mut rubik);
+
+    println!("masstree @ {:.0}% load, bound = {:.0} us", load * 100.0, bound * 1e6);
+    println!();
+    println!("Response-latency CDF (latency in us at each percentile):");
+    println!("{:>6} {:>14} {:>14} {:>14}", "pct", "StaticOracle", "Adrenaline", "Rubik");
+    let rubik_lat = rubik_result.latencies();
+    let so_lat: Vec<f64> = so_records.iter().map(|r| r.latency()).collect();
+    let ao_lat: Vec<f64> = ao_records.iter().map(|r| r.latency()).collect();
+    for pct in [10, 25, 50, 75, 90, 95, 99] {
+        let q = pct as f64 / 100.0;
+        println!(
+            "{:>5}% {:>14.1} {:>14.1} {:>14.1}",
+            pct,
+            rubik::stats::percentile(&so_lat, q).unwrap() * 1e6,
+            rubik::stats::percentile(&ao_lat, q).unwrap() * 1e6,
+            rubik::stats::percentile(&rubik_lat, q).unwrap() * 1e6,
+        );
+    }
+    println!();
+    println!(
+        "StaticOracle tail: {:.0} us | Adrenaline tail: {:.0} us | Rubik tail: {:.0} us",
+        replay_tail(&so_records, 0.95).unwrap() * 1e6,
+        replay_tail(&ao_records, 0.95).unwrap() * 1e6,
+        rubik_result.tail_latency(0.95).unwrap() * 1e6,
+    );
+    println!();
+    println!("Rubik busy-frequency histogram (fraction of busy time):");
+    for (freq, frac) in rubik_result.freq_residency().busy_fraction_per_freq() {
+        let bar = "#".repeat((frac * 60.0).round() as usize);
+        println!("{:>8} | {:5.1}% {}", freq.to_string(), frac * 100.0, bar);
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: run the Rubik controller on a key-value-store workload and
+//! compare its energy and tail latency against the fixed-frequency baseline.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rubik::{
+    AppProfile, CorePowerModel, FixedFrequencyPolicy, RubikConfig, RubikController, Server,
+    SimConfig, WorkloadGenerator,
+};
+
+fn main() {
+    let profile = AppProfile::masstree();
+    let load = 0.4;
+    let requests = 5_000;
+
+    // 1. Generate a request trace: Poisson arrivals at 40% of the server's
+    //    capacity, per-request demand drawn from the masstree model.
+    let mut generator = WorkloadGenerator::new(profile.clone(), 42);
+    let trace = generator.steady_trace(load, requests);
+
+    let config = SimConfig::default();
+    let power = CorePowerModel::haswell_like();
+
+    // 2. Baseline: always run at the nominal 2.4 GHz.
+    let mut fixed = FixedFrequencyPolicy::new(config.dvfs.nominal());
+    let fixed_result = Server::new(config.clone()).run(&trace, &mut fixed);
+    let fixed_tail = fixed_result.tail_latency(0.95).expect("non-empty run");
+    let fixed_energy = power.energy_per_request(&fixed_result.freq_residency(), requests);
+
+    // 3. Rubik: meet the baseline's tail latency with minimal power.
+    let bound = fixed_tail;
+    let mut rubik = RubikController::new(RubikConfig::new(bound), config.dvfs.clone());
+    let rubik_result = Server::new(config).run(&trace, &mut rubik);
+    let rubik_tail = rubik_result.tail_latency(0.95).expect("non-empty run");
+    let rubik_energy = power.energy_per_request(&rubik_result.freq_residency(), requests);
+
+    println!(
+        "workload          : {} ({})",
+        profile.name(),
+        profile.description()
+    );
+    println!("load              : {:.0}%", load * 100.0);
+    println!("latency bound     : {:.0} us (95th percentile)", bound * 1e6);
+    println!();
+    println!(
+        "{:<18} {:>14} {:>22}",
+        "scheme", "tail (us)", "core energy (mJ/req)"
+    );
+    println!(
+        "{:<18} {:>14.1} {:>22.3}",
+        "fixed 2.4 GHz",
+        fixed_tail * 1e6,
+        fixed_energy * 1e3
+    );
+    println!(
+        "{:<18} {:>14.1} {:>22.3}",
+        "rubik",
+        rubik_tail * 1e6,
+        rubik_energy * 1e3
+    );
+    println!();
+    println!(
+        "Rubik saves {:.0}% of core energy per request while staying within the bound.",
+        (1.0 - rubik_energy / fixed_energy) * 100.0
+    );
+}

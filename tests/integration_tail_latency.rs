@@ -1,0 +1,93 @@
+//! Integration tests for the tail-latency behaviour the paper's Sec. 3
+//! motivates: queueing dominates the tail, queue length correlates with
+//! response latency far better than service time or instantaneous load, and
+//! tail latency rises steeply with load.
+
+use rubik::stats::pearson;
+use rubik::{
+    AppProfile, FixedFrequencyPolicy, Server, SimConfig, WorkloadGenerator,
+};
+
+fn fixed_run(profile: &AppProfile, load: f64, n: usize, seed: u64) -> rubik::RunResult {
+    let config = SimConfig::default();
+    let mut generator = WorkloadGenerator::new(profile.clone(), seed);
+    let trace = generator.steady_trace(load, n);
+    let mut policy = FixedFrequencyPolicy::new(config.dvfs.nominal());
+    Server::new(config).run(&trace, &mut policy)
+}
+
+#[test]
+fn queue_length_correlates_with_latency_better_than_service_time() {
+    // Table 1: for every application, response latency correlates strongly
+    // with queue length and weakly (or not at all) with service time.
+    for (i, profile) in AppProfile::all().into_iter().enumerate() {
+        let result = fixed_run(&profile, 0.5, 3000, 40 + i as u64);
+        let latencies = result.latencies();
+        let queue_corr = pearson(&result.queue_lengths(), &latencies).unwrap();
+        let service_corr = pearson(&result.service_times(), &latencies).unwrap_or(0.0);
+        assert!(
+            queue_corr > 0.5,
+            "{}: queue-length correlation {queue_corr}",
+            profile.name()
+        );
+        assert!(
+            queue_corr > service_corr,
+            "{}: queue {queue_corr} should beat service {service_corr}",
+            profile.name()
+        );
+    }
+}
+
+#[test]
+fn tail_latency_rises_steeply_with_load() {
+    // Fig. 2c: normalized tail latency grows with load, and queueing pushes
+    // it well above the pure service-time tail even at moderate loads.
+    let profile = AppProfile::masstree();
+    let mut tails = Vec::new();
+    for (i, load) in [0.2, 0.4, 0.6, 0.8].into_iter().enumerate() {
+        let result = fixed_run(&profile, load, 3000, 60 + i as u64);
+        tails.push(result.tail_latency(0.95).unwrap());
+    }
+    for pair in tails.windows(2) {
+        assert!(pair[1] > pair[0], "tail latency must increase with load: {tails:?}");
+    }
+    // At 80% load the tail should be several times the service-time tail.
+    let service_tail = {
+        let result = fixed_run(&profile, 0.8, 3000, 63);
+        rubik::stats::percentile(&result.service_times(), 0.95).unwrap()
+    };
+    assert!(tails[3] > 2.0 * service_tail);
+}
+
+#[test]
+fn queueing_dominates_tail_latency_at_moderate_load_for_uniform_services() {
+    // For applications with tightly clustered service times (masstree,
+    // moses), the tail is almost entirely queueing (Sec. 3).
+    for profile in [AppProfile::masstree(), AppProfile::moses()] {
+        let result = fixed_run(&profile, 0.6, 2500, 70);
+        let latencies = result.latencies();
+        let tail = rubik::stats::percentile(&latencies, 0.95).unwrap();
+        let queueing: Vec<f64> = result.records().iter().map(|r| r.queueing_delay()).collect();
+        let queue_tail = rubik::stats::percentile(&queueing, 0.95).unwrap();
+        assert!(
+            queue_tail > 0.4 * tail,
+            "{}: queueing tail {queue_tail} vs total {tail}",
+            profile.name()
+        );
+    }
+}
+
+#[test]
+fn instantaneous_load_varies_widely_around_the_mean() {
+    // Fig. 2a: instantaneous QPS over 5 ms windows ranges from near zero to
+    // more than twice the average.
+    let profile = AppProfile::masstree();
+    let mut generator = WorkloadGenerator::new(profile, 80);
+    let trace = generator.steady_trace(0.5, 20_000);
+    let qps = trace.qps_series(0.005);
+    let mean = qps.iter().sum::<f64>() / qps.len() as f64;
+    let max = qps.iter().cloned().fold(0.0, f64::max);
+    let min = qps.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(max > 1.8 * mean, "max {max} vs mean {mean}");
+    assert!(min < 0.4 * mean, "min {min} vs mean {mean}");
+}

@@ -1,0 +1,59 @@
+//! Integration tests for the trace-driven methodology (Sec. 5.3): traces can
+//! be captured, persisted, reloaded, and replayed, and the replay model
+//! agrees with the event-driven simulator.
+
+use rubik::core::{replay, replay_tail};
+use rubik::workloads::trace_io;
+use rubik::{
+    AppProfile, FixedFrequencyPolicy, Server, SimConfig, WorkloadGenerator,
+};
+
+#[test]
+fn captured_trace_replays_identically_after_a_round_trip_through_json() {
+    let profile = AppProfile::specjbb();
+    let mut generator = WorkloadGenerator::new(profile, 31);
+    let trace = generator.steady_trace(0.4, 1500);
+
+    let json = trace_io::to_json(&trace);
+    let reloaded = trace_io::from_json(&json).expect("round trip");
+
+    let config = SimConfig::default();
+    let freqs = vec![config.dvfs.nominal(); trace.len()];
+    let original_tail = replay_tail(&replay(&trace, &freqs), 0.95).unwrap();
+    let reloaded_tail = replay_tail(&replay(&reloaded, &freqs), 0.95).unwrap();
+    assert!((original_tail - reloaded_tail).abs() < 1e-9);
+}
+
+#[test]
+fn replay_and_event_simulation_agree_for_a_fixed_frequency() {
+    let profile = AppProfile::xapian();
+    let config = SimConfig::default();
+    let mut generator = WorkloadGenerator::new(profile, 37);
+    let trace = generator.steady_trace(0.55, 2000);
+
+    let freq = config.dvfs.nominal();
+    let replayed_tail = replay_tail(&replay(&trace, &vec![freq; trace.len()]), 0.95).unwrap();
+
+    let mut policy = FixedFrequencyPolicy::new(freq);
+    let simulated = Server::new(config).run(&trace, &mut policy);
+    let simulated_tail = simulated.tail_latency(0.95).unwrap();
+
+    assert!(
+        (replayed_tail - simulated_tail).abs() < 1e-9,
+        "replay {replayed_tail} vs simulation {simulated_tail}"
+    );
+    assert_eq!(simulated.records().len(), trace.len());
+}
+
+#[test]
+fn same_seed_reproduces_an_identical_experiment_end_to_end() {
+    let run = || {
+        let profile = AppProfile::shore();
+        let config = SimConfig::default();
+        let mut generator = WorkloadGenerator::new(profile, 41);
+        let trace = generator.steady_trace(0.5, 1200);
+        let mut policy = FixedFrequencyPolicy::new(config.dvfs.nominal());
+        Server::new(config).run(&trace, &mut policy).tail_latency(0.95).unwrap()
+    };
+    assert_eq!(run(), run());
+}
