@@ -39,9 +39,13 @@ fn bench_gaussian_cutoff(c: &mut Criterion) {
     let (compute, memory) = histograms();
     let mut group = c.benchmark_group("ablation_gaussian_cutoff");
     for &cutoff in &[4usize, 16, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(cutoff), &cutoff, |b, &cutoff| {
-            b.iter(|| TargetTailTables::build_with(&compute, &memory, 0.95, 8, cutoff))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cutoff),
+            &cutoff,
+            |b, &cutoff| {
+                b.iter(|| TargetTailTables::build_with(&compute, &memory, 0.95, 8, cutoff))
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,112 @@
+//! Per-decision latency of the Rubik controller (paper Sec. 4.2, "Cost"):
+//! the controller runs on *every* arrival and completion, so one decision
+//! must cost far less than a request's service time.
+//!
+//! Exercises the allocation-free decision path: the precomputed Gaussian
+//! tail and progress-row cursor mean a decision over a queue of N requests
+//! is N table lookups plus one division each — no erf/inverse-normal
+//! evaluations and no heap allocation.
+//!
+//! Results are appended to `BENCH_controller.json` at the repo root so the
+//! perf trajectory is tracked across PRs.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use rubik::core::TargetTailTables;
+use rubik::stats::DeterministicRng;
+use rubik::{DvfsConfig, DvfsPolicy, Histogram, RubikConfig, RubikController};
+use rubik_sim::{InServiceView, QueuedView, ServerState};
+
+const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
+
+fn state_with_queue(dvfs: &DvfsConfig, depth: usize) -> ServerState {
+    ServerState {
+        now: 1e-4,
+        current_freq: dvfs.min(),
+        target_freq: dvfs.min(),
+        in_service: Some(InServiceView {
+            id: 0,
+            arrival: 0.0,
+            elapsed_compute_cycles: 3e5,
+            elapsed_membound_time: 40e-6,
+            oracle_compute_cycles: 6e5,
+            oracle_membound_time: 80e-6,
+            class: 0,
+        }),
+        queued: (1..=depth as u64)
+            .map(|i| QueuedView {
+                id: i,
+                arrival: 5e-5,
+                oracle_compute_cycles: 6e5,
+                oracle_membound_time: 80e-6,
+                class: 0,
+            })
+            .collect(),
+    }
+}
+
+fn bench_decision_latency(c: &mut Criterion) {
+    let dvfs = DvfsConfig::haswell_like();
+    let mut rubik = RubikController::new(RubikConfig::new(1e-3), dvfs.clone());
+    let mut rng = DeterministicRng::new(2);
+    rubik.seed_profile((0..2048).map(|_| (rng.lognormal(6e5, 0.3), rng.lognormal(80e-6, 0.3))));
+
+    let mut group = c.benchmark_group("decision_latency");
+    // Depths straddle the Gaussian cutoff (16): shallow queues hit the
+    // explicit table, deep queues the Gaussian extension.
+    for &depth in &[1usize, 6, 16, 64] {
+        let state = state_with_queue(&dvfs, depth);
+        group.bench_with_input(
+            BenchmarkId::new("on_arrival_queue", depth),
+            &state,
+            |b, state| {
+                b.iter_batched(
+                    || state.clone(),
+                    |s| rubik.on_arrival(&s),
+                    BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tail_lookup(c: &mut Criterion) {
+    let mut rng = DeterministicRng::new(3);
+    let samples: Vec<f64> = (0..4096).map(|_| rng.lognormal(6e5, 0.3)).collect();
+    let compute = Histogram::from_samples(&samples, 128);
+    let mem_samples: Vec<f64> = (0..4096).map(|_| rng.lognormal(80e-6, 0.3)).collect();
+    let memory = Histogram::from_samples(&mem_samples, 128);
+    let tables = TargetTailTables::build(&compute, &memory, 0.95);
+
+    let mut group = c.benchmark_group("tail_lookup");
+    group.bench_function("tails_at_cursor_16_positions", |b| {
+        b.iter(|| {
+            let cursor = tables.tails_at(3e5, 40e-6);
+            let mut acc = 0.0;
+            for pos in 0..16 {
+                let (cc, mm) = cursor.tails(pos);
+                acc += cc + mm;
+            }
+            acc
+        })
+    });
+    group.bench_function("tails_legacy_16_positions", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for pos in 0..16 {
+                let (cc, mm) = tables.tails(3e5, 40e-6, pos);
+                acc += cc + mm;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).output_json(BENCH_JSON);
+    targets = bench_decision_latency, bench_tail_lookup
+}
+criterion_main!(benches);

@@ -27,23 +27,27 @@ fn main() {
         bound * 1e6,
         static_freq
     );
-    print_header(&["t_s", "load", "static_tail_us", "rubik_tail_us", "rubik_freq_ghz"]);
+    print_header(&[
+        "t_s",
+        "load",
+        "static_tail_us",
+        "rubik_tail_us",
+        "rubik_freq_ghz",
+    ]);
     let window = 0.2;
     let static_roll = static_result.rolling_tail(window, TAIL_QUANTILE);
     let rubik_roll = rubik_result.rolling_tail(window, TAIL_QUANTILE);
     let freq_trace = rubik_result.freq_trace();
     let at = |roll: &[(f64, f64)], t: f64| {
         roll.iter()
-            .filter(|&&(x, _)| x <= t)
-            .next_back()
+            .rfind(|&&(x, _)| x <= t)
             .map(|&(_, v)| v)
             .unwrap_or(0.0)
     };
     let freq_at = |t: f64| {
         freq_trace
             .iter()
-            .filter(|&&(x, _)| x <= t)
-            .next_back()
+            .rfind(|&&(x, _)| x <= t)
             .map(|&(_, f)| f.ghz())
             .unwrap_or(0.0)
     };

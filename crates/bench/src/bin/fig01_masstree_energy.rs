@@ -9,7 +9,10 @@ fn main() {
     let profile = AppProfile::masstree();
     let bound = harness.latency_bound(&profile);
 
-    println!("# Fig. 1a: masstree core energy per request (mJ/req), bound = {:.0} us", bound * 1e6);
+    println!(
+        "# Fig. 1a: masstree core energy per request (mJ/req), bound = {:.0} us",
+        bound * 1e6
+    );
     print_header(&["load", "static_oracle_mJ", "rubik_mJ", "rubik_savings_%"]);
     for (i, load) in [0.3, 0.4, 0.5].into_iter().enumerate() {
         // Evaluate the 50% point on the bound-defining trace itself, as in

@@ -22,13 +22,27 @@ fn main() {
         let p = |q: f64| rubik::stats::percentile(&norm, q).unwrap();
         print_row(
             app.name(),
-            &[p(0.1), p(0.25), p(0.5), p(0.75), p(0.9), p(0.99), norm.iter().cloned().fold(0.0, f64::max)],
+            &[
+                p(0.1),
+                p(0.25),
+                p(0.5),
+                p(0.75),
+                p(0.9),
+                p(0.99),
+                norm.iter().cloned().fold(0.0, f64::max),
+            ],
         );
     }
 
     println!();
     println!("# Fig. 2b: masstree execution trace at 50% load (100 ms buckets)");
-    print_header(&["t_s", "qps", "mean_service_us", "mean_queue_len", "mean_response_us"]);
+    print_header(&[
+        "t_s",
+        "qps",
+        "mean_service_us",
+        "mean_queue_len",
+        "mean_response_us",
+    ]);
     let masstree = AppProfile::masstree();
     let trace = harness.trace(&masstree, 0.5, 50);
     let mut policy = FixedFrequencyPolicy::new(harness.sim.dvfs.nominal());
@@ -52,7 +66,10 @@ fn main() {
             lo,
             n / bucket,
             recs.iter().map(|r| r.service_time()).sum::<f64>() / n * 1e6,
-            recs.iter().map(|r| r.queue_len_at_arrival as f64).sum::<f64>() / n,
+            recs.iter()
+                .map(|r| r.queue_len_at_arrival as f64)
+                .sum::<f64>()
+                / n,
             recs.iter().map(|r| r.latency()).sum::<f64>() / n * 1e6,
         );
     }

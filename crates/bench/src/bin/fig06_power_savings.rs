@@ -18,7 +18,11 @@ fn main() {
             // (the paper's target is literally the fixed-frequency tail of
             // this run), so statistical noise cannot push StaticOracle above
             // the nominal frequency.
-            let seed = if load == 0.5 { 777 } else { (i * 10 + j) as u64 };
+            let seed = if load == 0.5 {
+                777
+            } else {
+                (i * 10 + j) as u64
+            };
             let trace = harness.trace(app, load, seed);
             let fixed = harness.run_fixed(&trace, harness.sim.dvfs.nominal());
             let (static_oracle, _) = harness.run_static_oracle(&trace, bound);
@@ -28,7 +32,14 @@ fn main() {
             let s = Harness::savings_percent(&fixed, &static_oracle);
             let a = Harness::savings_percent(&fixed, &adrenaline);
             let r = Harness::savings_percent(&fixed, &rubik);
-            println!("{}\t{:.0}%\t{:.1}\t{:.1}\t{:.1}", app.name(), load * 100.0, s, a, r);
+            println!(
+                "{}\t{:.0}%\t{:.1}\t{:.1}\t{:.1}",
+                app.name(),
+                load * 100.0,
+                s,
+                a,
+                r
+            );
             totals[0] += s;
             totals[1] += a;
             totals[2] += r;

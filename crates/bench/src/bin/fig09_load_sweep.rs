@@ -13,7 +13,11 @@ fn main() {
 
     for (i, app) in AppProfile::all().iter().enumerate() {
         let bound = harness.latency_bound(app);
-        println!("# Fig. 9: {} (tail bound {:.0} us)", app.name(), bound * 1e6);
+        println!(
+            "# Fig. 9: {} (tail bound {:.0} us)",
+            app.name(),
+            bound * 1e6
+        );
         print_header(&[
             "load",
             "fixed_tail_us",
@@ -31,7 +35,11 @@ fn main() {
             // The 50% point is evaluated on the bound-defining trace (same
             // convention as fig06) so that StaticOracle lands exactly at the
             // nominal frequency there, as in the paper.
-            let seed = if load == 0.5 { 777 } else { (i * 100 + j) as u64 };
+            let seed = if load == 0.5 {
+                777
+            } else {
+                (i * 100 + j) as u64
+            };
             let trace = harness.trace(app, load, seed);
             let fixed = harness.run_fixed(&trace, harness.sim.dvfs.nominal());
             let (static_oracle, _) = harness.run_static_oracle(&trace, bound);

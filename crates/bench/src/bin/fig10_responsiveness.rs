@@ -62,8 +62,7 @@ fn main() {
         let freq_trace = rubik_result.freq_trace();
         let at = |roll: &[(f64, f64)], t: f64| {
             roll.iter()
-                .filter(|&&(x, _)| x <= t)
-                .next_back()
+                .rfind(|&&(x, _)| x <= t)
                 .map(|&(_, v)| v)
                 .unwrap_or(0.0)
         };
@@ -77,8 +76,7 @@ fn main() {
             };
             let freq = freq_trace
                 .iter()
-                .filter(|&&(x, _)| x <= t)
-                .next_back()
+                .rfind(|&&(x, _)| x <= t)
                 .map(|&(_, f)| f.ghz())
                 .unwrap_or(0.0);
             println!(

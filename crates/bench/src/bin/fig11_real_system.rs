@@ -22,7 +22,11 @@ fn main() {
             // See fig06: the 50% point is evaluated on the bound-defining
             // trace so measurement noise cannot force StaticOracle above
             // nominal.
-            let seed = if load == 0.5 { 777 } else { (i * 10 + j) as u64 };
+            let seed = if load == 0.5 {
+                777
+            } else {
+                (i * 10 + j) as u64
+            };
             let trace = harness.trace(app, load, seed);
             let fixed = harness.run_fixed(&trace, harness.sim.dvfs.nominal());
             let (static_oracle, _) = harness.run_static_oracle(&trace, bound);

@@ -16,7 +16,9 @@ fn main() {
     let apps = AppProfile::all();
     let mixes = BatchMix::paper_mixes(2015);
 
-    println!("# Fig. 15: normalized tail latency across workload mixes at 60% load (sorted, descending)");
+    println!(
+        "# Fig. 15: normalized tail latency across workload mixes at 60% load (sorted, descending)"
+    );
     let mut per_scheme: Vec<(String, Vec<f64>)> = Vec::new();
     for scheme in ColocScheme::all() {
         let mut tails = Vec::new();
@@ -60,6 +62,8 @@ fn main() {
         );
     }
     println!();
-    println!("# max normalized tails: StaticColoc {:.2}, RubikColoc {:.2}, HW-T {:.2}, HW-TPW {:.2}",
-        static_c[0], rubik_c[0], hwt[0], hwtpw[0]);
+    println!(
+        "# max normalized tails: StaticColoc {:.2}, RubikColoc {:.2}, HW-T {:.2}, HW-TPW {:.2}",
+        static_c[0], rubik_c[0], hwt[0], hwtpw[0]
+    );
 }

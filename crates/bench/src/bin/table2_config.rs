@@ -10,7 +10,10 @@ fn main() {
     let tdp = Tdp::paper();
 
     println!("# Table 2: simulated CMP configuration");
-    println!("cores\t{} (one LC application instance per core)", server.cores());
+    println!(
+        "cores\t{} (one LC application instance per core)",
+        server.cores()
+    );
     println!(
         "dvfs\t{:.1}-{:.1} GHz in {} MHz steps, nominal {:.1} GHz",
         dvfs.min().ghz(),
@@ -22,7 +25,10 @@ fn main() {
         "vf_transition\t{:.0} us (Haswell-like FIVR per-core DVFS)",
         dvfs.transition_latency() * 1e6
     );
-    println!("tick_interval\t{:.0} ms (target tail table updates)", sim.tick_interval * 1e3);
+    println!(
+        "tick_interval\t{:.0} ms (target tail table updates)",
+        sim.tick_interval * 1e3
+    );
     println!("tdp\t{:.0} W", tdp.budget());
     println!(
         "core_power\tactive {:.1} W @ nominal, {:.1} W @ max, idle {:.1} W, sleep {:.1} W",

@@ -7,7 +7,13 @@ use rubik_bench::print_header;
 
 fn main() {
     println!("# Power-model fit and k-fold cross-validation (Sec. 5.1 methodology)");
-    print_header(&["samples", "noise_%", "folds", "mean_abs_err_%", "worst_abs_err_%"]);
+    print_header(&[
+        "samples",
+        "noise_%",
+        "folds",
+        "mean_abs_err_%",
+        "worst_abs_err_%",
+    ]);
     for (samples, noise) in [(20_000usize, 0.05f64), (20_000, 0.02), (5_000, 0.05)] {
         let data = synthesize_samples(samples, noise, 2015);
         let report = k_fold_cross_validation(&data, 10);

@@ -5,6 +5,17 @@
 //! text. This library holds the pieces they share: building traces at the
 //! paper's loads, computing the latency bound (tail latency of the
 //! fixed-frequency scheme at 50% load), and running each scheme on a trace.
+//!
+//! # Perf tracking
+//!
+//! `benches/table_rebuild.rs` and `benches/decision_latency.rs` measure the
+//! controller's two hot paths (spectral table rebuild vs the direct
+//! reference builder, and per-arrival decision latency) and merge their
+//! results into `BENCH_controller.json` at the repo root — one JSON object
+//! `{"benchmarks": [{"id", "mean_ns", "median_ns", "min_ns", "samples",
+//! "iters_per_sample", "elems_per_iter"}]}`, written by the vendored
+//! criterion's JSON emitter and uploaded as a CI artifact so the perf
+//! trajectory is visible across PRs.
 
 use rubik::core::{replay, replay_energy, replay_tail};
 use rubik::{
@@ -105,7 +116,12 @@ impl Harness {
 
     /// Runs Rubik (with or without feedback), returning the scheme summary
     /// and the full simulation result.
-    pub fn run_rubik(&self, trace: &Trace, bound: f64, feedback: bool) -> (SchemeResult, RunResult) {
+    pub fn run_rubik(
+        &self,
+        trace: &Trace,
+        bound: f64,
+        feedback: bool,
+    ) -> (SchemeResult, RunResult) {
         let mut cfg = RubikConfig::new(bound).with_profiling_window(2048);
         if !feedback {
             cfg = cfg.without_feedback();
@@ -132,8 +148,11 @@ impl Harness {
     /// Runs the AdrenalineOracle scheme on a trace (replay-based, as the
     /// scheme is defined offline).
     pub fn run_adrenaline(&self, trace: &Trace, bound: f64) -> SchemeResult {
-        let policy = AdrenalineOracle::new(self.sim.dvfs.clone(), TAIL_QUANTILE)
-            .train(trace, bound, self.active_power());
+        let policy = AdrenalineOracle::new(self.sim.dvfs.clone(), TAIL_QUANTILE).train(
+            trace,
+            bound,
+            self.active_power(),
+        );
         let freqs = policy.assign(trace);
         self.summarize_replay(trace, &freqs)
     }
@@ -152,7 +171,9 @@ impl Harness {
         let residency = result.freq_residency();
         SchemeResult {
             tail_latency: result.tail_latency(TAIL_QUANTILE).unwrap_or(0.0),
-            energy_per_request: self.power.energy_per_request(&residency, trace.len().max(1)),
+            energy_per_request: self
+                .power
+                .energy_per_request(&residency, trace.len().max(1)),
             busy_time: residency.busy_time(),
         }
     }
@@ -165,10 +186,7 @@ impl Harness {
         // are comparable with the event-simulated schemes.
         let active = replay_energy(trace, freqs, self.active_power());
         let busy: f64 = records.iter().map(|r| r.service_time()).sum();
-        let duration = records
-            .iter()
-            .map(|r| r.completion)
-            .fold(0.0f64, f64::max);
+        let duration = records.iter().map(|r| r.completion).fold(0.0f64, f64::max);
         let idle = (duration - busy).max(0.0) * self.power.idle_power(self.sim.dvfs.min());
         SchemeResult {
             tail_latency: tail,

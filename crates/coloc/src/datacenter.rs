@@ -138,9 +138,11 @@ impl DatacenterComparison {
         let mut worst_tail: f64 = 0.0;
 
         for (i, app) in apps.iter().enumerate() {
-            let bound = self
-                .core
-                .latency_bound(app, self.config.requests_per_sample, self.config.seed + i as u64);
+            let bound = self.core.latency_bound(
+                app,
+                self.config.requests_per_sample,
+                self.config.seed + i as u64,
+            );
 
             // Segregated: StaticColoc without interference is equivalent to a
             // non-colocated StaticOracle server, so reuse the runner with the
@@ -158,9 +160,9 @@ impl DatacenterComparison {
                 );
             // Segregated servers do not run batch work on LC cores: only the
             // LC energy counts, idle time is charged at idle power.
-            let seg_core_power =
-                (seg.lc_energy + idle_core_power * (1.0 - seg.lc_utilization) * seg.duration)
-                    / seg.duration;
+            let seg_core_power = (seg.lc_energy
+                + idle_core_power * (1.0 - seg.lc_utilization) * seg.duration)
+                / seg.duration;
             seg_lc_power_total += platform_power + cores * seg_core_power;
 
             // Colocated: RubikColoc with interference and batch filling idle
@@ -179,9 +181,10 @@ impl DatacenterComparison {
             coloc_power_total += platform_power + cores * coloc.average_power();
             let batch_share = 0.5;
             coloc_batch_tput_total += cores
-                * (coloc.batch_work / coloc.duration)
-                    .max(0.0)
-                    .min(self.core.mean_batch_throughput(mix, dvfs.nominal(), batch_share));
+                * (coloc.batch_work / coloc.duration).max(0.0).min(
+                    self.core
+                        .mean_batch_throughput(mix, dvfs.nominal(), batch_share),
+                );
         }
 
         let n_apps = apps.len() as f64;

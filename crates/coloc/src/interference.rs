@@ -70,7 +70,10 @@ impl CoreInterferenceModel {
     /// Also multiplies every request's memory-bound time by
     /// `membound_inflation` (≥ 1), the unpartitioned-memory penalty.
     pub fn apply(&self, trace: &Trace, mean_service_time: f64, membound_inflation: f64) -> Trace {
-        assert!(membound_inflation >= 1.0, "inflation cannot shrink memory time");
+        assert!(
+            membound_inflation >= 1.0,
+            "inflation cannot shrink memory time"
+        );
         let mut out: Vec<RequestSpec> = Vec::with_capacity(trace.len());
         let mut prev_arrival: Option<f64> = None;
         for spec in trace.requests() {
@@ -133,7 +136,10 @@ mod tests {
         let out = m.apply(&trace, 100e-6, 1.0);
         let r1 = out.requests()[1].membound_time;
         let r2 = out.requests()[2].membound_time;
-        assert!(r2 > r1, "request after a long gap should pay the warm-up cost");
+        assert!(
+            r2 > r1,
+            "request after a long gap should pay the warm-up cost"
+        );
         assert!((r2 - (10e-6 + m.max_penalty)).abs() < 1e-9);
     }
 

@@ -100,6 +100,7 @@ impl ColocatedCore {
 
     /// Runs one colocated core: `profile` at `load` sharing the core with
     /// `mix`, under `scheme`, with the LC tail bound `latency_bound`.
+    #[allow(clippy::too_many_arguments)]
     pub fn run(
         &self,
         scheme: ColocScheme,
@@ -157,7 +158,14 @@ impl ColocatedCore {
                 )
             }
             ColocScheme::HwThroughput => {
-                let freq = hw_t_lc_freq(profile, mix, 6, dvfs, &self.power, &rubik_power::Tdp::paper());
+                let freq = hw_t_lc_freq(
+                    profile,
+                    mix,
+                    6,
+                    dvfs,
+                    &self.power,
+                    &rubik_power::Tdp::paper(),
+                );
                 let mut policy = FixedFrequencyPolicy::new(freq);
                 let batch = dvfs.nominal(); // IPC-maximizing batch frequency under TDP
                 (
@@ -287,7 +295,15 @@ mod tests {
             1500,
             2,
         );
-        let hw_t = core.run(ColocScheme::HwThroughput, &profile, 0.6, &mix, bound, 1500, 2);
+        let hw_t = core.run(
+            ColocScheme::HwThroughput,
+            &profile,
+            0.6,
+            &mix,
+            bound,
+            1500,
+            2,
+        );
         assert!(hw_tpw.normalized_tail > rubik.normalized_tail);
         assert!(hw_t.normalized_tail > rubik.normalized_tail);
     }
@@ -307,7 +323,15 @@ mod tests {
     #[test]
     fn outcome_energy_accounting_is_consistent() {
         let (core, profile, mix, bound) = setup();
-        let o = core.run(ColocScheme::StaticColoc, &profile, 0.4, &mix, bound, 1000, 4);
+        let o = core.run(
+            ColocScheme::StaticColoc,
+            &profile,
+            0.4,
+            &mix,
+            bound,
+            1000,
+            4,
+        );
         assert!(o.lc_energy > 0.0);
         assert!(o.batch_energy > 0.0);
         assert!((o.total_energy() - (o.lc_energy + o.batch_energy)).abs() < 1e-12);
@@ -323,7 +347,11 @@ mod tests {
         let mix = BatchMix::paper_mixes(5)[0].clone();
         let bound = core.latency_bound(&profile, 900, 5);
         let o = core.run(ColocScheme::RubikColoc, &profile, 0.4, &mix, bound, 900, 5);
-        assert!(o.normalized_tail <= 1.1, "normalized tail {}", o.normalized_tail);
+        assert!(
+            o.normalized_tail <= 1.1,
+            "normalized tail {}",
+            o.normalized_tail
+        );
     }
 
     #[test]

@@ -158,7 +158,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (DvfsConfig, CorePowerModel, Tdp) {
-        (DvfsConfig::haswell_like(), CorePowerModel::haswell_like(), Tdp::paper())
+        (
+            DvfsConfig::haswell_like(),
+            CorePowerModel::haswell_like(),
+            Tdp::paper(),
+        )
     }
 
     #[test]
@@ -174,7 +178,10 @@ mod tests {
     fn tpw_optimal_is_well_below_maximum() {
         let (dvfs, power, _) = setup();
         let f = tpw_optimal_freq(0.3, &dvfs, &power);
-        assert!(f < Freq::from_mhz(2400), "TPW-optimal {f} should be below nominal");
+        assert!(
+            f < Freq::from_mhz(2400),
+            "TPW-optimal {f} should be below nominal"
+        );
         assert!(f >= dvfs.min());
     }
 

@@ -11,9 +11,7 @@
 //! at the boosted frequency whenever the request *in service* is long and at
 //! the base frequency otherwise.
 
-use rubik_sim::{
-    DvfsConfig, DvfsPolicy, Freq, PolicyDecision, RequestRecord, ServerState, Trace,
-};
+use rubik_sim::{DvfsConfig, DvfsPolicy, Freq, PolicyDecision, RequestRecord, ServerState, Trace};
 use serde::{Deserialize, Serialize};
 
 use crate::replay::{replay, replay_energy, replay_tail};
@@ -47,7 +45,10 @@ impl AdrenalineOracle {
     ///
     /// Panics if the quantile is not in `(0, 1)`.
     pub fn new(dvfs: DvfsConfig, quantile: f64) -> Self {
-        assert!(quantile > 0.0 && quantile < 1.0, "quantile must be in (0, 1)");
+        assert!(
+            quantile > 0.0 && quantile < 1.0,
+            "quantile must be in (0, 1)"
+        );
         Self {
             dvfs,
             quantile,
@@ -89,7 +90,13 @@ impl AdrenalineOracle {
                     let freqs: Vec<Freq> = trace
                         .requests()
                         .iter()
-                        .map(|r| if r.compute_cycles > threshold { boost } else { base })
+                        .map(|r| {
+                            if r.compute_cycles > threshold {
+                                boost
+                            } else {
+                                base
+                            }
+                        })
                         .collect();
                     let records = replay(trace, &freqs);
                     let tail = replay_tail(&records, self.quantile).unwrap_or(0.0);
@@ -267,7 +274,11 @@ mod tests {
             PolicyDecision::SetFrequency(Freq::from_mhz(3000))
         );
         let mut short_state = long_state.clone();
-        short_state.in_service.as_mut().unwrap().oracle_compute_cycles = 1e5;
+        short_state
+            .in_service
+            .as_mut()
+            .unwrap()
+            .oracle_compute_cycles = 1e5;
         assert_eq!(
             policy.on_arrival(&short_state),
             PolicyDecision::SetFrequency(Freq::from_mhz(1200))

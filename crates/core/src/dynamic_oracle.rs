@@ -45,7 +45,10 @@ impl DynamicOracle {
     ///
     /// Panics if the quantile is not in `(0, 1)`.
     pub fn new(dvfs: DvfsConfig, quantile: f64) -> Self {
-        assert!(quantile > 0.0 && quantile < 1.0, "quantile must be in (0, 1)");
+        assert!(
+            quantile > 0.0 && quantile < 1.0,
+            "quantile must be in (0, 1)"
+        );
         Self { dvfs, quantile }
     }
 
@@ -76,8 +79,7 @@ impl DynamicOracle {
         let mut freqs = vec![self.dvfs.max(); n];
         let mut completions = completions_for(trace, &freqs);
         let base_violations = count_violations(trace, &completions, latency_bound);
-        let allowed =
-            (((1.0 - self.quantile) * n as f64).floor() as usize).max(base_violations);
+        let allowed = (((1.0 - self.quantile) * n as f64).floor() as usize).max(base_violations);
         let mut violations = base_violations;
 
         // Greedy descent: several passes over the requests, most promising

@@ -96,7 +96,11 @@ impl PegasusPolicy {
             // Near the bound: hold.
         } else {
             // Headroom: creep down one step.
-            let mhz = self.current.mhz().saturating_sub(step).max(self.dvfs.min().mhz());
+            let mhz = self
+                .current
+                .mhz()
+                .saturating_sub(step)
+                .max(self.dvfs.min().mhz());
             self.current = Freq::from_mhz(mhz);
         }
     }
@@ -164,10 +168,12 @@ mod tests {
         // It ends above where it was during the light phase (it reacted), but
         // the tail during the transition suffers relative to the bound —
         // exactly the slow-reaction behaviour the paper describes.
-        assert!(pegasus.current_freq() >= Freq::from_mhz(2400) || {
-            let rolled = result.rolling_tail(0.2, 0.95);
-            rolled.iter().any(|&(t, tail)| t > 3.0 && tail > bound)
-        });
+        assert!(
+            pegasus.current_freq() >= Freq::from_mhz(2400) || {
+                let rolled = result.rolling_tail(0.2, 0.95);
+                rolled.iter().any(|&(t, tail)| t > 3.0 && tail > bound)
+            }
+        );
     }
 
     #[test]

@@ -88,11 +88,11 @@ mod tests {
     #[test]
     fn replay_matches_hand_computed_fifo() {
         let trace = Trace::new(vec![
-            RequestSpec::new(0, 0.0, 2.4e6, 0.0),  // 1 ms at nominal
+            RequestSpec::new(0, 0.0, 2.4e6, 0.0),    // 1 ms at nominal
             RequestSpec::new(1, 0.5e-3, 2.4e6, 0.0), // arrives mid-service
-            RequestSpec::new(2, 5e-3, 2.4e6, 0.0),  // arrives when idle
+            RequestSpec::new(2, 5e-3, 2.4e6, 0.0),   // arrives when idle
         ]);
-        let records = replay(&trace, &vec![nominal(); 3]);
+        let records = replay(&trace, &[nominal(); 3]);
         assert!((records[0].latency() - 1e-3).abs() < 1e-12);
         assert!((records[1].latency() - 1.5e-3).abs() < 1e-12);
         assert!((records[2].latency() - 1e-3).abs() < 1e-12);

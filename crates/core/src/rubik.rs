@@ -239,15 +239,21 @@ impl RubikController {
             .in_service
             .as_ref()
             .expect("non-idle state has a request in service");
-        let elapsed_compute = in_service.elapsed_compute_cycles;
-        let elapsed_mem = in_service.elapsed_membound_time;
+
+        // Resolve the progress rows once for this decision; per queue
+        // position the cursor lookup is two array reads (allocation-free,
+        // no transcendental math — see `tables::TailsCursor`).
+        let cursor = tables.tails_at(
+            in_service.elapsed_compute_cycles,
+            in_service.elapsed_membound_time,
+        );
 
         let mut required_hz: f64 = 0.0;
         let mut saturated = false;
 
         // Position 0: the request in service.
         let mut consider = |pos: usize, arrival: f64| {
-            let (c, m) = tables.tails(elapsed_compute, elapsed_mem, pos);
+            let (c, m) = cursor.tails(pos);
             let waited = state.now - arrival;
             let slack = bound - waited - m;
             if slack <= 0.0 {
@@ -388,7 +394,10 @@ mod tests {
             in_service: None,
             queued: vec![],
         };
-        assert_eq!(rubik.on_tick(&state), PolicyDecision::SetFrequency(dvfs.min()));
+        assert_eq!(
+            rubik.on_tick(&state),
+            PolicyDecision::SetFrequency(dvfs.min())
+        );
         assert_eq!(rubik.idle_frequency(), Some(dvfs.min()));
     }
 
@@ -421,10 +430,8 @@ mod tests {
     #[test]
     fn exhausted_slack_forces_maximum_frequency() {
         let dvfs = DvfsConfig::haswell_like();
-        let mut rubik = RubikController::new(
-            RubikConfig::new(1e-3).without_feedback(),
-            dvfs.clone(),
-        );
+        let mut rubik =
+            RubikController::new(RubikConfig::new(1e-3).without_feedback(), dvfs.clone());
         rubik.seed_profile((0..200).map(|i| (1e6 + (i % 7) as f64 * 1e4, 0.0)));
         // A request that has already waited longer than the bound.
         let state = ServerState {
@@ -452,10 +459,8 @@ mod tests {
     #[test]
     fn longer_queues_demand_higher_frequencies() {
         let dvfs = DvfsConfig::haswell_like();
-        let mut rubik = RubikController::new(
-            RubikConfig::new(2e-3).without_feedback(),
-            dvfs.clone(),
-        );
+        let mut rubik =
+            RubikController::new(RubikConfig::new(2e-3).without_feedback(), dvfs.clone());
         rubik.seed_profile((0..500).map(|i| (5e5 + (i % 13) as f64 * 1e4, 0.0)));
 
         let in_service = rubik_sim::InServiceView {
@@ -489,7 +494,10 @@ mod tests {
         };
         let short = freq_of(rubik.on_arrival(&mk_state(0)));
         let long = freq_of(rubik.on_arrival(&mk_state(8)));
-        assert!(long > short, "queue of 8 chose {long}, empty queue chose {short}");
+        assert!(
+            long > short,
+            "queue of 8 chose {long}, empty queue chose {short}"
+        );
     }
 
     #[test]

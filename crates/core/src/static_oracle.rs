@@ -24,7 +24,10 @@ impl StaticOracle {
     ///
     /// Panics if the quantile is not in `(0, 1)`.
     pub fn new(dvfs: DvfsConfig, quantile: f64) -> Self {
-        assert!(quantile > 0.0 && quantile < 1.0, "quantile must be in (0, 1)");
+        assert!(
+            quantile > 0.0 && quantile < 1.0,
+            "quantile must be in (0, 1)"
+        );
         Self { dvfs, quantile }
     }
 
@@ -112,7 +115,10 @@ mod tests {
     fn infeasible_bound_returns_max_frequency() {
         let t = trace(0.6, 2000, 4);
         let o = oracle();
-        assert_eq!(o.lowest_feasible_freq(&t, 1e-9), DvfsConfig::haswell_like().max());
+        assert_eq!(
+            o.lowest_feasible_freq(&t, 1e-9),
+            DvfsConfig::haswell_like().max()
+        );
     }
 
     #[test]

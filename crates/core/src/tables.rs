@@ -12,11 +12,38 @@
 //! * position 0 is the request in service, whose remaining-work distribution
 //!   is the service distribution conditioned on ω,
 //! * position `i > 0` adds `i` further independent draws of the service
-//!   distribution (a convolution per position),
+//!   distribution,
 //! * for positions at or beyond the configurable cutoff (16 in the paper),
 //!   the distribution is replaced by its Gaussian (CLT) approximation, so
 //!   the tables stay small no matter how long the queue grows.
+//!
+//! # Build cost: the spectral ladder
+//!
+//! The naive build convolves per row and per position — `rows × (cutoff−1)`
+//! full convolutions. [`TailTable::build`] instead works in the frequency
+//! domain: the base PMF is transformed **once** ([`FftPlan`]), the ladder of
+//! self-convolutions `base^⊛i` is produced by one O(n) pointwise product per
+//! rung ([`rubik_stats::fft::Spectrum::mul_assign`]), and each rung is
+//! shared by *all* progress
+//! rows — `O(rows + cutoff)` transforms total. Per rung, a single
+//! running-CDF pass accumulates the rung's prefix sums; each table entry is
+//! then the `q`-quantile of `cond_row ⊛ base^⊛i`, found by bisecting that
+//! shared CDF (evaluating `P[X_row + Y_i ≤ t] = Σ_a pmf_row[a]·CDF_i[t−a]`
+//! directly) without ever materializing the per-row convolution. The
+//! reference per-row builder is kept as [`TailTable::build_direct`] and the
+//! two are checked against each other by the equivalence tests in
+//! `crates/core/tests/spectral_equivalence.rs` and benchmarked by
+//! `crates/bench/benches/table_rebuild.rs`.
+//!
+//! # Lookup cost
+//!
+//! [`TargetTailTables`] caches the [`GaussianTail`] z-score at build time and
+//! resolves the progress row by binary search (`partition_point`) once per
+//! decision via [`TargetTailTables::tails_at`]; a per-position lookup is then
+//! two array reads (or two fused multiply-adds past the Gaussian cutoff)
+//! with no transcendental math on the decision path.
 
+use rubik_stats::fft::{Complex, FftPlan};
 use rubik_stats::{GaussianTail, Histogram};
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +58,10 @@ pub const DEFAULT_PROGRESS_ROWS: usize = 8;
 /// absent (avoids charging a full histogram bucket of phantom memory time to
 /// compute-only workloads).
 const NEGLIGIBLE_MEM_TIME: f64 = 1e-9;
+
+/// Tolerance when comparing a CDF against the target quantile, matching
+/// [`Histogram::quantile`].
+const QUANTILE_EPS: f64 = 1e-12;
 
 /// One precomputed table (compute cycles or memory time).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -49,30 +80,125 @@ struct TailTable {
     var: f64,
 }
 
-impl TailTable {
-    fn build(hist: &Histogram, quantile: f64, rows: usize, cutoff: usize) -> Self {
-        let z = GaussianTail::new(quantile);
-        let mut table_rows = Vec::with_capacity(rows);
-        let mut boundaries = Vec::with_capacity(rows);
-        let mut cond_mean = Vec::with_capacity(rows);
-        let mut cond_var = Vec::with_capacity(rows);
+/// Per-row distributions and moments shared by both builders.
+struct RowSetup {
+    boundaries: Vec<f64>,
+    conds: Vec<Histogram>,
+    cond_mean: Vec<f64>,
+    cond_var: Vec<f64>,
+}
 
+fn row_setup(base: &Histogram, rows: usize) -> RowSetup {
+    let mut boundaries = Vec::with_capacity(rows);
+    let mut conds = Vec::with_capacity(rows);
+    let mut cond_mean = Vec::with_capacity(rows);
+    let mut cond_var = Vec::with_capacity(rows);
+    for row in 0..rows {
+        let boundary = if row == 0 {
+            0.0
+        } else {
+            base.quantile(row as f64 / rows as f64)
+        };
+        boundaries.push(boundary);
+        let conditioned = base.conditional_on_elapsed(boundary);
+        cond_mean.push(conditioned.mean());
+        cond_var.push(conditioned.variance());
+        conds.push(conditioned);
+    }
+    RowSetup {
+        boundaries,
+        conds,
+        cond_mean,
+        cond_var,
+    }
+}
+
+impl TailTable {
+    /// Spectral builder: one forward transform of the base PMF, the
+    /// `base^⊛i` ladder built by pointwise products in the frequency domain
+    /// and shared across all progress rows, quantiles read off each rung's
+    /// running CDF (see the module docs for the full scheme).
+    fn build(hist: &Histogram, quantile: f64, rows: usize, cutoff: usize) -> Self {
+        // Trim negligible tail mass so the transform size stays small.
+        let base = hist.trim_tail(1e-9);
+        let setup = row_setup(&base, rows);
+        let width = base.bucket_width();
+        let base_len = base.pmf().len();
+
+        // Position 0 needs no convolution: the conditioned distribution's
+        // own quantile.
+        let mut table_rows: Vec<Vec<f64>> = setup
+            .conds
+            .iter()
+            .map(|cond| {
+                let mut v = Vec::with_capacity(cutoff);
+                v.push(cond.quantile(quantile));
+                v
+            })
+            .collect();
+
+        if cutoff > 1 {
+            // The deepest rung base^⊛(cutoff−1) has linear-convolution
+            // support (cutoff−1)(len−1)+1; the plan must fit it to avoid
+            // circular wrap-around.
+            let support_max = (cutoff - 1) * (base_len - 1) + 1;
+            let plan = FftPlan::new(support_max.next_power_of_two().max(2));
+            let mut scratch: Vec<Complex> = Vec::new();
+            let base_spec = plan.forward(base.pmf());
+            let mut rung_spec = base_spec.clone();
+            let mut rung_pmf: Vec<f64> = Vec::new();
+            let mut rung_cdf: Vec<f64> = Vec::with_capacity(support_max);
+
+            for i in 1..cutoff {
+                if i > 1 {
+                    rung_spec.mul_assign(&base_spec);
+                    plan.inverse_into(&rung_spec, &mut scratch, &mut rung_pmf);
+                } else {
+                    // Rung 1 *is* the base PMF — no transform needed.
+                    rung_pmf.clear();
+                    rung_pmf.extend_from_slice(base.pmf());
+                }
+
+                // The single running-CDF pass over this rung, clamping FFT
+                // round-off (a convolution of PMFs cannot go negative).
+                let support = i * (base_len - 1) + 1;
+                rung_cdf.clear();
+                let mut cum = 0.0;
+                for &p in &rung_pmf[..support] {
+                    cum += p.max(0.0);
+                    rung_cdf.push(cum);
+                }
+
+                for (row, cond) in setup.conds.iter().enumerate() {
+                    let t = quantile_of_sum(cond.pmf(), &rung_cdf, i, quantile);
+                    table_rows[row].push((t + 1) as f64 * width);
+                }
+            }
+        }
+
+        Self {
+            rows: table_rows,
+            boundaries: setup.boundaries,
+            cond_mean: setup.cond_mean,
+            cond_var: setup.cond_var,
+            mean: base.mean(),
+            var: base.variance(),
+        }
+    }
+
+    /// Reference builder: the original per-row convolution scheme,
+    /// `rows × (cutoff−1)` full convolutions. Kept as the oracle for the
+    /// spectral-vs-direct equivalence tests and as the baseline for the
+    /// `table_rebuild` bench.
+    fn build_direct(hist: &Histogram, quantile: f64, rows: usize, cutoff: usize) -> Self {
         // Trim negligible tail mass so repeated convolutions stay cheap.
         let base = hist.trim_tail(1e-9);
+        let setup = row_setup(&base, rows);
 
-        for row in 0..rows {
-            let boundary = if row == 0 {
-                0.0
-            } else {
-                base.quantile(row as f64 / rows as f64)
-            };
-            boundaries.push(boundary);
-            let conditioned = base.conditional_on_elapsed(boundary);
-            cond_mean.push(conditioned.mean());
-            cond_var.push(conditioned.variance());
-
+        let mut table_rows = Vec::with_capacity(rows);
+        for cond in &setup.conds {
             let mut row_vals = Vec::with_capacity(cutoff);
-            let mut cumulative = conditioned;
+            let mut cumulative = cond.clone();
             row_vals.push(cumulative.quantile(quantile));
             for _ in 1..cutoff {
                 cumulative = cumulative.convolve(&base).trim_tail(1e-9);
@@ -81,12 +207,11 @@ impl TailTable {
             table_rows.push(row_vals);
         }
 
-        let _ = z; // z is re-derived at lookup time from the stored quantile
         Self {
             rows: table_rows,
-            boundaries,
-            cond_mean,
-            cond_var,
+            boundaries: setup.boundaries,
+            cond_mean: setup.cond_mean,
+            cond_var: setup.cond_var,
             mean: base.mean(),
             var: base.variance(),
         }
@@ -103,29 +228,74 @@ impl TailTable {
         }
     }
 
+    /// Largest row whose boundary is `<= elapsed`. Boundaries are ascending,
+    /// so this is a binary search, resolved once per decision (not per queue
+    /// position) by [`TargetTailTables::tails_at`].
     fn row_for(&self, elapsed: f64) -> usize {
-        // Largest row whose boundary is <= elapsed. Boundaries are ascending.
-        let mut row = 0;
-        for (i, &b) in self.boundaries.iter().enumerate() {
-            if elapsed >= b {
-                row = i;
-            } else {
-                break;
-            }
-        }
-        row
+        self.boundaries
+            .partition_point(|&b| b <= elapsed)
+            .saturating_sub(1)
     }
 
-    fn lookup(&self, elapsed: f64, pos: usize, tail: &GaussianTail) -> f64 {
-        let row = self.row_for(elapsed);
-        if pos < self.rows[row].len() {
-            self.rows[row][pos]
+    #[inline]
+    fn lookup_row(&self, row: usize, pos: usize, tail: &GaussianTail) -> f64 {
+        let explicit = &self.rows[row];
+        if pos < explicit.len() {
+            explicit[pos]
         } else {
             let mean = self.cond_mean[row] + pos as f64 * self.mean;
             let var = self.cond_var[row] + pos as f64 * self.var;
             tail.tail(mean, var)
         }
     }
+}
+
+/// The `q`-quantile of `X + Y_i` where `X` has `cond_pmf` (bucket index `a` ↦
+/// value `(a+1)·w`) and `Y_i` is the ladder rung with running CDF `rung_cdf`
+/// (index `b` ↦ value `(b+i)·w`, the `i` accounting for the upper-edge
+/// representative of each of the `i` summands). Returns the combined bucket
+/// index `t` (value `(t+1)·w`): the smallest `t` with
+/// `P[a + b + i ≤ t] ≥ q − ε`, found by bisection; each CDF evaluation is a
+/// dot product of the conditioned PMF with a shifted window of the shared
+/// rung CDF.
+fn quantile_of_sum(cond_pmf: &[f64], rung_cdf: &[f64], i: usize, q: f64) -> usize {
+    let support = rung_cdf.len();
+    let total = rung_cdf[support - 1];
+    let cdf_at = |t: usize| -> f64 {
+        // P[a + b + i <= t] = Σ_a cond[a] · P[b <= t - i - a]
+        let mut acc = 0.0;
+        for (a, &p) in cond_pmf.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let Some(shift) = t.checked_sub(i + a) else {
+                // a grows monotonically; later terms only shift further left.
+                break;
+            };
+            acc += p * if shift >= support {
+                total
+            } else {
+                rung_cdf[shift]
+            };
+        }
+        acc
+    };
+
+    let mut lo = i; // a = 0, b = 0
+    let mut hi = cond_pmf.len() - 1 + (support - 1) + i;
+    if cdf_at(lo) >= q - QUANTILE_EPS {
+        return lo;
+    }
+    // Invariant: cdf_at(lo) < q - ε <= cdf_at(hi) (hi covers all mass).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if cdf_at(mid) >= q - QUANTILE_EPS {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
 }
 
 /// The pair of precomputed tables Rubik consults on every decision.
@@ -135,6 +305,45 @@ pub struct TargetTailTables {
     memory: TailTable,
     quantile: f64,
     cutoff: usize,
+    /// z-score of the target quantile, computed once at build time so the
+    /// decision path never evaluates the inverse normal CDF.
+    tail: GaussianTail,
+}
+
+/// A decision-scoped cursor over [`TargetTailTables`]: the progress rows for
+/// the in-service request's elapsed compute/memory work are resolved once
+/// (two binary searches), after which each queue position costs two array
+/// reads. Obtained from [`TargetTailTables::tails_at`]; borrows the tables,
+/// so it is allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct TailsCursor<'a> {
+    tables: &'a TargetTailTables,
+    compute_row: usize,
+    memory_row: usize,
+}
+
+impl TailsCursor<'_> {
+    /// Tail remaining compute cycles for queue position `pos`.
+    #[inline]
+    pub fn tail_compute_cycles(&self, pos: usize) -> f64 {
+        self.tables
+            .compute
+            .lookup_row(self.compute_row, pos, &self.tables.tail)
+    }
+
+    /// Tail remaining memory-bound time for queue position `pos`.
+    #[inline]
+    pub fn tail_membound_time(&self, pos: usize) -> f64 {
+        self.tables
+            .memory
+            .lookup_row(self.memory_row, pos, &self.tables.tail)
+    }
+
+    /// Both tails for queue position `pos`.
+    #[inline]
+    pub fn tails(&self, pos: usize) -> (f64, f64) {
+        (self.tail_compute_cycles(pos), self.tail_membound_time(pos))
+    }
 }
 
 impl TargetTailTables {
@@ -164,19 +373,71 @@ impl TargetTailTables {
         rows: usize,
         cutoff: usize,
     ) -> Self {
-        assert!(quantile > 0.0 && quantile < 1.0, "quantile must be in (0, 1)");
+        Self::build_impl(compute, memory, quantile, rows, cutoff, TailTable::build)
+    }
+
+    /// Builds the tables with the reference per-row convolution scheme and
+    /// the paper's default shape. Slower than [`TargetTailTables::build`] by
+    /// construction; exists as the equivalence-test oracle and the bench
+    /// baseline.
+    pub fn build_direct(compute: &Histogram, memory: &Histogram, quantile: f64) -> Self {
+        Self::build_direct_with(
+            compute,
+            memory,
+            quantile,
+            DEFAULT_PROGRESS_ROWS,
+            DEFAULT_GAUSSIAN_CUTOFF,
+        )
+    }
+
+    /// Reference builder with explicit dimensions; see
+    /// [`TargetTailTables::build_direct`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is not in `(0, 1)`, or `rows`/`cutoff` are zero.
+    pub fn build_direct_with(
+        compute: &Histogram,
+        memory: &Histogram,
+        quantile: f64,
+        rows: usize,
+        cutoff: usize,
+    ) -> Self {
+        Self::build_impl(
+            compute,
+            memory,
+            quantile,
+            rows,
+            cutoff,
+            TailTable::build_direct,
+        )
+    }
+
+    fn build_impl(
+        compute: &Histogram,
+        memory: &Histogram,
+        quantile: f64,
+        rows: usize,
+        cutoff: usize,
+        builder: fn(&Histogram, f64, usize, usize) -> TailTable,
+    ) -> Self {
+        assert!(
+            quantile > 0.0 && quantile < 1.0,
+            "quantile must be in (0, 1)"
+        );
         assert!(rows > 0 && cutoff > 0, "table dimensions must be positive");
-        let compute_table = TailTable::build(compute, quantile, rows, cutoff);
+        let compute_table = builder(compute, quantile, rows, cutoff);
         let memory_table = if memory.mean() < NEGLIGIBLE_MEM_TIME {
             TailTable::zero(rows, cutoff)
         } else {
-            TailTable::build(memory, quantile, rows, cutoff)
+            builder(memory, quantile, rows, cutoff)
         };
         Self {
             compute: compute_table,
             memory: memory_table,
             quantile,
             cutoff,
+            tail: GaussianTail::new(quantile),
         }
     }
 
@@ -190,27 +451,38 @@ impl TargetTailTables {
         self.cutoff
     }
 
+    /// Resolves the progress rows for the in-service request's elapsed work
+    /// once and returns a cursor for per-position lookups. This is the
+    /// decision-path entry point: one decision resolves the rows a single
+    /// time and then walks the queue with O(1) lookups.
+    pub fn tails_at(&self, elapsed_compute: f64, elapsed_mem: f64) -> TailsCursor<'_> {
+        TailsCursor {
+            tables: self,
+            compute_row: self.compute.row_for(elapsed_compute),
+            memory_row: self.memory.row_for(elapsed_mem),
+        }
+    }
+
     /// Tail *remaining compute cycles* until the request at queue position
     /// `pos` completes, given that the in-service request has already
     /// executed `elapsed_compute_cycles`.
     pub fn tail_compute_cycles(&self, elapsed_compute_cycles: f64, pos: usize) -> f64 {
-        let z = GaussianTail::new(self.quantile);
-        self.compute.lookup(elapsed_compute_cycles, pos, &z)
+        let row = self.compute.row_for(elapsed_compute_cycles);
+        self.compute.lookup_row(row, pos, &self.tail)
     }
 
     /// Tail *remaining memory-bound time* until the request at queue position
     /// `pos` completes, given the in-service request's elapsed memory time.
     pub fn tail_membound_time(&self, elapsed_membound_time: f64, pos: usize) -> f64 {
-        let z = GaussianTail::new(self.quantile);
-        self.memory.lookup(elapsed_membound_time, pos, &z)
+        let row = self.memory.row_for(elapsed_membound_time);
+        self.memory.lookup_row(row, pos, &self.tail)
     }
 
-    /// Convenience: both tails at once.
+    /// Convenience: both tails at once. For repeated lookups at the same
+    /// elapsed-work point (the common case: walking the queue), prefer
+    /// [`TargetTailTables::tails_at`], which resolves the rows only once.
     pub fn tails(&self, elapsed_compute: f64, elapsed_mem: f64, pos: usize) -> (f64, f64) {
-        (
-            self.tail_compute_cycles(elapsed_compute, pos),
-            self.tail_membound_time(elapsed_mem, pos),
-        )
+        self.tails_at(elapsed_compute, elapsed_mem).tails(pos)
     }
 }
 
@@ -322,6 +594,55 @@ mod tests {
         assert_eq!(t.gaussian_cutoff(), 8);
         // Depth 8 and beyond uses the Gaussian extension and still grows.
         assert!(t.tail_compute_cycles(0.0, 8) > t.tail_compute_cycles(0.0, 7));
+    }
+
+    #[test]
+    fn cursor_matches_single_shot_lookups() {
+        let c = lognormal_hist(1e6, 0.4, 3000, 12);
+        let m = lognormal_hist(50e-6, 0.4, 3000, 13);
+        let t = TargetTailTables::build(&c, &m, 0.95);
+        for &(ec, em) in &[(0.0, 0.0), (5e5, 20e-6), (2e6, 200e-6), (1e9, 1.0)] {
+            let cursor = t.tails_at(ec, em);
+            for pos in 0..40 {
+                assert_eq!(
+                    cursor.tail_compute_cycles(pos),
+                    t.tail_compute_cycles(ec, pos)
+                );
+                assert_eq!(
+                    cursor.tail_membound_time(pos),
+                    t.tail_membound_time(em, pos)
+                );
+                assert_eq!(cursor.tails(pos), t.tails(ec, em, pos));
+            }
+        }
+    }
+
+    #[test]
+    fn row_resolution_matches_linear_scan() {
+        let c = lognormal_hist(1e6, 0.6, 4000, 14);
+        let t = TargetTailTables::build(&c, &zero_hist(), 0.95);
+        let boundaries = &t.compute.boundaries;
+        // partition_point row resolution must agree with the original linear
+        // scan for elapsed values around every boundary.
+        let linear = |elapsed: f64| {
+            let mut row = 0;
+            for (i, &b) in boundaries.iter().enumerate() {
+                if elapsed >= b {
+                    row = i;
+                } else {
+                    break;
+                }
+            }
+            row
+        };
+        let mut probes = vec![0.0, 1e-30, 1e12];
+        for &b in boundaries {
+            probes.extend([b - 1.0, b, b + 1.0]);
+        }
+        for p in probes {
+            let p = p.max(0.0);
+            assert_eq!(t.compute.row_for(p), linear(p), "elapsed {p}");
+        }
     }
 
     #[test]

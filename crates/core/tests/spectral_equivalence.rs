@@ -1,0 +1,151 @@
+//! Spectral-vs-direct equivalence: the FFT-ladder table builder
+//! (`TargetTailTables::build_with`) must reproduce the reference per-row
+//! convolution builder (`TargetTailTables::build_direct_with`) within 1e-9
+//! across workload shapes — lognormal, bimodal, heavy-tailed, and the
+//! degenerate all-zero memory distribution — and across table shapes on both
+//! sides of the FFT crossover.
+//!
+//! Quantiles are bucket-quantized, so "within 1e-9" effectively means the
+//! two builders pick the same bucket everywhere; the relative tolerance only
+//! absorbs float noise in the shared bucket-value arithmetic.
+
+use rubik_core::TargetTailTables;
+use rubik_stats::{DeterministicRng, Histogram};
+
+const REL_TOL: f64 = 1e-9;
+
+fn assert_tables_equivalent(
+    label: &str,
+    a: &TargetTailTables,
+    b: &TargetTailTables,
+    probes: &[f64],
+) {
+    assert_eq!(a.quantile(), b.quantile());
+    assert_eq!(a.gaussian_cutoff(), b.gaussian_cutoff());
+    // Probe every (elapsed band, position) cell, explicit and Gaussian.
+    for &elapsed_frac in probes {
+        for pos in 0..a.gaussian_cutoff() + 8 {
+            let (sc, sm) = a.tails(elapsed_frac, elapsed_frac * 1e-10, pos);
+            let (dc, dm) = b.tails(elapsed_frac, elapsed_frac * 1e-10, pos);
+            assert!(
+                (sc - dc).abs() <= REL_TOL * dc.abs().max(1.0),
+                "{label}: compute tail mismatch at elapsed {elapsed_frac}, pos {pos}: \
+                 spectral {sc} vs direct {dc}"
+            );
+            assert!(
+                (sm - dm).abs() <= REL_TOL * dm.abs().max(1.0),
+                "{label}: memory tail mismatch at elapsed {elapsed_frac}, pos {pos}: \
+                 spectral {sm} vs direct {dm}"
+            );
+        }
+    }
+}
+
+fn probes_for(hist: &Histogram) -> Vec<f64> {
+    // Elapsed-work probes spanning all progress bands plus beyond-support.
+    (0..=10)
+        .map(|i| hist.quantile((i as f64 / 10.0).min(0.999)) * 1.01)
+        .chain([0.0, hist.quantile(0.999) * 3.0])
+        .collect()
+}
+
+fn lognormal_hist(rng: &mut DeterministicRng, mean: f64, cov: f64, n: usize) -> Histogram {
+    let samples: Vec<f64> = (0..n).map(|_| rng.lognormal(mean, cov)).collect();
+    Histogram::from_samples(&samples, 128)
+}
+
+fn zero_hist() -> Histogram {
+    Histogram::from_samples(&[0.0, 0.0, 0.0], 4)
+}
+
+#[test]
+fn lognormal_profiles_match() {
+    let mut rng = DeterministicRng::new(0xE1);
+    for (mean, cov) in [(1e6, 0.1), (1e6, 0.3), (5e5, 0.8), (2e6, 1.5)] {
+        let c = lognormal_hist(&mut rng, mean, cov, 4000);
+        let m = lognormal_hist(&mut rng, 80e-6, cov, 4000);
+        let spectral = TargetTailTables::build(&c, &m, 0.95);
+        let direct = TargetTailTables::build_direct(&c, &m, 0.95);
+        assert_tables_equivalent(
+            &format!("lognormal mean {mean} cov {cov}"),
+            &spectral,
+            &direct,
+            &probes_for(&c),
+        );
+    }
+}
+
+#[test]
+fn bimodal_profiles_match() {
+    // Sharply bimodal work (the Adrenaline scenario): mass concentrated in
+    // two spikes stresses CDF-crossing alignment between the builders.
+    let mut rng = DeterministicRng::new(0xE2);
+    let samples: Vec<f64> = (0..4000)
+        .map(|_| {
+            if rng.bernoulli(0.2) {
+                rng.lognormal(5e6, 0.05)
+            } else {
+                rng.lognormal(4e5, 0.05)
+            }
+        })
+        .collect();
+    let c = Histogram::from_samples(&samples, 128);
+    let spectral = TargetTailTables::build(&c, &zero_hist(), 0.95);
+    let direct = TargetTailTables::build_direct(&c, &zero_hist(), 0.95);
+    assert_tables_equivalent("bimodal", &spectral, &direct, &probes_for(&c));
+}
+
+#[test]
+fn degenerate_all_zero_memory_matches() {
+    // The all-zero memory histogram takes the zero-table path in both
+    // builders; the compute side still exercises the full ladder.
+    let mut rng = DeterministicRng::new(0xE3);
+    let c = lognormal_hist(&mut rng, 1e6, 0.4, 3000);
+    let spectral = TargetTailTables::build(&c, &zero_hist(), 0.95);
+    let direct = TargetTailTables::build_direct(&c, &zero_hist(), 0.95);
+    for pos in 0..32 {
+        assert_eq!(spectral.tail_membound_time(0.0, pos), 0.0);
+        assert_eq!(direct.tail_membound_time(0.0, pos), 0.0);
+    }
+    assert_tables_equivalent("zero-memory", &spectral, &direct, &probes_for(&c));
+}
+
+#[test]
+fn constant_service_demand_matches() {
+    // A single-spike histogram: the ladder degenerates to shifted deltas.
+    let c = Histogram::from_samples(&vec![7.5e5; 100], 128);
+    let spectral = TargetTailTables::build(&c, &zero_hist(), 0.95);
+    let direct = TargetTailTables::build_direct(&c, &zero_hist(), 0.95);
+    assert_tables_equivalent("constant", &spectral, &direct, &probes_for(&c));
+}
+
+#[test]
+fn table_shapes_match_across_the_fft_crossover() {
+    // Small shapes keep every per-row convolution under FFT_CROSSOVER (the
+    // direct builder takes its O(n·m) path); large cutoffs push it far over
+    // (FFT path). The spectral builder must agree with both.
+    let mut rng = DeterministicRng::new(0xE4);
+    let c = lognormal_hist(&mut rng, 1e6, 0.5, 4000);
+    let m = lognormal_hist(&mut rng, 60e-6, 0.5, 4000);
+    for (rows, cutoff) in [(1, 2), (2, 4), (4, 8), (8, 16), (3, 33), (8, 64)] {
+        let spectral = TargetTailTables::build_with(&c, &m, 0.95, rows, cutoff);
+        let direct = TargetTailTables::build_direct_with(&c, &m, 0.95, rows, cutoff);
+        assert_tables_equivalent(
+            &format!("shape {rows}x{cutoff}"),
+            &spectral,
+            &direct,
+            &probes_for(&c),
+        );
+    }
+}
+
+#[test]
+fn quantile_sweep_matches() {
+    let mut rng = DeterministicRng::new(0xE5);
+    let c = lognormal_hist(&mut rng, 1e6, 0.6, 3000);
+    for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+        let spectral = TargetTailTables::build(&c, &zero_hist(), q);
+        let direct = TargetTailTables::build_direct(&c, &zero_hist(), q);
+        assert_tables_equivalent(&format!("q={q}"), &spectral, &direct, &probes_for(&c));
+    }
+}

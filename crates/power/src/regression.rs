@@ -107,7 +107,11 @@ impl PowerRegression {
             worst = worst.max(rel);
         }
         RegressionReport {
-            mean_abs_error: if samples.is_empty() { 0.0 } else { sum / samples.len() as f64 },
+            mean_abs_error: if samples.is_empty() {
+                0.0
+            } else {
+                sum / samples.len() as f64
+            },
             worst_abs_error: worst,
             samples: samples.len(),
         }
@@ -274,9 +278,21 @@ mod tests {
         // percent mean, ~2x worse worst-case).
         let samples = synthesize_samples(20_000, 0.05, 7);
         let report = k_fold_cross_validation(&samples, 10);
-        assert!(report.mean_abs_error > 0.005, "mean {}", report.mean_abs_error);
-        assert!(report.mean_abs_error < 0.10, "mean {}", report.mean_abs_error);
-        assert!(report.worst_abs_error < 0.25, "worst {}", report.worst_abs_error);
+        assert!(
+            report.mean_abs_error > 0.005,
+            "mean {}",
+            report.mean_abs_error
+        );
+        assert!(
+            report.mean_abs_error < 0.10,
+            "mean {}",
+            report.mean_abs_error
+        );
+        assert!(
+            report.worst_abs_error < 0.25,
+            "worst {}",
+            report.worst_abs_error
+        );
         assert!(report.worst_abs_error > report.mean_abs_error);
         assert_eq!(report.samples, 20_000);
     }

@@ -157,7 +157,8 @@ impl ServerPowerModel {
         let unoccupied = self.cores - core_residencies.len();
         cores_energy += unoccupied as f64 * self.core_model.idle_power(f_min) * duration;
 
-        let uncore = self.uncore_static * duration + self.uncore_per_active_core * busy_core_seconds;
+        let uncore =
+            self.uncore_static * duration + self.uncore_per_active_core * busy_core_seconds;
         let dram = self.dram_static * duration + self.dram_per_active_core * busy_core_seconds;
         let other = self.other_static * duration;
 

@@ -46,7 +46,9 @@ pub use rubik_sim as sim;
 pub use rubik_stats as stats;
 pub use rubik_workloads as workloads;
 
-pub use rubik_coloc::{ColocOutcome, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig};
+pub use rubik_coloc::{
+    ColocOutcome, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig,
+};
 pub use rubik_core::{
     AdrenalineOracle, AdrenalinePolicy, DynamicOracle, FixedFrequencyPolicy, PegasusConfig,
     PegasusPolicy, RubikConfig, RubikController, StaticOracle, TargetTailTables,

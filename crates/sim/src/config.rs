@@ -10,9 +10,10 @@ use crate::freq::DvfsConfig;
 /// (L1s and L2 flushed to the LLC). The power model in `rubik-power` charges
 /// different static power for each mode; the simulator only needs to record
 /// which mode the idle time was spent in and the wake-up penalty.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum IdleMode {
     /// Clock-gated idle at the current frequency; wake-up is immediate.
+    #[default]
     ClockGated,
     /// Haswell C3-like sleep: private caches flushed, wake-up incurs the
     /// given latency (seconds) before the next request starts service.
@@ -20,12 +21,6 @@ pub enum IdleMode {
         /// Time to wake the core back up.
         wakeup_latency: f64,
     },
-}
-
-impl Default for IdleMode {
-    fn default() -> Self {
-        IdleMode::ClockGated
-    }
 }
 
 /// Configuration of a simulated server core.
@@ -114,9 +109,16 @@ mod tests {
     fn builders_apply() {
         let c = SimConfig::default()
             .with_tick_interval(0.05)
-            .with_idle_mode(IdleMode::Sleep { wakeup_latency: 10e-6 });
+            .with_idle_mode(IdleMode::Sleep {
+                wakeup_latency: 10e-6,
+            });
         assert!((c.tick_interval - 0.05).abs() < 1e-12);
-        assert_eq!(c.idle_mode, IdleMode::Sleep { wakeup_latency: 10e-6 });
+        assert_eq!(
+            c.idle_mode,
+            IdleMode::Sleep {
+                wakeup_latency: 10e-6
+            }
+        );
     }
 
     #[test]

@@ -79,15 +79,27 @@ impl DvfsConfig {
     ///
     /// Panics if the range is empty, the step is zero, the range is not a
     /// multiple of the step, or the nominal frequency is not a level.
-    pub fn new(min: Freq, max: Freq, step_mhz: u32, nominal: Freq, transition_latency: f64) -> Self {
+    pub fn new(
+        min: Freq,
+        max: Freq,
+        step_mhz: u32,
+        nominal: Freq,
+        transition_latency: f64,
+    ) -> Self {
         assert!(step_mhz > 0, "frequency step must be positive");
-        assert!(min.mhz() > 0 && max.mhz() >= min.mhz(), "invalid frequency range");
+        assert!(
+            min.mhz() > 0 && max.mhz() >= min.mhz(),
+            "invalid frequency range"
+        );
         assert_eq!(
             (max.mhz() - min.mhz()) % step_mhz,
             0,
             "frequency range must be a multiple of the step"
         );
-        assert!(transition_latency >= 0.0, "transition latency must be non-negative");
+        assert!(
+            transition_latency >= 0.0,
+            "transition latency must be non-negative"
+        );
         let cfg = Self {
             min,
             max,
@@ -176,7 +188,7 @@ impl DvfsConfig {
 
     /// Whether `f` is one of the available levels.
     pub fn is_level(&self, f: Freq) -> bool {
-        f >= self.min && f <= self.max && (f.mhz() - self.min.mhz()) % self.step_mhz == 0
+        f >= self.min && f <= self.max && (f.mhz() - self.min.mhz()).is_multiple_of(self.step_mhz)
     }
 
     /// The lowest available level that is at least `hz` cycles per second,

@@ -6,6 +6,12 @@
 //! controller). The policy sees the current [`ServerState`] — the queue
 //! contents, the progress of the request in service, and the current
 //! frequency — and may request a frequency change.
+//!
+//! The `&ServerState` handed to each callback is a scratch buffer the
+//! simulator refreshes in place between events (so the event loop performs
+//! no per-event allocation — see `rubik_sim::server`); it is valid for the
+//! duration of the callback, and a policy that wants to keep history must
+//! clone what it needs.
 
 use crate::freq::Freq;
 use crate::request::RequestRecord;
@@ -223,7 +229,10 @@ mod tests {
     #[test]
     fn decision_from_option() {
         let f = Freq::from_mhz(800);
-        assert_eq!(PolicyDecision::from_option(Some(f)), PolicyDecision::SetFrequency(f));
+        assert_eq!(
+            PolicyDecision::from_option(Some(f)),
+            PolicyDecision::SetFrequency(f)
+        );
         assert_eq!(PolicyDecision::from_option(None), PolicyDecision::Keep);
     }
 }

@@ -110,7 +110,12 @@ impl Trace {
     /// Returns a copy containing only requests arriving before `t`.
     pub fn truncate_at(&self, t: f64) -> Trace {
         Trace {
-            requests: self.requests.iter().copied().filter(|r| r.arrival < t).collect(),
+            requests: self
+                .requests
+                .iter()
+                .copied()
+                .filter(|r| r.arrival < t)
+                .collect(),
         }
     }
 }

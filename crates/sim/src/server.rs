@@ -12,6 +12,18 @@
 //! completion, and on a periodic tick; requested frequency changes take
 //! effect after the configured V/F transition latency, during which the core
 //! keeps running at the old frequency (paper Sec. 2.1 / Table 2).
+//!
+//! # Scratch-state snapshots
+//!
+//! Policies receive the [`ServerState`] by reference at every decision
+//! point. The simulator owns **one** scratch `ServerState` per run and
+//! refreshes it in place before each callback ([`SimState::snapshot`]):
+//! `queued` is a `clear()`-and-`extend()` of a retained `Vec`, so after the
+//! queue's high-water mark is reached the event loop performs **zero heap
+//! allocations per event** for policy snapshots. Policies must therefore
+//! treat the state as valid only for the duration of the callback (the
+//! borrow rules already enforce this — `ServerState` is passed as `&`), and
+//! clone it if they need to retain history.
 
 use crate::config::{IdleMode, SimConfig};
 use crate::freq::Freq;
@@ -57,6 +69,47 @@ struct SimState<'a> {
     asleep: bool,
     records: Vec<RequestRecord>,
     segments: Vec<Segment>,
+    /// Reusable policy-visible snapshot; refreshed in place before every
+    /// policy callback so the event loop allocates nothing per event.
+    scratch: ServerState,
+}
+
+impl SimState<'_> {
+    /// Refreshes the scratch [`ServerState`] from the live simulation state
+    /// and returns it. The `queued` vector is cleared and refilled, reusing
+    /// its capacity; no allocation occurs once the queue's high-water mark
+    /// has been reached.
+    fn snapshot(&mut self) -> &ServerState {
+        let trace = self.trace;
+        let scratch = &mut self.scratch;
+        scratch.now = self.now;
+        scratch.current_freq = self.current_freq;
+        scratch.target_freq = self.target_freq;
+        scratch.in_service = self.running.as_ref().map(|r| {
+            let spec = &trace[r.idx];
+            InServiceView {
+                id: spec.id,
+                arrival: spec.arrival,
+                elapsed_compute_cycles: r.progress * spec.compute_cycles,
+                elapsed_membound_time: r.progress * spec.membound_time,
+                oracle_compute_cycles: spec.compute_cycles,
+                oracle_membound_time: spec.membound_time,
+                class: spec.class,
+            }
+        });
+        scratch.queued.clear();
+        scratch.queued.extend(self.queue.iter().map(|&(idx, _)| {
+            let spec = &trace[idx];
+            QueuedView {
+                id: spec.id,
+                arrival: spec.arrival,
+                oracle_compute_cycles: spec.compute_cycles,
+                oracle_membound_time: spec.membound_time,
+                class: spec.class,
+            }
+        }));
+        scratch
+    }
 }
 
 impl Server {
@@ -89,13 +142,16 @@ impl Server {
             asleep: matches!(self.config.idle_mode, IdleMode::Sleep { .. }),
             records: Vec::with_capacity(trace.len()),
             segments: Vec::new(),
+            scratch: ServerState {
+                now: 0.0,
+                current_freq: start_freq,
+                target_freq: start_freq,
+                in_service: None,
+                queued: Vec::new(),
+            },
         };
 
-        loop {
-            let next_time = match self.next_event_time(&st) {
-                Some(t) => t,
-                None => break,
-            };
+        while let Some(next_time) = self.next_event_time(&st) {
             self.advance_to(&mut st, next_time);
             self.handle_events(&mut st, policy);
         }
@@ -202,14 +258,16 @@ impl Server {
         // 4. Periodic tick.
         if st.next_tick <= st.now + TIME_EPS {
             st.next_tick += self.config.tick_interval;
-            let state = self.snapshot(st);
-            let decision = policy.on_tick(&state);
+            let decision = policy.on_tick(st.snapshot());
             self.apply_decision(st, decision);
         }
     }
 
     fn complete_running(&self, st: &mut SimState<'_>, policy: &mut dyn DvfsPolicy) {
-        let running = st.running.take().expect("completion without a running request");
+        let running = st
+            .running
+            .take()
+            .expect("completion without a running request");
         let spec = st.trace[running.idx];
         let record = RequestRecord {
             id: spec.id,
@@ -236,8 +294,7 @@ impl Server {
             st.asleep = true;
         }
 
-        let state = self.snapshot(st);
-        let decision = policy.on_completion(&state, &record);
+        let decision = policy.on_completion(st.snapshot(), &record);
         self.apply_decision(st, decision);
     }
 
@@ -263,8 +320,7 @@ impl Server {
             st.queue.push_back((idx, pending_before));
         }
 
-        let state = self.snapshot(st);
-        let decision = policy.on_arrival(&state);
+        let decision = policy.on_arrival(st.snapshot());
         self.apply_decision(st, decision);
     }
 
@@ -289,45 +345,15 @@ impl Server {
             st.pending_transition = Some((f, st.now + latency));
         }
     }
-
-    fn snapshot(&self, st: &SimState<'_>) -> ServerState {
-        let in_service = st.running.as_ref().map(|r| {
-            let spec = &st.trace[r.idx];
-            InServiceView {
-                id: spec.id,
-                arrival: spec.arrival,
-                elapsed_compute_cycles: r.progress * spec.compute_cycles,
-                elapsed_membound_time: r.progress * spec.membound_time,
-                oracle_compute_cycles: spec.compute_cycles,
-                oracle_membound_time: spec.membound_time,
-                class: spec.class,
-            }
-        });
-        let queued = st
-            .queue
-            .iter()
-            .map(|&(idx, _)| {
-                let spec = &st.trace[idx];
-                QueuedView {
-                    id: spec.id,
-                    arrival: spec.arrival,
-                    oracle_compute_cycles: spec.compute_cycles,
-                    oracle_membound_time: spec.membound_time,
-                    class: spec.class,
-                }
-            })
-            .collect();
-        ServerState {
-            now: st.now,
-            current_freq: st.current_freq,
-            target_freq: st.target_freq,
-            in_service,
-            queued,
-        }
-    }
 }
 
-fn push_segment(segments: &mut Vec<Segment>, start: f64, end: f64, freq: Freq, activity: CoreActivity) {
+fn push_segment(
+    segments: &mut Vec<Segment>,
+    start: f64,
+    end: f64,
+    freq: Freq,
+    activity: CoreActivity,
+) {
     if end <= start {
         return;
     }
@@ -419,7 +445,9 @@ mod tests {
 
     #[test]
     fn sleep_mode_records_sleep_and_delays_wakeup() {
-        let config = cfg().with_idle_mode(IdleMode::Sleep { wakeup_latency: 100e-6 });
+        let config = cfg().with_idle_mode(IdleMode::Sleep {
+            wakeup_latency: 100e-6,
+        });
         let trace = Trace::new(vec![
             RequestSpec::new(0, 0.0, 2.4e6, 0.0),
             RequestSpec::new(1, 0.01, 2.4e6, 0.0),
@@ -468,16 +496,15 @@ mod tests {
         }
 
         let trace = Trace::new(vec![RequestSpec::new(0, 0.0, 0.8e6, 0.0)]); // 1 ms at 0.8 GHz
-        let slow_transition = SimConfig::default().with_dvfs(
-            DvfsConfig::haswell_like().with_transition_latency(10.0),
-        );
+        let slow_transition = SimConfig::default()
+            .with_dvfs(DvfsConfig::haswell_like().with_transition_latency(10.0));
         let server = Server::new(slow_transition);
         let lat = server.run(&trace, &mut BoostOnArrival).records()[0].latency();
         assert!((lat - 1e-3).abs() < 1e-9);
 
         // With an instantaneous transition the request runs at 3.4 GHz.
-        let fast_transition = SimConfig::default()
-            .with_dvfs(DvfsConfig::haswell_like().with_transition_latency(0.0));
+        let fast_transition =
+            SimConfig::default().with_dvfs(DvfsConfig::haswell_like().with_transition_latency(0.0));
         let server = Server::new(fast_transition);
         let lat = server.run(&trace, &mut BoostOnArrival).records()[0].latency();
         assert!((lat - 0.8e6 / 3.4e9).abs() < 1e-9);
@@ -516,8 +543,8 @@ mod tests {
             RequestSpec::new(0, 0.0, 2.4e6, 0.0),
             RequestSpec::new(1, 1e-3, 0.0, 0.0),
         ]);
-        let config = SimConfig::default()
-            .with_dvfs(DvfsConfig::haswell_like().with_transition_latency(0.0));
+        let config =
+            SimConfig::default().with_dvfs(DvfsConfig::haswell_like().with_transition_latency(0.0));
         let server = Server::new(config);
         let result = server.run(&trace, &mut BoostOnSecondArrival { seen: 0 });
         let r0 = result.records().iter().find(|r| r.id == 0).unwrap();
@@ -565,6 +592,59 @@ mod tests {
         for r in result.records() {
             assert!(r.completion >= r.start);
             assert!(r.start >= r.arrival);
+        }
+    }
+
+    #[test]
+    fn snapshots_reuse_one_scratch_buffer() {
+        // Structural guarantee of the scratch-state API: every policy
+        // callback sees the same retained `queued` buffer. Its pointer may
+        // move while capacity grows to the queue's high-water mark, but must
+        // then stay fixed — i.e. zero steady-state allocations per event.
+        struct PtrRecorder {
+            ptrs: Vec<(*const QueuedView, usize)>,
+        }
+        impl DvfsPolicy for PtrRecorder {
+            fn name(&self) -> &str {
+                "ptr-recorder"
+            }
+            fn on_arrival(&mut self, state: &ServerState) -> PolicyDecision {
+                self.ptrs
+                    .push((state.queued.as_ptr(), state.queued.capacity()));
+                PolicyDecision::Keep
+            }
+            fn on_completion(&mut self, state: &ServerState, _r: &RequestRecord) -> PolicyDecision {
+                self.ptrs
+                    .push((state.queued.as_ptr(), state.queued.capacity()));
+                PolicyDecision::Keep
+            }
+        }
+
+        // One large burst up front sets the queue's high-water mark, then
+        // spaced-out requests keep generating events at shallow depth.
+        let trace: Trace = (0..50)
+            .map(|i| RequestSpec::new(i, 0.0, 1.2e6, 0.0))
+            .chain((50..400).map(|i| RequestSpec::new(i, 0.05 + i as f64 * 1e-3, 1.2e6, 0.0)))
+            .collect();
+        let mut recorder = PtrRecorder { ptrs: Vec::new() };
+        let _ = Server::new(cfg()).run(&trace, &mut recorder);
+
+        assert!(recorder.ptrs.len() >= 800); // arrivals + completions
+        let max_cap = recorder.ptrs.iter().map(|&(_, c)| c).max().unwrap();
+        assert!(max_cap >= 7, "burst of 8 should queue at least 7");
+        // Once capacity reaches its high-water mark, the pointer never
+        // changes again: the buffer is reused for every later event.
+        let first_at_max = recorder
+            .ptrs
+            .iter()
+            .position(|&(_, c)| c == max_cap)
+            .unwrap();
+        let steady = &recorder.ptrs[first_at_max..];
+        let ptr = steady[0].0;
+        assert!(steady.len() > recorder.ptrs.len() / 2);
+        for &(p, c) in steady {
+            assert_eq!(p, ptr, "snapshot buffer reallocated after high-water mark");
+            assert_eq!(c, max_cap);
         }
     }
 

@@ -68,7 +68,9 @@ mod tests {
     #[test]
     fn uncorrelated_series_is_near_zero() {
         // x alternates, y is a slow ramp with a pattern orthogonal to x.
-        let x: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let x: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let y: Vec<f64> = (0..1000).map(|i| (i / 2) as f64).collect();
         let r = pearson(&x, &y).unwrap();
         assert!(r.abs() < 0.05, "r = {r}");

@@ -1,8 +1,24 @@
-//! Radix-2 complex FFT and FFT-accelerated convolution.
+//! Radix-2 FFTs, planned real-input transforms, and FFT-accelerated
+//! convolution.
 //!
 //! The paper (Sec. 4.2, "Cost") uses FFTs to accelerate the convolutions that
 //! build the target tail tables; this module provides that primitive without
 //! any external dependency.
+//!
+//! Two tiers of API:
+//!
+//! * [`convolve`] / [`convolve_fft`] / [`convolve_direct`] — one-shot
+//!   convolution of two real sequences, choosing the algorithm by size.
+//! * [`FftPlan`] / [`Spectrum`] — the perf tier used by the table builder.
+//!   A plan fixes the transform size once, precomputes twiddle factors and
+//!   the bit-reversal permutation, and transforms *real* input at half-size
+//!   cost (the classic even/odd complex packing). [`Spectrum`]s can be
+//!   multiplied pointwise ([`Spectrum::mul_assign`]), so a convolution
+//!   ladder `base, base⊛base, base^⊛3, …` costs one forward transform plus
+//!   one O(n) pointwise product per rung — the structure
+//!   `rubik-core::tables` exploits to rebuild all table rows from a single
+//!   base transform. All plan entry points take caller-owned scratch/output
+//!   buffers so a rebuild loop performs no steady-state allocation.
 
 use std::f64::consts::PI;
 
@@ -23,6 +39,22 @@ impl Complex {
     #[inline]
     pub fn new(re: f64, im: f64) -> Self {
         Self { re, im }
+    }
+
+    #[inline]
+    fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    #[inline]
+    fn scale(self, s: f64) -> Self {
+        Self {
+            re: self.re * s,
+            im: self.im * s,
+        }
     }
 
     #[inline]
@@ -51,6 +83,9 @@ impl Complex {
 }
 
 /// Computes the in-place radix-2 decimation-in-time FFT.
+///
+/// One-shot variant that derives twiddles on the fly; the table builder uses
+/// [`FftPlan`] instead, which precomputes them.
 ///
 /// # Panics
 ///
@@ -106,6 +141,254 @@ pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
     }
 }
 
+/// A planned real-input FFT of a fixed power-of-two size.
+///
+/// The plan packs the real input into a complex sequence of half the length
+/// and runs a half-size complex FFT with precomputed twiddle factors and
+/// bit-reversal indices, then unpacks to the half-spectrum (bins `0..=n/2`;
+/// the upper half is implied by Hermitian symmetry). Building a plan is
+/// `O(n)`; each transform is `O(n log n)` with no allocation when the caller
+/// reuses its scratch buffers.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    /// Real transform size (power of two, ≥ 2).
+    n: usize,
+    /// Half size: the complex FFT actually executed.
+    half: usize,
+    /// Twiddles for the half-size FFT: `exp(-2πik/half)` for `k < half/2`.
+    twiddles: Vec<Complex>,
+    /// Unpack factors `exp(-2πik/n)` for `k <= half`.
+    unpack: Vec<Complex>,
+    /// Bit-reversal permutation for the half-size FFT.
+    rev: Vec<u32>,
+}
+
+/// The half-spectrum of a real sequence under some [`FftPlan`]: bins
+/// `0..=n/2` of the DFT (the rest follows from Hermitian symmetry).
+///
+/// Spectra from the same plan can be multiplied pointwise, which corresponds
+/// to circular convolution of length `n` in the time domain — linear
+/// convolution as long as the true support fits in `n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spectrum {
+    n: usize,
+    bins: Vec<Complex>,
+}
+
+impl Spectrum {
+    /// The real transform size this spectrum belongs to.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the spectrum is empty (never true for plan-produced spectra).
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Pointwise (frequency-domain) multiplication: the spectrum of the
+    /// convolution of the two underlying sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectra come from different-size plans.
+    pub fn mul_assign(&mut self, other: &Spectrum) {
+        assert_eq!(self.n, other.n, "spectra must share a plan size");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a = a.mul(*b);
+        }
+    }
+
+    /// Out-of-place pointwise product.
+    pub fn multiplied(&self, other: &Spectrum) -> Spectrum {
+        let mut out = self.clone();
+        out.mul_assign(other);
+        out
+    }
+}
+
+impl FftPlan {
+    /// Creates a plan for real transforms of size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or is smaller than 2.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "FFT plan size must be a power of two >= 2"
+        );
+        let half = n / 2;
+        let twiddles = (0..half / 2)
+            .map(|k| {
+                let angle = -2.0 * PI * k as f64 / half as f64;
+                Complex::new(angle.cos(), angle.sin())
+            })
+            .collect();
+        let unpack = (0..=half)
+            .map(|k| {
+                let angle = -2.0 * PI * k as f64 / n as f64;
+                Complex::new(angle.cos(), angle.sin())
+            })
+            .collect();
+        let mut rev = vec![0u32; half];
+        let mut j = 0usize;
+        for i in 1..half {
+            let mut bit = half >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            rev[i] = j as u32;
+        }
+        Self {
+            n,
+            half,
+            twiddles,
+            unpack,
+            rev,
+        }
+    }
+
+    /// The real transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the plan is empty (never; for API completeness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Half-size complex FFT using the precomputed twiddles (decimation in
+    /// time). `inverse` conjugates the twiddles; scaling is the caller's job.
+    fn half_fft(&self, data: &mut [Complex], inverse: bool) {
+        let m = self.half;
+        debug_assert_eq!(data.len(), m);
+        for i in 1..m {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let mut len = 2;
+        while len <= m {
+            let stride = m / len;
+            let mut i = 0;
+            while i < m {
+                for k in 0..len / 2 {
+                    let mut w = self.twiddles[k * stride];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let u = data[i + k];
+                    let v = data[i + k + len / 2].mul(w);
+                    data[i + k] = u.add(v);
+                    data[i + k + len / 2] = u.sub(v);
+                }
+                i += len;
+            }
+            len <<= 1;
+        }
+    }
+
+    /// Forward transform of a real sequence (zero-padded to the plan size)
+    /// into `out`, using `scratch` for the packed half-size FFT. Both buffers
+    /// are resized as needed and reused across calls without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `real.len() > self.len()`.
+    pub fn forward_into(&self, real: &[f64], scratch: &mut Vec<Complex>, out: &mut Spectrum) {
+        assert!(
+            real.len() <= self.n,
+            "input of length {} exceeds plan size {}",
+            real.len(),
+            self.n
+        );
+        let m = self.half;
+        scratch.clear();
+        scratch.resize(m, Complex::default());
+        // Pack x[2k] + i·x[2k+1].
+        for k in 0..m {
+            let re = real.get(2 * k).copied().unwrap_or(0.0);
+            let im = real.get(2 * k + 1).copied().unwrap_or(0.0);
+            scratch[k] = Complex::new(re, im);
+        }
+        self.half_fft(scratch, false);
+
+        out.n = self.n;
+        out.bins.clear();
+        out.bins.resize(m + 1, Complex::default());
+        // Unpack: E[k] = (Z[k] + conj(Z[m-k]))/2, O[k] = -i(Z[k] - conj(Z[m-k]))/2,
+        // X[k] = E[k] + e^{-2πik/n}·O[k].
+        for k in 0..=m {
+            let zk = scratch[k % m];
+            let zmk = scratch[(m - k) % m].conj();
+            let e = zk.add(zmk).scale(0.5);
+            let d = zk.sub(zmk).scale(0.5);
+            let o = Complex::new(d.im, -d.re); // -i·d
+            out.bins[k] = e.add(self.unpack[k].mul(o));
+        }
+    }
+
+    /// Convenience allocating forward transform.
+    pub fn forward(&self, real: &[f64]) -> Spectrum {
+        let mut scratch = Vec::new();
+        let mut out = Spectrum {
+            n: self.n,
+            bins: Vec::new(),
+        };
+        self.forward_into(real, &mut scratch, &mut out);
+        out
+    }
+
+    /// Inverse transform of a half-spectrum back to the `n` real samples,
+    /// into `out` (resized to the plan size). `scratch` is reused across
+    /// calls. Values are *not* clamped; convolving non-negative sequences can
+    /// leave tiny negative round-off which callers clamp as appropriate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrum belongs to a different plan size.
+    pub fn inverse_into(&self, spec: &Spectrum, scratch: &mut Vec<Complex>, out: &mut Vec<f64>) {
+        assert_eq!(spec.n, self.n, "spectrum plan size mismatch");
+        let m = self.half;
+        scratch.clear();
+        scratch.resize(m, Complex::default());
+        // Re-pack: E[k] = (X[k] + conj(X[m-k]))/2,
+        //          O[k] = conj(w_k)·(X[k] - conj(X[m-k]))/2,
+        //          Z[k] = E[k] + i·O[k].
+        for (k, slot) in scratch.iter_mut().enumerate() {
+            let xk = spec.bins[k];
+            let xmk = spec.bins[m - k].conj();
+            let e = xk.add(xmk).scale(0.5);
+            let h = xk.sub(xmk).scale(0.5);
+            let o = self.unpack[k].conj().mul(h);
+            let io = Complex::new(-o.im, o.re); // i·o
+            *slot = e.add(io);
+        }
+        self.half_fft(scratch, true);
+
+        out.clear();
+        out.reserve(self.n);
+        let inv = 1.0 / m as f64;
+        for z in scratch.iter() {
+            out.push(z.re * inv);
+            out.push(z.im * inv);
+        }
+    }
+
+    /// Convenience allocating inverse transform.
+    pub fn inverse(&self, spec: &Spectrum) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.inverse_into(spec, &mut scratch, &mut out);
+        out
+    }
+}
+
 /// Direct O(n·m) convolution; used for small inputs and as a test oracle.
 pub fn convolve_direct(a: &[f64], b: &[f64]) -> Vec<f64> {
     if a.is_empty() || b.is_empty() {
@@ -129,37 +412,37 @@ pub fn convolve_fft(a: &[f64], b: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     let out_len = a.len() + b.len() - 1;
-    let n = out_len.next_power_of_two();
-
-    let mut fa: Vec<Complex> = a
-        .iter()
-        .map(|&x| Complex::new(x, 0.0))
-        .chain(std::iter::repeat(Complex::default()))
-        .take(n)
-        .collect();
-    let mut fb: Vec<Complex> = b
-        .iter()
-        .map(|&x| Complex::new(x, 0.0))
-        .chain(std::iter::repeat(Complex::default()))
-        .take(n)
-        .collect();
-
-    fft_in_place(&mut fa, false);
-    fft_in_place(&mut fb, false);
-    for i in 0..n {
-        fa[i] = fa[i].mul(fb[i]);
-    }
-    fft_in_place(&mut fa, true);
-
+    let n = out_len.next_power_of_two().max(2);
+    let plan = FftPlan::new(n);
+    let mut scratch = Vec::new();
+    let mut fa = Spectrum {
+        n,
+        bins: Vec::new(),
+    };
+    let mut fb = Spectrum {
+        n,
+        bins: Vec::new(),
+    };
+    plan.forward_into(a, &mut scratch, &mut fa);
+    plan.forward_into(b, &mut scratch, &mut fb);
+    fa.mul_assign(&fb);
+    let mut out = Vec::new();
+    plan.inverse_into(&fa, &mut scratch, &mut out);
+    out.truncate(out_len);
     // Clamp tiny negative values produced by floating-point error: the
     // convolution of non-negative PMFs must be non-negative.
-    fa.truncate(out_len);
-    fa.into_iter().map(|c| c.re.max(0.0)).collect()
+    for v in &mut out {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    out
 }
 
-/// Threshold (product of lengths) above which the FFT path is faster than the
-/// direct algorithm.
-const FFT_CROSSOVER: usize = 64 * 64;
+/// Threshold (product of lengths) above which the FFT path is faster than
+/// the direct algorithm. Public so equivalence tests can probe both sides of
+/// the crossover.
+pub const FFT_CROSSOVER: usize = 64 * 64;
 
 /// Convolves two real sequences, automatically choosing direct or FFT.
 pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
@@ -205,6 +488,117 @@ mod tests {
     }
 
     #[test]
+    fn plan_matches_one_shot_fft_spectrum() {
+        for n in [2usize, 4, 8, 64, 256] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 31 + 7) % 17) as f64 / 5.0).collect();
+            let plan = FftPlan::new(n);
+            let spec = plan.forward(&x);
+            let mut full: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+            fft_in_place(&mut full, false);
+            for k in 0..=n / 2 {
+                assert!(
+                    (spec.bins[k].re - full[k].re).abs() < 1e-9
+                        && (spec.bins[k].im - full[k].im).abs() < 1e-9,
+                    "n={n} bin {k}: {:?} vs {:?}",
+                    spec.bins[k],
+                    full[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_roundtrip_recovers_real_input() {
+        for n in [2usize, 8, 128, 1024] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+            let plan = FftPlan::new(n);
+            let back = plan.inverse(&plan.forward(&x));
+            assert_eq!(back.len(), n);
+            assert_close(&back, &x, 1e-9);
+        }
+    }
+
+    #[test]
+    fn plan_roundtrip_pads_short_input_with_zeros() {
+        let plan = FftPlan::new(16);
+        let x = [0.25, 0.5, 0.25];
+        let back = plan.inverse(&plan.forward(&x));
+        assert_close(&back[..3], &x, 1e-12);
+        for &v in &back[3..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn spectrum_product_is_convolution() {
+        let a: Vec<f64> = (0..40).map(|i| ((i * 13) % 7) as f64 / 6.0).collect();
+        let b: Vec<f64> = (0..25).map(|i| ((i * 5) % 11) as f64 / 10.0).collect();
+        let n = (a.len() + b.len() - 1).next_power_of_two();
+        let plan = FftPlan::new(n);
+        let mut sa = plan.forward(&a);
+        let sb = plan.forward(&b);
+        sa.mul_assign(&sb);
+        let conv = plan.inverse(&sa);
+        let direct = convolve_direct(&a, &b);
+        assert_close(&conv[..direct.len()], &direct, 1e-9);
+    }
+
+    #[test]
+    fn spectrum_powers_build_a_convolution_ladder() {
+        // The exact structure the table builder uses: pointwise powers of one
+        // base spectrum must equal repeated time-domain self-convolution.
+        let base = [0.2, 0.5, 0.2, 0.1];
+        let rungs = 5;
+        let n = ((base.len() - 1) * rungs + 1).next_power_of_two();
+        let plan = FftPlan::new(n);
+        let s_base = plan.forward(&base);
+        let mut spec = s_base.clone();
+        let mut direct = base.to_vec();
+        for _ in 1..rungs {
+            spec.mul_assign(&s_base);
+            direct = convolve_direct(&direct, &base);
+            let ladder = plan.inverse(&spec);
+            assert_close(&ladder[..direct.len()], &direct, 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_into_reuses_buffers_without_reallocating() {
+        let plan = FftPlan::new(256);
+        let x: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let mut scratch = Vec::new();
+        let mut spec = Spectrum {
+            n: 256,
+            bins: Vec::new(),
+        };
+        plan.forward_into(&x, &mut scratch, &mut spec);
+        let scratch_cap = scratch.capacity();
+        let bins_cap = spec.bins.capacity();
+        let scratch_ptr = scratch.as_ptr();
+        let bins_ptr = spec.bins.as_ptr();
+        for _ in 0..10 {
+            plan.forward_into(&x, &mut scratch, &mut spec);
+        }
+        assert_eq!(scratch.capacity(), scratch_cap);
+        assert_eq!(spec.bins.capacity(), bins_cap);
+        assert_eq!(scratch.as_ptr(), scratch_ptr);
+        assert_eq!(spec.bins.as_ptr(), bins_ptr);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn plan_rejects_non_power_of_two() {
+        let _ = FftPlan::new(6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds plan size")]
+    fn plan_rejects_oversized_input() {
+        let plan = FftPlan::new(8);
+        let _ = plan.forward(&[0.0; 9]);
+    }
+
+    #[test]
     fn direct_convolution_known_answer() {
         let a = [1.0, 2.0, 3.0];
         let b = [0.0, 1.0, 0.5];
@@ -235,6 +629,14 @@ mod tests {
         assert!(convolve(&[], &[1.0]).is_empty());
         assert!(convolve(&[1.0], &[]).is_empty());
         assert!(convolve_fft(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn single_element_convolution_works() {
+        // out_len = 1 exercises the minimum plan size.
+        let c = convolve_fft(&[2.0], &[3.0]);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 6.0).abs() < 1e-12);
     }
 
     #[test]

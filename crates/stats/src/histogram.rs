@@ -20,15 +20,44 @@ use crate::fft;
 /// bucket is its upper edge (a conservative choice: quantiles never
 /// under-estimate the quantity, which is the safe direction for a controller
 /// that must meet a latency bound).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Every histogram caches the prefix sums of its PMF at construction, so
+/// [`Histogram::cdf`] is O(1) and [`Histogram::quantile`] is O(log n)
+/// instead of re-summing the PMF — these run on Rubik's per-arrival decision
+/// path, where the controller consults quantiles on every event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Histogram {
     bucket_width: f64,
     /// Probability mass per bucket. Always sums to 1 (within fp error) for a
     /// non-empty histogram.
     pmf: Vec<f64>,
+    /// Cached running CDF: `cdf[i]` is the total mass of buckets `0..=i`.
+    cdf: Vec<f64>,
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached CDF is derived from the PMF; comparing it would be
+        // redundant.
+        self.bucket_width == other.bucket_width && self.pmf == other.pmf
+    }
 }
 
 impl Histogram {
+    /// Internal constructor: caches the running CDF for the given PMF.
+    fn with_pmf(bucket_width: f64, pmf: Vec<f64>) -> Self {
+        let mut cdf = Vec::with_capacity(pmf.len());
+        let mut cum = 0.0;
+        for &p in &pmf {
+            cum += p;
+            cdf.push(cum);
+        }
+        Self {
+            bucket_width,
+            pmf,
+            cdf,
+        }
+    }
     /// Builds a histogram from raw samples using `buckets` equal-width
     /// buckets spanning `[0, max_sample]`.
     ///
@@ -38,10 +67,16 @@ impl Histogram {
     /// negative or non-finite value.
     pub fn from_samples(samples: &[f64], buckets: usize) -> Self {
         assert!(buckets > 0, "histogram must have at least one bucket");
-        assert!(!samples.is_empty(), "cannot build a histogram from no samples");
+        assert!(
+            !samples.is_empty(),
+            "cannot build a histogram from no samples"
+        );
         let mut max = 0.0f64;
         for &s in samples {
-            assert!(s.is_finite() && s >= 0.0, "samples must be finite and non-negative");
+            assert!(
+                s.is_finite() && s >= 0.0,
+                "samples must be finite and non-negative"
+            );
             if s > max {
                 max = s;
             }
@@ -49,14 +84,18 @@ impl Histogram {
         // Degenerate case: all samples are zero. Use a vanishingly small
         // bucket width so the distribution's mean and quantiles are ~0 (a
         // width of 1.0 would invent a full unit of phantom work).
-        let bucket_width = if max > 0.0 { max / buckets as f64 } else { 1e-30 };
+        let bucket_width = if max > 0.0 {
+            max / buckets as f64
+        } else {
+            1e-30
+        };
         let mut pmf = vec![0.0; buckets];
         let w = 1.0 / samples.len() as f64;
         for &s in samples {
             let idx = ((s / bucket_width) as usize).min(buckets - 1);
             pmf[idx] += w;
         }
-        Self { bucket_width, pmf }
+        Self::with_pmf(bucket_width, pmf)
     }
 
     /// Creates a histogram directly from a probability mass function.
@@ -72,20 +111,20 @@ impl Histogram {
         assert!(!pmf.is_empty(), "pmf must be non-empty");
         let mut total = 0.0;
         for &p in &pmf {
-            assert!(p >= 0.0 && p.is_finite(), "pmf entries must be non-negative");
+            assert!(
+                p >= 0.0 && p.is_finite(),
+                "pmf entries must be non-negative"
+            );
             total += p;
         }
         assert!(total > 0.0, "pmf must have positive total mass");
         let pmf = pmf.into_iter().map(|p| p / total).collect();
-        Self { bucket_width, pmf }
+        Self::with_pmf(bucket_width, pmf)
     }
 
     /// A distribution that is zero with probability one.
     pub fn zero() -> Self {
-        Self {
-            bucket_width: 1.0,
-            pmf: vec![1.0],
-        }
+        Self::with_pmf(1.0, vec![1.0])
     }
 
     /// The width of each bucket, in the histogram's unit.
@@ -139,24 +178,18 @@ impl Histogram {
 
     /// The `q`-quantile (e.g. `q = 0.95` for the 95th percentile), reported
     /// conservatively as the upper edge of the bucket where the CDF crosses
-    /// `q`.
+    /// `q`. O(log n) via binary search over the cached running CDF.
     ///
     /// # Panics
     ///
     /// Panics if `q` is not within `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        let mut cum = 0.0;
-        for (i, &p) in self.pmf.iter().enumerate() {
-            cum += p;
-            if cum >= q - 1e-12 {
-                return self.bucket_value(i);
-            }
-        }
-        self.bucket_value(self.pmf.len() - 1)
+        let i = self.cdf.partition_point(|&c| c < q - 1e-12);
+        self.bucket_value(i.min(self.pmf.len() - 1))
     }
 
-    /// Cumulative probability `P[X <= x]`.
+    /// Cumulative probability `P[X <= x]`. O(1) via the cached running CDF.
     pub fn cdf(&self, x: f64) -> f64 {
         if x < 0.0 {
             return 0.0;
@@ -165,7 +198,7 @@ impl Histogram {
         if idx >= self.pmf.len() {
             return 1.0;
         }
-        self.pmf[..=idx].iter().sum::<f64>().min(1.0)
+        self.cdf[idx].min(1.0)
     }
 
     /// Distribution of the *remaining* quantity given that `elapsed` has
@@ -184,23 +217,14 @@ impl Histogram {
         assert!(elapsed >= 0.0, "elapsed must be non-negative");
         let shift = (elapsed / self.bucket_width).floor() as usize;
         if shift >= self.pmf.len() {
-            return Histogram {
-                bucket_width: self.bucket_width,
-                pmf: vec![1.0],
-            };
+            return Histogram::with_pmf(self.bucket_width, vec![1.0]);
         }
         let tail_mass: f64 = self.pmf[shift..].iter().sum();
         if tail_mass <= 0.0 {
-            return Histogram {
-                bucket_width: self.bucket_width,
-                pmf: vec![1.0],
-            };
+            return Histogram::with_pmf(self.bucket_width, vec![1.0]);
         }
         let pmf: Vec<f64> = self.pmf[shift..].iter().map(|&p| p / tail_mass).collect();
-        Histogram {
-            bucket_width: self.bucket_width,
-            pmf,
-        }
+        Histogram::with_pmf(self.bucket_width, pmf)
     }
 
     /// Convolution of two distributions: the distribution of the sum of two
@@ -227,10 +251,7 @@ impl Histogram {
         let mut pmf = Vec::with_capacity(self.pmf.len() + other.pmf.len());
         pmf.push(0.0);
         pmf.extend(fft::convolve(&self.pmf, &other.pmf));
-        Histogram {
-            bucket_width: self.bucket_width,
-            pmf,
-        }
+        Histogram::with_pmf(self.bucket_width, pmf)
     }
 
     /// Re-expresses the distribution on a grid with `buckets` buckets and the
@@ -242,10 +263,12 @@ impl Histogram {
         let mut pmf = vec![0.0; buckets];
         for (i, &p) in self.pmf.iter().enumerate() {
             let v = self.bucket_value(i);
-            let idx = ((v / bucket_width).ceil() as usize).saturating_sub(1).min(buckets - 1);
+            let idx = ((v / bucket_width).ceil() as usize)
+                .saturating_sub(1)
+                .min(buckets - 1);
             pmf[idx] += p;
         }
-        Histogram { bucket_width, pmf }
+        Histogram::with_pmf(bucket_width, pmf)
     }
 
     /// Scales the quantity axis by `factor` (e.g. converting cycles at one
@@ -259,6 +282,7 @@ impl Histogram {
         Histogram {
             bucket_width: self.bucket_width * factor,
             pmf: self.pmf.clone(),
+            cdf: self.cdf.clone(),
         }
     }
 

@@ -28,7 +28,10 @@ pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
 ///
 /// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
 pub fn percentile_of_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "cannot take the percentile of no samples");
+    assert!(
+        !sorted.is_empty(),
+        "cannot take the percentile of no samples"
+    );
     assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
     if q <= 0.0 {
         return sorted[0];

@@ -28,7 +28,10 @@ impl RollingTailTracker {
     /// Panics if `window <= 0` or `quantile` is outside `[0, 1]`.
     pub fn new(window: f64, quantile: f64) -> Self {
         assert!(window > 0.0, "window must be positive");
-        assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&quantile),
+            "quantile must be in [0, 1]"
+        );
         Self {
             window,
             quantile,

@@ -6,33 +6,64 @@
 //! shapes needed to mimic the five latency-critical applications, and
 //! [`DeterministicRng`] pins the RNG seed so every experiment is
 //! reproducible.
+//!
+//! The generator is a self-contained xoshiro256++ (seeded through SplitMix64)
+//! rather than an external RNG crate: the build environment is offline, and a
+//! fixed in-tree generator additionally guarantees that experiment streams
+//! never shift under a dependency upgrade. Distribution draws use inverse
+//! transforms (with the crate's high-precision [`gaussian_quantile`] for
+//! normal/log-normal) and rejection-inversion for Zipf.
+//!
+//! [`gaussian_quantile`]: crate::gaussian::gaussian_quantile
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution, Exp, LogNormal, Pareto, Zipf};
 use serde::{Deserialize, Serialize};
 
 /// A seeded pseudo-random number generator with convenience draws for the
 /// distributions used across the reproduction.
 ///
-/// Wrapping [`StdRng`] in a newtype keeps the choice of generator out of the
-/// public API and guarantees every consumer seeds explicitly.
+/// A newtype over the raw xoshiro256++ state keeps the choice of generator
+/// out of the public API and guarantees every consumer seeds explicitly.
 #[derive(Debug, Clone)]
 pub struct DeterministicRng {
-    rng: StdRng,
+    state: [u64; 4],
 }
 
 impl DeterministicRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // Expand the seed with SplitMix64, the recommended seeding procedure
+        // for xoshiro generators (it cannot produce the all-zero state).
+        let mut sm = seed;
+        let mut next_sm = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            state: [next_sm(), next_sm(), next_sm(), next_sm()],
         }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 random mantissa bits, the standard u64 → f64 conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -44,13 +75,20 @@ impl DeterministicRng {
     /// Uniform integer draw in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot draw an index from an empty range");
-        self.rng.gen_range(0..n)
+        // Lemire's multiply-shift; the modulo bias is at most n / 2^64.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Exponential draw with the given `mean`.
     pub fn exponential(&mut self, mean: f64) -> f64 {
         assert!(mean > 0.0, "exponential mean must be positive");
-        Exp::new(1.0 / mean).expect("valid rate").sample(&mut self.rng)
+        // Inverse CDF; uniform() < 1, so the log argument is positive.
+        -mean * (1.0 - self.uniform()).ln()
+    }
+
+    /// Standard normal draw via the inverse CDF.
+    fn standard_normal(&mut self) -> f64 {
+        crate::gaussian::gaussian_quantile(self.uniform().clamp(1e-15, 1.0 - 1e-15))
     }
 
     /// Log-normal draw parameterized by the *target* mean and coefficient of
@@ -62,21 +100,53 @@ impl DeterministicRng {
         }
         let sigma2 = (1.0 + cov * cov).ln();
         let mu = mean.ln() - sigma2 / 2.0;
-        LogNormal::new(mu, sigma2.sqrt())
-            .expect("valid lognormal")
-            .sample(&mut self.rng)
+        (mu + sigma2.sqrt() * self.standard_normal()).exp()
     }
 
     /// Pareto draw with the given scale (minimum value) and shape.
     pub fn pareto(&mut self, scale: f64, shape: f64) -> f64 {
         assert!(scale > 0.0 && shape > 0.0);
-        Pareto::new(scale, shape).expect("valid pareto").sample(&mut self.rng)
+        scale * (1.0 - self.uniform()).powf(-1.0 / shape)
     }
 
     /// Zipf-distributed rank in `[1, n]` with exponent `s`.
+    ///
+    /// Rejection sampling against the continuous envelope `x^-s`: rank 1 is
+    /// covered by a unit atom and rank `k ≥ 2` by the integral of the
+    /// envelope over `[k-1, k]`, which always dominates `k^-s`.
     pub fn zipf(&mut self, n: u64, s: f64) -> u64 {
         assert!(n > 0 && s > 0.0);
-        Zipf::new(n, s).expect("valid zipf").sample(&mut self.rng) as u64
+        if n == 1 {
+            return 1;
+        }
+        // H(x) = ∫₁ˣ t^-s dt and its inverse.
+        let h = |x: f64| -> f64 {
+            if (s - 1.0).abs() < 1e-12 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+            }
+        };
+        let h_inv = |y: f64| -> f64 {
+            if (s - 1.0).abs() < 1e-12 {
+                y.exp()
+            } else {
+                (1.0 + y * (1.0 - s)).powf(1.0 / (1.0 - s))
+            }
+        };
+        let total = 1.0 + h(n as f64);
+        loop {
+            let u = self.uniform() * total;
+            if u < 1.0 {
+                return 1;
+            }
+            let x = h_inv(u - 1.0);
+            let k = (x as u64 + 1).min(n);
+            // Accept with probability k^-s / x^-s (≤ 1 because x ≤ k).
+            if self.uniform() * x.powf(-s) <= (k as f64).powf(-s) {
+                return k;
+            }
+        }
     }
 
     /// Bernoulli draw with probability `p`.
@@ -88,14 +158,13 @@ impl DeterministicRng {
     /// Normal draw with given mean and standard deviation, truncated at zero.
     pub fn normal_nonneg(&mut self, mean: f64, std: f64) -> f64 {
         assert!(std >= 0.0);
-        let z = crate::gaussian::gaussian_quantile(self.uniform().clamp(1e-12, 1.0 - 1e-12));
-        (mean + std * z).max(0.0)
+        (mean + std * self.standard_normal()).max(0.0)
     }
 
     /// Derives an independent child generator; useful for giving each
     /// simulated server its own stream.
     pub fn fork(&mut self) -> DeterministicRng {
-        DeterministicRng::new(self.rng.gen())
+        DeterministicRng::new(self.next_u64())
     }
 }
 
@@ -214,6 +283,27 @@ mod tests {
     }
 
     #[test]
+    fn uniform_is_in_unit_interval_and_centered() {
+        let mut rng = DeterministicRng::new(13);
+        let s: OnlineStats = (0..100_000).map(|_| rng.uniform()).collect();
+        assert!(s.min().unwrap() >= 0.0);
+        assert!(s.max().unwrap() < 1.0);
+        assert!((s.mean() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn index_covers_the_range_uniformly() {
+        let mut rng = DeterministicRng::new(29);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.index(8)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts: {counts:?}");
+        }
+    }
+
+    #[test]
     fn exponential_mean_converges() {
         let mut rng = DeterministicRng::new(7);
         let s: OnlineStats = (0..50_000).map(|_| rng.exponential(3.0)).collect();
@@ -229,6 +319,18 @@ mod tests {
     }
 
     #[test]
+    fn pareto_respects_scale_and_mean() {
+        let mut rng = DeterministicRng::new(19);
+        let sampler = ServiceSampler::Pareto {
+            scale: 2.0,
+            shape: 3.0,
+        };
+        let s: OnlineStats = (0..100_000).map(|_| sampler.sample(&mut rng)).collect();
+        assert!(s.min().unwrap() >= 2.0);
+        assert!((s.mean() - sampler.mean()).abs() < 0.05 * sampler.mean());
+    }
+
+    #[test]
     fn zipf_favors_low_ranks() {
         let mut rng = DeterministicRng::new(3);
         let mut counts = [0u32; 10];
@@ -241,12 +343,34 @@ mod tests {
     }
 
     #[test]
+    fn zipf_matches_analytical_rank_probabilities() {
+        let mut rng = DeterministicRng::new(31);
+        let (n, s, draws) = (20u64, 1.3f64, 200_000usize);
+        let z: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+        let mut counts = vec![0u32; n as usize];
+        for _ in 0..draws {
+            counts[rng.zipf(n, s) as usize - 1] += 1;
+        }
+        for k in 1..=n as usize {
+            let expect = (k as f64).powf(-s) / z;
+            let got = counts[k - 1] as f64 / draws as f64;
+            assert!(
+                (got - expect).abs() < 0.01 + 0.05 * expect,
+                "rank {k}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
     fn samplers_are_nonnegative_and_match_mean() {
         let mut rng = DeterministicRng::new(5);
         let samplers = [
             ServiceSampler::Constant(4.0),
             ServiceSampler::Exponential { mean: 4.0 },
-            ServiceSampler::LogNormal { mean: 4.0, cov: 0.3 },
+            ServiceSampler::LogNormal {
+                mean: 4.0,
+                cov: 0.3,
+            },
             ServiceSampler::Bimodal {
                 short: 2.0,
                 long: 10.0,

@@ -2,26 +2,45 @@
 //! rests on: histograms never lose probability mass, quantiles are monotone
 //! and conservative, convolution preserves mass and adds means, and the
 //! Gaussian quantile inverts the CDF.
+//!
+//! The offline build has no `proptest`, so each property is checked over a
+//! seeded stream of randomized cases (64 per property, like the previous
+//! `ProptestConfig::with_cases(64)`): same coverage philosophy, fully
+//! deterministic failures.
 
-use proptest::prelude::*;
-use rubik_stats::{convolve, gaussian_quantile, percentile, standard_normal_cdf, Histogram};
+use rubik_stats::fft::{convolve_direct, convolve_fft, FFT_CROSSOVER};
+use rubik_stats::{
+    convolve, gaussian_quantile, percentile, standard_normal_cdf, DeterministicRng, Histogram,
+};
 
-fn sample_vec() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.0f64..1e6, 1..200)
+const CASES: usize = 64;
+
+/// A random sample vector of 1..200 values in `[0, 1e6)`.
+fn sample_vec(rng: &mut DeterministicRng) -> Vec<f64> {
+    let len = 1 + rng.index(199);
+    (0..len).map(|_| rng.uniform() * 1e6).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn histogram_mass_is_conserved(samples in sample_vec(), buckets in 1usize..256) {
+#[test]
+fn histogram_mass_is_conserved() {
+    let mut rng = DeterministicRng::new(0xA1);
+    for _ in 0..CASES {
+        let samples = sample_vec(&mut rng);
+        let buckets = 1 + rng.index(255);
         let hist = Histogram::from_samples(&samples, buckets);
         let total: f64 = hist.pmf().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "buckets {buckets}: mass {total}"
+        );
     }
+}
 
-    #[test]
-    fn histogram_quantiles_are_monotone_and_conservative(samples in sample_vec()) {
+#[test]
+fn histogram_quantiles_are_monotone_and_conservative() {
+    let mut rng = DeterministicRng::new(0xA2);
+    for _ in 0..CASES {
+        let samples = sample_vec(&mut rng);
         let hist = Histogram::from_samples(&samples, 128);
         let mut sorted = samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -29,55 +48,135 @@ proptest! {
         for i in 1..=10 {
             let q = i as f64 / 10.0;
             let v = hist.quantile(q);
-            prop_assert!(v >= prev);
+            assert!(v >= prev);
             prev = v;
             // Conservative: never below the exact empirical quantile.
             let exact = sorted[((sorted.len() - 1) as f64 * q) as usize];
-            prop_assert!(v >= exact - 1e-9);
+            assert!(v >= exact - 1e-9);
         }
     }
+}
 
-    #[test]
-    fn conditional_distribution_keeps_unit_mass(samples in sample_vec(), frac in 0.0f64..1.5) {
+#[test]
+fn histogram_cdf_matches_pmf_prefix_sums() {
+    // The cached running-CDF must agree with a from-scratch prefix sum at
+    // every bucket edge (this is what makes O(log n) quantiles sound).
+    let mut rng = DeterministicRng::new(0xA3);
+    for _ in 0..CASES {
+        let samples = sample_vec(&mut rng);
+        let hist = Histogram::from_samples(&samples, 64);
+        let mut cum = 0.0;
+        for i in 0..hist.len() {
+            cum += hist.pmf()[i];
+            // Sample inside bucket i (upper edges belong to the next bucket
+            // under the floor convention).
+            let x = (i as f64 + 0.5) * hist.bucket_width();
+            assert!(
+                (hist.cdf(x) - cum.min(1.0)).abs() < 1e-9,
+                "bucket {i}: cdf {} vs prefix {cum}",
+                hist.cdf(x)
+            );
+        }
+    }
+}
+
+#[test]
+fn conditional_distribution_keeps_unit_mass() {
+    let mut rng = DeterministicRng::new(0xA4);
+    for _ in 0..CASES {
+        let samples = sample_vec(&mut rng);
+        let frac = rng.uniform() * 1.5;
         let hist = Histogram::from_samples(&samples, 64);
         let elapsed = frac * hist.quantile(0.99);
         let cond = hist.conditional_on_elapsed(elapsed);
         let total: f64 = cond.pmf().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
+        assert!((total - 1.0).abs() < 1e-6);
     }
+}
 
-    #[test]
-    fn convolution_preserves_mass_and_adds_means(a in sample_vec(), b in sample_vec()) {
+#[test]
+fn convolution_preserves_mass_and_adds_means() {
+    let mut rng = DeterministicRng::new(0xA5);
+    for _ in 0..CASES {
+        let a = sample_vec(&mut rng);
+        let b = sample_vec(&mut rng);
         let ha = Histogram::from_samples(&a, 64);
         let hb = Histogram::from_samples(&b, 64).rebucket(ha.bucket_width(), 64);
         let c = ha.convolve(&hb);
         let total: f64 = c.pmf().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-6);
-        prop_assert!((c.mean() - (ha.mean() + hb.mean())).abs() < 1e-6 * c.mean().max(1.0));
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!((c.mean() - (ha.mean() + hb.mean())).abs() < 1e-6 * c.mean().max(1.0));
     }
+}
 
-    #[test]
-    fn raw_convolution_is_commutative(a in prop::collection::vec(0.0f64..1.0, 1..64),
-                                      b in prop::collection::vec(0.0f64..1.0, 1..64)) {
+#[test]
+fn raw_convolution_is_commutative() {
+    let mut rng = DeterministicRng::new(0xA6);
+    for _ in 0..CASES {
+        let a: Vec<f64> = (0..1 + rng.index(63)).map(|_| rng.uniform()).collect();
+        let b: Vec<f64> = (0..1 + rng.index(63)).map(|_| rng.uniform()).collect();
         let ab = convolve(&a, &b);
         let ba = convolve(&b, &a);
-        prop_assert_eq!(ab.len(), ba.len());
+        assert_eq!(ab.len(), ba.len());
         for (x, y) in ab.iter().zip(&ba) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn percentile_is_bounded_by_min_and_max(samples in sample_vec(), q in 0.0f64..=1.0) {
+#[test]
+fn convolve_crossover_is_seamless() {
+    // The automatic direct/FFT dispatch must produce the same result on both
+    // sides of FFT_CROSSOVER, and the two algorithms must agree with each
+    // other at the boundary itself.
+    let mut rng = DeterministicRng::new(0xA7);
+    for case in 0..CASES {
+        // Pick lengths whose product straddles the crossover: one pair just
+        // below, one pair just above, from the same random data.
+        let base = 2 + rng.index(62); // 2..=63
+        let below = FFT_CROSSOVER / base; // base * below <= FFT_CROSSOVER
+        let above = below + 1 + rng.index(8);
+        let a: Vec<f64> = (0..base).map(|_| rng.uniform()).collect();
+        let long: Vec<f64> = (0..above).map(|_| rng.uniform()).collect();
+
+        for (label, b) in [("below", &long[..below]), ("above", &long[..])] {
+            let auto = convolve(&a, b);
+            let direct = convolve_direct(&a, b);
+            let fft = convolve_fft(&a, b);
+            assert_eq!(auto.len(), direct.len());
+            for i in 0..auto.len() {
+                assert!(
+                    (auto[i] - direct[i]).abs() < 1e-9,
+                    "case {case} ({label}): auto vs direct at {i}"
+                );
+                assert!(
+                    (fft[i] - direct[i]).abs() < 1e-9,
+                    "case {case} ({label}): fft vs direct at {i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn percentile_is_bounded_by_min_and_max() {
+    let mut rng = DeterministicRng::new(0xA8);
+    for _ in 0..CASES {
+        let samples = sample_vec(&mut rng);
+        let q = rng.uniform();
         let p = percentile(&samples, q).unwrap();
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(p >= min && p <= max);
+        assert!(p >= min && p <= max);
     }
+}
 
-    #[test]
-    fn gaussian_quantile_inverts_cdf(p in 0.001f64..0.999) {
+#[test]
+fn gaussian_quantile_inverts_cdf() {
+    let mut rng = DeterministicRng::new(0xA9);
+    for _ in 0..CASES {
+        let p = 0.001 + rng.uniform() * 0.998;
         let x = gaussian_quantile(p);
-        prop_assert!((standard_normal_cdf(x) - p).abs() < 1e-4);
+        assert!((standard_normal_cdf(x) - p).abs() < 1e-4);
     }
 }

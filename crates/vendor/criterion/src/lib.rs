@@ -1,0 +1,518 @@
+//! Minimal offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset of the criterion API used by the `rubik-bench`
+//! benches, measuring wall-clock time with the usual
+//! calibrate-then-sample protocol:
+//!
+//! 1. **Calibration** — run the routine until it has consumed
+//!    [`Criterion::sample_time_ms`] of wall-clock time (or a minimum of one
+//!    iteration) to pick an iteration count per sample.
+//! 2. **Sampling** — collect [`Criterion::sample_size`] samples of that many
+//!    iterations each and report min / median / mean ns per iteration.
+//!
+//! Results print to stdout in a `name  time: [min median mean]` format and
+//! can additionally be written to a JSON file so CI can track the perf
+//! trajectory across PRs:
+//!
+//! * call [`Criterion::output_json`] in the bench's `config`, or
+//! * set the `RUBIK_BENCH_JSON` environment variable to a path.
+//!
+//! JSON files are merged by benchmark id, so several bench binaries can share
+//! one output file (the repo-level `BENCH_controller.json`). The schema is
+//! one object: `{"benchmarks": [{"id", "mean_ns", "median_ns", "min_ns",
+//! "samples", "iters_per_sample", "elems_per_iter"}]}`.
+//!
+//! Environment knobs (for CI smoke runs): `RUBIK_BENCH_SAMPLE_MS` overrides
+//! the per-sample target time, `RUBIK_BENCH_SAMPLES` overrides the sample
+//! count.
+
+use std::fmt::Display;
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How the input of [`Bencher::iter_batched`] is batched. The stand-in
+/// re-runs setup per iteration regardless; the variants exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: setup cost amortized over one iteration.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` when run in a group).
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Minimum nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of samples collected.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Elements per iteration, when the group declared a throughput.
+    pub elems_per_iter: Option<u64>,
+}
+
+/// The benchmark driver. Mirrors `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    sample_time_ms: u64,
+    json_path: Option<PathBuf>,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_time_ms = std::env::var("RUBIK_BENCH_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        let sample_size = std::env::var("RUBIK_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        let json_path = std::env::var("RUBIK_BENCH_JSON").ok().map(PathBuf::from);
+        Self {
+            sample_size,
+            sample_time_ms,
+            json_path,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        if std::env::var("RUBIK_BENCH_SAMPLES").is_err() {
+            self.sample_size = n;
+        }
+        self
+    }
+
+    /// Also write results to `path` as JSON (merged by id if the file
+    /// already exists). Relative paths resolve against the working
+    /// directory of the bench process.
+    pub fn output_json<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        if self.json_path.is_none() {
+            self.json_path = Some(path.into());
+        }
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name.to_string(), None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Finishes the run: emits the JSON file if configured. Called by
+    /// `criterion_group!`-generated code; harmless to call repeatedly.
+    pub fn finalize(&mut self) {
+        let Some(path) = self.json_path.clone() else {
+            return;
+        };
+        let mut merged: Vec<BenchResult> = Vec::new();
+        if let Ok(existing) = fs::read_to_string(&path) {
+            merged = parse_results_json(&existing);
+        }
+        for r in &self.results {
+            if let Some(slot) = merged.iter_mut().find(|m| m.id == r.id) {
+                *slot = r.clone();
+            } else {
+                merged.push(r.clone());
+            }
+        }
+        let json = results_to_json(&merged);
+        if let Err(e) = fs::write(&path, json) {
+            eprintln!("criterion: could not write {}: {e}", path.display());
+        } else {
+            println!(
+                "criterion: wrote {} benchmark(s) to {}",
+                merged.len(),
+                path.display()
+            );
+        }
+    }
+
+    /// Measured results so far (used by tests).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn run_one<F>(&mut self, id: String, elems: Option<u64>, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Calibrate: grow the iteration count until one batch takes at least
+        // the per-sample target.
+        let target = Duration::from_millis(self.sample_time_ms.max(1));
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= target || iters >= 1 << 24 {
+                break;
+            }
+            // Aim directly for the target based on the observed rate.
+            let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            let needed = if per_iter > 0.0 {
+                (target.as_secs_f64() / per_iter).ceil() as u64
+            } else {
+                iters * 8
+            };
+            iters = needed.clamp(iters + 1, iters * 8);
+        }
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let min = per_iter_ns[0];
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+
+        let mut line = format!(
+            "{id:<55} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+        if let Some(n) = elems {
+            let rate = n as f64 / (median * 1e-9);
+            line.push_str(&format!("  thrpt: {rate:.0} elem/s"));
+        }
+        println!("{line}");
+
+        self.results.push(BenchResult {
+            id,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+            samples: self.sample_size,
+            iters_per_sample: iters,
+            elems_per_iter: elems,
+        });
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and an optional
+/// throughput annotation.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed per iteration.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        let elems = self.elems();
+        self.criterion.run_one(id, elems, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let elems = self.elems();
+        self.criterion.run_one(full, elems, &mut |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+
+    fn elems(&self) -> Option<u64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) => Some(n),
+            _ => None,
+        }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh input from `setup` per iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.4} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.4} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.4} µs", ns / 1e3)
+    } else {
+        format!("{ns:.2} ns")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}, \
+             \"elems_per_iter\": {}}}",
+            json_escape(&r.id),
+            r.mean_ns,
+            r.median_ns,
+            r.min_ns,
+            r.samples,
+            r.iters_per_sample,
+            r.elems_per_iter
+                .map_or("null".to_string(), |n| n.to_string()),
+        ));
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses the JSON this module writes (line-oriented; not a general parser).
+fn parse_results_json(text: &str) -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') || !line.contains("\"id\"") {
+            continue;
+        }
+        let field = |name: &str| -> Option<String> {
+            let key = format!("\"{name}\": ");
+            let start = line.find(&key)? + key.len();
+            let rest = &line[start..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            Some(rest[..end].trim().to_string())
+        };
+        let id = match field("id") {
+            Some(v) => v.trim_matches('"').to_string(),
+            None => continue,
+        };
+        let num = |name: &str| field(name).and_then(|v| v.parse::<f64>().ok());
+        out.push(BenchResult {
+            id,
+            mean_ns: num("mean_ns").unwrap_or(0.0),
+            median_ns: num("median_ns").unwrap_or(0.0),
+            min_ns: num("min_ns").unwrap_or(0.0),
+            samples: num("samples").unwrap_or(0.0) as usize,
+            iters_per_sample: num("iters_per_sample").unwrap_or(0.0) as u64,
+            elems_per_iter: field("elems_per_iter")
+                .filter(|v| v != "null")
+                .and_then(|v| v.parse().ok()),
+        });
+    }
+    out
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion {
+            sample_size: 3,
+            sample_time_ms: 1,
+            json_path: None,
+            results: Vec::new(),
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].mean_ns >= 0.0);
+        assert!(c.results()[0].iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_results() {
+        let results = vec![
+            BenchResult {
+                id: "group/a".into(),
+                mean_ns: 123.4,
+                median_ns: 120.0,
+                min_ns: 118.9,
+                samples: 10,
+                iters_per_sample: 1000,
+                elems_per_iter: Some(2000),
+            },
+            BenchResult {
+                id: "b".into(),
+                mean_ns: 5.0,
+                median_ns: 5.0,
+                min_ns: 4.0,
+                samples: 3,
+                iters_per_sample: 7,
+                elems_per_iter: None,
+            },
+        ];
+        let parsed = parse_results_json(&results_to_json(&results));
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, "group/a");
+        assert!((parsed[0].mean_ns - 123.4).abs() < 0.2);
+        assert_eq!(parsed[0].elems_per_iter, Some(2000));
+        assert_eq!(parsed[1].elems_per_iter, None);
+        assert_eq!(parsed[1].iters_per_sample, 7);
+    }
+
+    #[test]
+    fn group_ids_are_prefixed() {
+        let mut c = Criterion {
+            sample_size: 2,
+            sample_time_ms: 1,
+            json_path: None,
+            results: Vec::new(),
+        };
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(5));
+        g.bench_with_input(BenchmarkId::new("f", 32), &32, |b, &n| b.iter(|| n * 2));
+        g.finish();
+        assert_eq!(c.results()[0].id, "grp/f/32");
+        assert_eq!(c.results()[0].elems_per_iter, Some(5));
+    }
+}

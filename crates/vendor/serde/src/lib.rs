@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize` / `Deserialize` as *both* marker traits and no-op
+//! derive macros under the same names, exactly like real serde with the
+//! `derive` feature, so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No serialization
+//! code is generated; persistence in this workspace is hand-rolled
+//! (`rubik-workloads::trace_io`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

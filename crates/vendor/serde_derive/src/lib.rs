@@ -1,0 +1,21 @@
+//! No-op derive macros for `Serialize` / `Deserialize`.
+//!
+//! The offline build cannot fetch the real `serde_derive`, and nothing in the
+//! workspace relies on generated serialization code (trace persistence is
+//! hand-rolled JSON in `rubik-workloads::trace_io`). These derives accept the
+//! same syntax, including `#[serde(...)]` attributes, and expand to nothing,
+//! so the type annotations remain in place for a later switch to real serde.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -215,8 +215,9 @@ mod tests {
         assert!(small < full);
 
         let povray = BatchApp::new("povray", 0.03, 0.05);
-        let degradation_povray = 1.0 - povray.throughput(nominal(), nominal(), 0.25)
-            / povray.throughput(nominal(), nominal(), 1.0);
+        let degradation_povray = 1.0
+            - povray.throughput(nominal(), nominal(), 0.25)
+                / povray.throughput(nominal(), nominal(), 1.0);
         let degradation_omnetpp = 1.0 - small / full;
         assert!(degradation_omnetpp > degradation_povray);
     }

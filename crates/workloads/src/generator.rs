@@ -190,16 +190,8 @@ mod tests {
     fn profile_trace_tracks_load_steps() {
         let mut g = WorkloadGenerator::new(AppProfile::masstree(), 5);
         let trace = g.profile_trace(&LoadProfile::Steps(vec![(0.2, 2.0), (0.6, 2.0)]));
-        let early = trace
-            .requests()
-            .iter()
-            .filter(|r| r.arrival < 2.0)
-            .count() as f64;
-        let late = trace
-            .requests()
-            .iter()
-            .filter(|r| r.arrival >= 2.0)
-            .count() as f64;
+        let early = trace.requests().iter().filter(|r| r.arrival < 2.0).count() as f64;
+        let late = trace.requests().iter().filter(|r| r.arrival >= 2.0).count() as f64;
         // Roughly 3x more requests in the high-load phase.
         assert!(late / early > 2.0, "early {early}, late {late}");
         assert!(trace.duration() <= 4.0);
@@ -231,7 +223,11 @@ mod tests {
         let trace = g.steady_trace(0.5, 20_000);
         let arrivals: Vec<f64> = trace.requests().iter().map(|r| r.arrival).collect();
         let gaps: OnlineStats = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
-        assert!((gaps.cov() - 1.0).abs() < 0.1, "interarrival CoV = {}", gaps.cov());
+        assert!(
+            (gaps.cov() - 1.0).abs() < 0.1,
+            "interarrival CoV = {}",
+            gaps.cov()
+        );
     }
 
     #[test]

@@ -159,7 +159,10 @@ impl AppProfile {
         shape: ServiceShape,
         mem_fraction: f64,
     ) -> Self {
-        assert!(mean_service_time > 0.0, "mean service time must be positive");
+        assert!(
+            mean_service_time > 0.0,
+            "mean service time must be positive"
+        );
         assert!(cov >= 0.0, "coefficient of variation must be non-negative");
         assert!(
             (0.0..1.0).contains(&mem_fraction),

@@ -5,12 +5,36 @@
 //! trace under different schemes so that every scheme sees an identical
 //! request stream. These helpers persist [`Trace`]s as JSON so experiments
 //! can be captured once and replayed by multiple harness binaries.
+//!
+//! The JSON codec is hand-rolled (the offline build has no serde_json) but
+//! uses serde_json's layout for the same types, so files remain compatible
+//! if the real dependency is restored:
+//!
+//! ```json
+//! {"requests":[{"id":0,"arrival":0.0,"compute_cycles":1.0e6,
+//!               "membound_time":1.0e-5,"class":0}, ...]}
+//! ```
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use rubik_sim::Trace;
+use rubik_sim::{RequestSpec, Trace};
+
+/// A JSON syntax or schema error, with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    message: String,
+    offset: usize,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
 
 /// Errors returned by trace I/O.
 #[derive(Debug)]
@@ -18,7 +42,7 @@ pub enum TraceIoError {
     /// The underlying file could not be read or written.
     Io(std::io::Error),
     /// The file contents could not be parsed as a trace.
-    Parse(serde_json::Error),
+    Parse(JsonError),
 }
 
 impl std::fmt::Display for TraceIoError {
@@ -45,15 +69,30 @@ impl From<std::io::Error> for TraceIoError {
     }
 }
 
-impl From<serde_json::Error> for TraceIoError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for TraceIoError {
+    fn from(e: JsonError) -> Self {
         TraceIoError::Parse(e)
     }
 }
 
 /// Serializes a trace to a JSON string.
 pub fn to_json(trace: &Trace) -> String {
-    serde_json::to_string(trace).expect("traces always serialize")
+    let mut out = String::with_capacity(64 * trace.len() + 16);
+    out.push_str("{\"requests\":[");
+    for (i, r) in trace.requests().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // `{:e}` prints the shortest-roundtrip mantissa, so values survive a
+        // write/read cycle bit-exactly.
+        out.push_str(&format!(
+            "{{\"id\":{},\"arrival\":{:e},\"compute_cycles\":{:e},\
+             \"membound_time\":{:e},\"class\":{}}}",
+            r.id, r.arrival, r.compute_cycles, r.membound_time, r.class
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Parses a trace from a JSON string.
@@ -62,7 +101,16 @@ pub fn to_json(trace: &Trace) -> String {
 ///
 /// Returns [`TraceIoError::Parse`] if the string is not a valid trace.
 pub fn from_json(json: &str) -> Result<Trace, TraceIoError> {
-    Ok(serde_json::from_str(json)?)
+    let mut p = Parser {
+        bytes: json.as_bytes(),
+        pos: 0,
+    };
+    let trace = p.parse_trace()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing data after trace").into());
+    }
+    Ok(trace)
 }
 
 /// Writes a trace to a JSON file.
@@ -91,14 +139,194 @@ pub fn load<P: AsRef<Path>>(path: P) -> Result<Trace, TraceIoError> {
     from_json(&contents)
 }
 
+/// A minimal recursive-descent parser for the trace schema. Field order
+/// within a request object is arbitrary; unknown fields are rejected (they
+/// would indicate a schema mismatch, not a newer writer).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), JsonError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err(self.error("escape sequences are not used by trace files"));
+            }
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(s);
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unterminated string"))
+    }
+
+    /// Scans a numeric token and returns it as a string slice; field-typed
+    /// parsing happens at the call site.
+    fn number_token(&mut self) -> Result<&str, JsonError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("expected a number"))
+    }
+
+    fn parse_f64(&mut self) -> Result<f64, JsonError> {
+        // Rust's parser maps out-of-range literals to ±inf; a trace with
+        // infinite work or arrival times would silently poison every
+        // downstream latency computation, so reject non-finite here.
+        let parsed = self.number_token()?.parse::<f64>().ok();
+        match parsed {
+            Some(v) if v.is_finite() => Ok(v),
+            _ => Err(self.error("expected a finite number")),
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, JsonError> {
+        let parsed = self.number_token()?.parse::<u64>().ok();
+        parsed.ok_or_else(|| self.error("expected a non-negative integer"))
+    }
+
+    fn parse_u32(&mut self) -> Result<u32, JsonError> {
+        let parsed = self.number_token()?.parse::<u32>().ok();
+        parsed.ok_or_else(|| self.error("expected a non-negative integer"))
+    }
+
+    fn parse_request(&mut self) -> Result<RequestSpec, JsonError> {
+        self.expect(b'{')?;
+        let mut spec = RequestSpec::new(0, 0.0, 0.0, 0.0);
+        // Like serde, every field must be present exactly once: a request
+        // with silently-defaulted zero work would corrupt replays.
+        let mut seen = [false; 5];
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let slot = match key.as_str() {
+                "id" => {
+                    spec.id = self.parse_u64()?;
+                    0
+                }
+                "arrival" => {
+                    spec.arrival = self.parse_f64()?;
+                    1
+                }
+                "compute_cycles" => {
+                    spec.compute_cycles = self.parse_f64()?;
+                    2
+                }
+                "membound_time" => {
+                    spec.membound_time = self.parse_f64()?;
+                    3
+                }
+                "class" => {
+                    spec.class = self.parse_u32()?;
+                    4
+                }
+                _ => return Err(self.error(&format!("unknown request field \"{key}\""))),
+            };
+            if seen[slot] {
+                return Err(self.error(&format!("duplicate request field \"{key}\"")));
+            }
+            seen[slot] = true;
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    if let Some(missing) = seen.iter().position(|&s| !s) {
+                        const FIELDS: [&str; 5] =
+                            ["id", "arrival", "compute_cycles", "membound_time", "class"];
+                        return Err(
+                            self.error(&format!("missing request field \"{}\"", FIELDS[missing]))
+                        );
+                    }
+                    return Ok(spec);
+                }
+                _ => return Err(self.error("expected ',' or '}' in request object")),
+            }
+        }
+    }
+
+    fn parse_trace(&mut self) -> Result<Trace, JsonError> {
+        self.expect(b'{')?;
+        let key = self.parse_string()?;
+        if key != "requests" {
+            return Err(self.error("expected a \"requests\" field"));
+        }
+        self.expect(b':')?;
+        self.expect(b'[')?;
+        let mut requests = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+        } else {
+            loop {
+                requests.push(self.parse_request()?);
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => return Err(self.error("expected ',' or ']' in request array")),
+                }
+            }
+        }
+        self.expect(b'}')?;
+        Ok(Trace::new(requests))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{AppProfile, WorkloadGenerator};
 
-    /// JSON text round-trips floats to within one ULP; for trace replay that
-    /// is indistinguishable, so the tests compare with a tight relative
-    /// tolerance rather than bitwise equality.
+    /// The writer emits shortest-roundtrip floats, so traces survive a
+    /// round-trip bit-exactly; the comparison is still by value so the test
+    /// also documents what matters for replay.
     fn assert_traces_equivalent(a: &Trace, b: &Trace) {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.requests().iter().zip(b.requests()) {
@@ -110,8 +338,7 @@ mod tests {
                     <= 1e-12 * x.compute_cycles.abs().max(1.0)
             );
             assert!(
-                (x.membound_time - y.membound_time).abs()
-                    <= 1e-12 * x.membound_time.abs().max(1.0)
+                (x.membound_time - y.membound_time).abs() <= 1e-12 * x.membound_time.abs().max(1.0)
             );
         }
     }
@@ -138,10 +365,95 @@ mod tests {
     }
 
     #[test]
+    fn whitespace_and_field_order_are_tolerated() {
+        let json = r#" {
+            "requests": [
+                {"arrival": 1.5e-3, "id": 7, "class": 2,
+                 "membound_time": 0.0, "compute_cycles": 1e6}
+            ]
+        } "#;
+        let t = from_json(json).unwrap();
+        assert_eq!(t.len(), 1);
+        let r = t.requests()[0];
+        assert_eq!(r.id, 7);
+        assert_eq!(r.class, 2);
+        assert!((r.arrival - 1.5e-3).abs() < 1e-18);
+        assert!((r.compute_cycles - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = from_json(&to_json(&Trace::default())).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
     fn parse_error_is_reported() {
         let err = from_json("not json").unwrap_err();
         assert!(matches!(err, TraceIoError::Parse(_)));
         assert!(err.to_string().contains("not a valid trace"));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let err = from_json(r#"{"requests":[{"id":0,"bogus":1}]}"#).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(_)));
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        // A truncated request must not silently default to zero work.
+        let err = from_json(r#"{"requests":[{"id":3,"arrival":0.0}]}"#).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(_)));
+        assert!(err.to_string().contains("missing request field"));
+    }
+
+    #[test]
+    fn duplicate_fields_are_rejected() {
+        let err = from_json(
+            r#"{"requests":[{"id":0,"id":1,"arrival":0.0,"compute_cycles":1.0,
+                "membound_time":0.0,"class":0}]}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(_)));
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        // 1e999 overflows to +inf under f64 parsing; accepting it would
+        // poison every downstream latency computation.
+        let err = from_json(
+            r#"{"requests":[{"id":0,"arrival":1e999,"compute_cycles":1.0,
+                "membound_time":0.0,"class":0}]}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(_)));
+    }
+
+    #[test]
+    fn fractional_ids_are_rejected() {
+        let err = from_json(
+            r#"{"requests":[{"id":1.5,"arrival":0.0,"compute_cycles":1.0,
+                "membound_time":0.0,"class":0}]}"#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(_)));
+    }
+
+    #[test]
+    fn large_ids_roundtrip_exactly() {
+        // Ids above 2^53 would corrupt under an f64 round-trip; the integer
+        // fields must parse as integers.
+        let big = (1u64 << 60) + 12345;
+        let trace = Trace::new(vec![RequestSpec::new(big, 0.0, 1.0, 0.0)]);
+        let back = from_json(&to_json(&trace)).unwrap();
+        assert_eq!(back.requests()[0].id, big);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let err = from_json("{\"requests\":[]} extra").unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(_)));
     }
 
     #[test]

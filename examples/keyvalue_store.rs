@@ -37,17 +37,25 @@ fn main() {
     let so_records = replay(&trace, &vec![so_freq; trace.len()]);
 
     // AdrenalineOracle: boosted/unboosted pair tuned offline.
-    let adrenaline = AdrenalineOracle::new(config.dvfs.clone(), 0.95).train(&trace, bound, active_power);
+    let adrenaline =
+        AdrenalineOracle::new(config.dvfs.clone(), 0.95).train(&trace, bound, active_power);
     let ao_records = replay(&trace, &adrenaline.assign(&trace));
 
     // Rubik.
     let mut rubik = RubikController::new(RubikConfig::new(bound), config.dvfs.clone());
     let rubik_result = Server::new(config).run(&trace, &mut rubik);
 
-    println!("masstree @ {:.0}% load, bound = {:.0} us", load * 100.0, bound * 1e6);
+    println!(
+        "masstree @ {:.0}% load, bound = {:.0} us",
+        load * 100.0,
+        bound * 1e6
+    );
     println!();
     println!("Response-latency CDF (latency in us at each percentile):");
-    println!("{:>6} {:>14} {:>14} {:>14}", "pct", "StaticOracle", "Adrenaline", "Rubik");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "pct", "StaticOracle", "Adrenaline", "Rubik"
+    );
     let rubik_lat = rubik_result.latencies();
     let so_lat: Vec<f64> = so_records.iter().map(|r| r.latency()).collect();
     let ao_lat: Vec<f64> = ao_records.iter().map(|r| r.latency()).collect();

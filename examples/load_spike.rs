@@ -45,10 +45,7 @@ fn main() {
         "masstree, load steps 25% -> 50% -> 75% every 4 s, bound = {:.0} us",
         bound * 1e6
     );
-    println!(
-        "StaticOracle tuned for 25% load runs at {}.",
-        static_freq
-    );
+    println!("StaticOracle tuned for 25% load runs at {}.", static_freq);
     println!();
     println!(
         "{:>6} {:>8} {:>22} {:>22} {:>16}",
@@ -60,8 +57,7 @@ fn main() {
     let rubik_roll = rubik_result.rolling_tail(window, 0.95);
     let tail_at = |roll: &[(f64, f64)], t: f64| -> f64 {
         roll.iter()
-            .filter(|&&(time, _)| time <= t)
-            .next_back()
+            .rfind(|&&(time, _)| time <= t)
             .map(|&(_, tail)| tail)
             .unwrap_or(0.0)
     };

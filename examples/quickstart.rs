@@ -42,7 +42,10 @@ fn main() {
         profile.description()
     );
     println!("load              : {:.0}%", load * 100.0);
-    println!("latency bound     : {:.0} us (95th percentile)", bound * 1e6);
+    println!(
+        "latency bound     : {:.0} us (95th percentile)",
+        bound * 1e6
+    );
     println!();
     println!(
         "{:<18} {:>14} {:>22}",

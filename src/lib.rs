@@ -1,0 +1,8 @@
+//! Workspace root package.
+//!
+//! Exists to host the repository-level integration tests (`tests/`) and
+//! examples (`examples/`); the actual implementation lives in the `rubik-*`
+//! crates under `crates/`. Everything is re-exported from the [`rubik`]
+//! facade crate.
+
+pub use rubik::*;

@@ -25,7 +25,12 @@ fn rubikcoloc_is_the_only_scheme_that_reliably_holds_the_tail() {
     assert!(rubik <= 1.2, "RubikColoc normalized tail {rubik}");
     // The hardware schemes are latency-oblivious and degrade the tail badly.
     assert!(tails["HW-T"] > 1.5, "HW-T tail {}", tails["HW-T"]);
-    assert!(tails["HW-TPW"] > rubik, "HW-TPW {} vs Rubik {}", tails["HW-TPW"], rubik);
+    assert!(
+        tails["HW-TPW"] > rubik,
+        "HW-TPW {} vs Rubik {}",
+        tails["HW-TPW"],
+        rubik
+    );
     // The ordering of Fig. 15: RubikColoc best, hardware schemes worst.
     assert!(tails["HW-T"] >= tails["StaticColoc"] * 0.9);
 }
@@ -37,7 +42,15 @@ fn colocation_achieves_full_core_utilization() {
     let profile = AppProfile::xapian();
     let mix = BatchMix::paper_mixes(23)[0].clone();
     let bound = core.latency_bound(&profile, 1200, 9);
-    let outcome = core.run(ColocScheme::RubikColoc, &profile, 0.3, &mix, bound, 1200, 13);
+    let outcome = core.run(
+        ColocScheme::RubikColoc,
+        &profile,
+        0.3,
+        &mix,
+        bound,
+        1200,
+        13,
+    );
     // The LC side only uses ~30% of the core...
     assert!(outcome.lc_utilization < 0.6);
     // ...but batch work covers the rest: total busy fraction is 1 by

@@ -15,7 +15,12 @@ struct SchemeOutcome {
     energy_per_request: f64,
 }
 
-fn run_fixed(trace: &Trace, config: &SimConfig, freq: Freq, power: &CorePowerModel) -> SchemeOutcome {
+fn run_fixed(
+    trace: &Trace,
+    config: &SimConfig,
+    freq: Freq,
+    power: &CorePowerModel,
+) -> SchemeOutcome {
     let mut policy = FixedFrequencyPolicy::new(freq);
     let result = Server::new(config.clone()).run(trace, &mut policy);
     SchemeOutcome {
@@ -24,7 +29,12 @@ fn run_fixed(trace: &Trace, config: &SimConfig, freq: Freq, power: &CorePowerMod
     }
 }
 
-fn run_rubik(trace: &Trace, config: &SimConfig, bound: f64, power: &CorePowerModel) -> SchemeOutcome {
+fn run_rubik(
+    trace: &Trace,
+    config: &SimConfig,
+    bound: f64,
+    power: &CorePowerModel,
+) -> SchemeOutcome {
     let mut rubik = RubikController::new(
         RubikConfig::new(bound).with_profiling_window(2048),
         config.dvfs.clone(),

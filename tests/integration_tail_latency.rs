@@ -4,9 +4,7 @@
 //! tail latency rises steeply with load.
 
 use rubik::stats::pearson;
-use rubik::{
-    AppProfile, FixedFrequencyPolicy, Server, SimConfig, WorkloadGenerator,
-};
+use rubik::{AppProfile, FixedFrequencyPolicy, Server, SimConfig, WorkloadGenerator};
 
 fn fixed_run(profile: &AppProfile, load: f64, n: usize, seed: u64) -> rubik::RunResult {
     let config = SimConfig::default();
@@ -49,7 +47,10 @@ fn tail_latency_rises_steeply_with_load() {
         tails.push(result.tail_latency(0.95).unwrap());
     }
     for pair in tails.windows(2) {
-        assert!(pair[1] > pair[0], "tail latency must increase with load: {tails:?}");
+        assert!(
+            pair[1] > pair[0],
+            "tail latency must increase with load: {tails:?}"
+        );
     }
     // At 80% load the tail should be several times the service-time tail.
     let service_tail = {
@@ -67,7 +68,11 @@ fn queueing_dominates_tail_latency_at_moderate_load_for_uniform_services() {
         let result = fixed_run(&profile, 0.6, 2500, 70);
         let latencies = result.latencies();
         let tail = rubik::stats::percentile(&latencies, 0.95).unwrap();
-        let queueing: Vec<f64> = result.records().iter().map(|r| r.queueing_delay()).collect();
+        let queueing: Vec<f64> = result
+            .records()
+            .iter()
+            .map(|r| r.queueing_delay())
+            .collect();
         let queue_tail = rubik::stats::percentile(&queueing, 0.95).unwrap();
         assert!(
             queue_tail > 0.4 * tail,

@@ -4,9 +4,7 @@
 
 use rubik::core::{replay, replay_tail};
 use rubik::workloads::trace_io;
-use rubik::{
-    AppProfile, FixedFrequencyPolicy, Server, SimConfig, WorkloadGenerator,
-};
+use rubik::{AppProfile, FixedFrequencyPolicy, Server, SimConfig, WorkloadGenerator};
 
 #[test]
 fn captured_trace_replays_identically_after_a_round_trip_through_json() {
@@ -53,7 +51,10 @@ fn same_seed_reproduces_an_identical_experiment_end_to_end() {
         let mut generator = WorkloadGenerator::new(profile, 41);
         let trace = generator.steady_trace(0.5, 1200);
         let mut policy = FixedFrequencyPolicy::new(config.dvfs.nominal());
-        Server::new(config).run(&trace, &mut policy).tail_latency(0.95).unwrap()
+        Server::new(config)
+            .run(&trace, &mut policy)
+            .tail_latency(0.95)
+            .unwrap()
     };
     assert_eq!(run(), run());
 }
