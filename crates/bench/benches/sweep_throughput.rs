@@ -1,0 +1,164 @@
+//! Fleet-scale sweep throughput: serial vs N-thread wall time of the
+//! paper-shaped colocation grid (5 apps × 20 batch mixes × 6 LC loads)
+//! fanned out by `rubik-sweep`.
+//!
+//! Each cell is one `ColocatedCore::run` under RubikColoc — the same cell
+//! the Fig. 15/16 experiments evaluate — over a shared immutable context
+//! (profiles, mixes, precomputed latency bounds). The grid shape is the
+//! paper's; the per-cell request count is reduced (env-tunable) so the
+//! bench finishes in CI.
+//!
+//! Results merge into `BENCH_controller.json` like the other controller
+//! benches, and a `BENCH_sweep.json` summary (serial vs parallel wall time
+//! and speedup per thread count) is written for later PRs to regress
+//! against. Speedup tracks the host: on a single-core runner it is ~1×, on
+//! a 4+-core runner the acceptance bar is ≥ 2×.
+//!
+//! Env knobs: `RUBIK_SWEEP_BENCH_REQUESTS` (default 120) scales per-cell
+//! work; `RUBIK_BENCH_SAMPLE_MS` / `RUBIK_BENCH_SAMPLES` are the usual
+//! criterion smoke knobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rubik::{AppProfile, BatchMix, ColocScheme, ColocatedCore, SweepExecutor, SweepSpec};
+
+const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
+const SWEEP_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+
+const APPS: usize = 5;
+const MIXES: usize = 20;
+const LOADS: usize = 6;
+
+fn requests_per_cell() -> usize {
+    std::env::var("RUBIK_SWEEP_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120)
+}
+
+/// The shared immutable context every cell closure captures.
+struct GridContext {
+    core: ColocatedCore,
+    apps: Vec<AppProfile>,
+    mixes: Vec<BatchMix>,
+    bounds: Vec<f64>,
+    loads: [f64; LOADS],
+    requests: usize,
+}
+
+fn build_context() -> GridContext {
+    let requests = requests_per_cell();
+    let core = ColocatedCore::new();
+    let apps = AppProfile::all();
+    assert_eq!(apps.len(), APPS, "paper grid expects {APPS} LC apps");
+    let mixes = BatchMix::paper_mixes(2015);
+    let bounds: Vec<f64> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, app)| core.latency_bound(app, requests, 10 + i as u64))
+        .collect();
+    GridContext {
+        core,
+        apps,
+        mixes,
+        bounds,
+        loads: [0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+        requests,
+    }
+}
+
+/// One full grid pass at the given thread count; returns a checksum so the
+/// work cannot be optimized away.
+fn run_grid(ctx: &GridContext, threads: usize) -> f64 {
+    let spec = SweepSpec::new()
+        .axis("app", APPS)
+        .axis("mix", MIXES)
+        .axis("load", LOADS);
+    let outcomes = SweepExecutor::new(threads)
+        .run(&spec, |cell| {
+            let (a, m, l) = (cell.get("app"), cell.get("mix"), cell.get("load"));
+            ctx.core
+                .run(
+                    ColocScheme::RubikColoc,
+                    &ctx.apps[a],
+                    ctx.loads[l],
+                    &ctx.mixes[m % ctx.mixes.len()],
+                    ctx.bounds[a],
+                    ctx.requests,
+                    (100 + a * 100 + m * 10 + l) as u64,
+                )
+                .normalized_tail
+        })
+        .into_results();
+    outcomes.iter().sum()
+}
+
+fn thread_counts() -> Vec<usize> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![2, 4];
+    if !counts.contains(&host) && host > 1 {
+        counts.push(host);
+    }
+    counts
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let ctx = build_context();
+    let mut group = c.benchmark_group("sweep_throughput");
+
+    group.bench_function("serial_5x20x6", |b| b.iter(|| run_grid(&ctx, 1)));
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("threads_5x20x6", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_grid(&ctx, threads)),
+        );
+    }
+    group.finish();
+
+    write_sweep_summary(c);
+}
+
+/// Distills the group's results into `BENCH_sweep.json` so later PRs can
+/// regress serial-vs-parallel wall time for the paper-shaped grid.
+fn write_sweep_summary(c: &Criterion) {
+    let median = |id: &str| c.results().iter().find(|r| r.id == id).map(|r| r.median_ns);
+    let Some(serial_ns) = median("sweep_throughput/serial_5x20x6") else {
+        return;
+    };
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut parallel_entries = Vec::new();
+    for threads in thread_counts() {
+        if let Some(ns) = median(&format!("sweep_throughput/threads_5x20x6/{threads}")) {
+            parallel_entries.push(format!(
+                "    {{\"threads\": {threads}, \"median_ns\": {ns:.1}, \"speedup\": {:.3}}}",
+                serial_ns / ns
+            ));
+        }
+    }
+    let json = format!(
+        "{{\n  \"grid\": {{\"apps\": {APPS}, \"mixes\": {MIXES}, \"loads\": {LOADS}, \
+         \"cells\": {}, \"requests_per_cell\": {}}},\n  \"host_parallelism\": {host},\n  \
+         \"serial_median_ns\": {serial_ns:.1},\n  \"parallel\": [\n{}\n  ]\n}}\n",
+        APPS * MIXES * LOADS,
+        requests_per_cell(),
+        parallel_entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(SWEEP_JSON, &json) {
+        eprintln!("sweep_throughput: could not write {SWEEP_JSON}: {e}");
+    } else {
+        println!("sweep_throughput: wrote {SWEEP_JSON}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5).output_json(BENCH_JSON);
+    targets = bench_sweep_throughput
+}
+criterion_main!(benches);

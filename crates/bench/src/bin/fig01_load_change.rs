@@ -2,10 +2,10 @@
 //! rolling tail latency and Rubik's frequency choices over time.
 
 use rubik::{AppProfile, LoadProfile, StaticOracle, WorkloadGenerator};
-use rubik_bench::{print_header, Harness, TAIL_QUANTILE};
+use rubik_bench::{print_header, BenchArgs, Harness, TAIL_QUANTILE};
 
 fn main() {
-    let harness = Harness::new();
+    let harness = BenchArgs::parse().apply(Harness::new());
     let profile = AppProfile::masstree();
     let bound = harness.latency_bound(&profile);
 

@@ -2,10 +2,10 @@
 //! 30%, 40% and 50% load.
 
 use rubik::AppProfile;
-use rubik_bench::{print_header, print_row, Harness};
+use rubik_bench::{print_header, print_row, BenchArgs, Harness};
 
 fn main() {
-    let harness = Harness::new();
+    let harness = BenchArgs::parse().apply(Harness::new());
     let profile = AppProfile::masstree();
     let bound = harness.latency_bound(&profile);
 

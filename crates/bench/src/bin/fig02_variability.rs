@@ -6,10 +6,10 @@
 //! * Fig. 2c — normalized tail latency vs load for all five applications.
 
 use rubik::{AppProfile, FixedFrequencyPolicy, Server};
-use rubik_bench::{print_header, print_row, Harness, TAIL_QUANTILE};
+use rubik_bench::{print_header, print_row, BenchArgs, Harness, TAIL_QUANTILE};
 
 fn main() {
-    let harness = Harness::new();
+    let harness = BenchArgs::parse().apply(Harness::new());
     let apps = AppProfile::all();
 
     println!("# Fig. 2a: CDF of instantaneous QPS (5 ms windows), normalized to mean");

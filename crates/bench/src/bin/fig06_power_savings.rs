@@ -1,19 +1,30 @@
 //! Fig. 6: core power savings of StaticOracle, AdrenalineOracle and Rubik
 //! over the fixed-frequency baseline, for each application at 30/40/50% load.
+//!
+//! The (app × load) grid runs on `rubik-sweep`; pass `--threads N` to
+//! control the worker pool (results are identical for any thread count).
 
-use rubik::AppProfile;
-use rubik_bench::{print_header, Harness};
+use rubik::{AppProfile, SweepSpec};
+use rubik_bench::{print_header, BenchArgs, Harness};
 
 fn main() {
-    let harness = Harness::new();
-    println!("# Fig. 6: core power savings (%) over fixed 2.4 GHz");
-    print_header(&["app", "load", "static_oracle", "adrenaline_oracle", "rubik"]);
+    let args = BenchArgs::parse();
+    let harness = args.apply(Harness::new());
+    let apps = AppProfile::all();
+    let loads = [0.3, 0.4, 0.5];
+    let executor = args.executor();
 
-    let mut totals = [0.0f64; 3];
-    let mut count = 0.0;
-    for (i, app) in AppProfile::all().iter().enumerate() {
-        let bound = harness.latency_bound(app);
-        for (j, load) in [0.3, 0.4, 0.5].into_iter().enumerate() {
+    // Each latency bound is an independent calibration run; fan them out
+    // before the grid so every cell only reads.
+    let bounds = executor.map(&apps, |app| harness.latency_bound(app));
+
+    let spec = SweepSpec::new()
+        .axis("app", apps.len())
+        .axis("load", loads.len());
+    let cells = executor
+        .run(&spec, |cell| {
+            let (i, j) = (cell.get("app"), cell.get("load"));
+            let (app, load) = (&apps[i], loads[j]);
             // At 50% load, evaluate on the same trace that defined the bound
             // (the paper's target is literally the fixed-frequency tail of
             // this run), so statistical noise cannot push StaticOracle above
@@ -25,27 +36,34 @@ fn main() {
             };
             let trace = harness.trace(app, load, seed);
             let fixed = harness.run_fixed(&trace, harness.sim.dvfs.nominal());
-            let (static_oracle, _) = harness.run_static_oracle(&trace, bound);
-            let adrenaline = harness.run_adrenaline(&trace, bound);
-            let (rubik, _) = harness.run_rubik(&trace, bound, true);
+            let (static_oracle, _) = harness.run_static_oracle(&trace, bounds[i]);
+            let adrenaline = harness.run_adrenaline(&trace, bounds[i]);
+            let (rubik, _) = harness.run_rubik(&trace, bounds[i], true);
+            [
+                Harness::savings_percent(&fixed, &static_oracle),
+                Harness::savings_percent(&fixed, &adrenaline),
+                Harness::savings_percent(&fixed, &rubik),
+            ]
+        })
+        .into_results();
 
-            let s = Harness::savings_percent(&fixed, &static_oracle);
-            let a = Harness::savings_percent(&fixed, &adrenaline);
-            let r = Harness::savings_percent(&fixed, &rubik);
-            println!(
-                "{}\t{:.0}%\t{:.1}\t{:.1}\t{:.1}",
-                app.name(),
-                load * 100.0,
-                s,
-                a,
-                r
-            );
-            totals[0] += s;
-            totals[1] += a;
-            totals[2] += r;
-            count += 1.0;
-        }
+    println!("# Fig. 6: core power savings (%) over fixed 2.4 GHz");
+    print_header(&["app", "load", "static_oracle", "adrenaline_oracle", "rubik"]);
+    let mut totals = [0.0f64; 3];
+    for (cell, [s, a, r]) in spec.cells().zip(&cells) {
+        println!(
+            "{}\t{:.0}%\t{:.1}\t{:.1}\t{:.1}",
+            apps[cell.get("app")].name(),
+            loads[cell.get("load")] * 100.0,
+            s,
+            a,
+            r
+        );
+        totals[0] += s;
+        totals[1] += a;
+        totals[2] += r;
     }
+    let count = cells.len() as f64;
     println!(
         "mean\tall\t{:.1}\t{:.1}\t{:.1}",
         totals[0] / count,

@@ -3,15 +3,15 @@
 
 use rubik::core::replay;
 use rubik::{AdrenalineOracle, AppProfile, StaticOracle};
-use rubik_bench::{print_header, Harness, TAIL_QUANTILE};
+use rubik_bench::{print_header, BenchArgs, Harness, TAIL_QUANTILE};
 
 fn main() {
-    run_cdf_experiment(AppProfile::masstree(), "Fig. 7");
+    let harness = BenchArgs::parse().apply(Harness::new());
+    run_cdf_experiment(harness, AppProfile::masstree(), "Fig. 7");
 }
 
 /// Shared by the Fig. 7 (masstree) and Fig. 8 (xapian) binaries.
-pub fn run_cdf_experiment(profile: AppProfile, figure: &str) {
-    let harness = Harness::new();
+pub fn run_cdf_experiment(harness: Harness, profile: AppProfile, figure: &str) {
     let bound = harness.latency_bound(&profile);
     let trace = harness.trace(&profile, 0.5, 7);
 

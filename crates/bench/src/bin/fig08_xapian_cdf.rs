@@ -4,10 +4,10 @@
 
 use rubik::core::replay;
 use rubik::{AdrenalineOracle, AppProfile, StaticOracle};
-use rubik_bench::{print_header, Harness, TAIL_QUANTILE};
+use rubik_bench::{print_header, BenchArgs, Harness, TAIL_QUANTILE};
 
 fn main() {
-    let harness = Harness::new();
+    let harness = BenchArgs::parse().apply(Harness::new());
     let profile = AppProfile::xapian();
     let bound = harness.latency_bound(&profile);
     let trace = harness.trace(&profile, 0.5, 8);

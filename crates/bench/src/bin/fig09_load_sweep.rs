@@ -1,22 +1,64 @@
 //! Fig. 9: trace-driven load sweeps for every application — tail latency
 //! (9a) and core energy per request (9b) under Fixed-frequency, StaticOracle,
 //! DynamicOracle, Rubik without feedback, and Rubik.
+//!
+//! The (app × load) grid runs on `rubik-sweep` (DynamicOracle makes these
+//! the slowest standalone cells); pass `--threads N` to control the pool.
 
-use rubik::AppProfile;
-use rubik_bench::{print_header, Harness};
+use rubik::{AppProfile, SweepSpec};
+use rubik_bench::{print_header, BenchArgs, Harness};
+
+/// One grid cell: the five schemes' (tail, energy-per-request) pairs.
+struct CellRow {
+    tails_us: [f64; 5],
+    energy_mj: [f64; 5],
+}
 
 fn main() {
+    let args = BenchArgs::parse();
     // The full Table-3 request counts make DynamicOracle slow; a reduced
     // count preserves the curves' shape.
-    let harness = Harness::new().with_requests(2500);
+    let harness = args.apply(Harness::new().with_requests(2500));
+    let apps = AppProfile::all();
     let loads = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+    let executor = args.executor();
 
-    for (i, app) in AppProfile::all().iter().enumerate() {
-        let bound = harness.latency_bound(app);
+    let bounds = executor.map(&apps, |app| harness.latency_bound(app));
+
+    let spec = SweepSpec::new()
+        .axis("app", apps.len())
+        .axis("load", loads.len());
+    let cells = executor
+        .run(&spec, |cell| {
+            let (i, j) = (cell.get("app"), cell.get("load"));
+            let (app, load, bound) = (&apps[i], loads[j], bounds[i]);
+            // The 50% point is evaluated on the bound-defining trace (same
+            // convention as fig06) so that StaticOracle lands exactly at the
+            // nominal frequency there, as in the paper.
+            let seed = if load == 0.5 {
+                777
+            } else {
+                (i * 100 + j) as u64
+            };
+            let trace = harness.trace(app, load, seed);
+            let fixed = harness.run_fixed(&trace, harness.sim.dvfs.nominal());
+            let (static_oracle, _) = harness.run_static_oracle(&trace, bound);
+            let dynamic = harness.run_dynamic_oracle(&trace, bound);
+            let (rubik_nofb, _) = harness.run_rubik(&trace, bound, false);
+            let (rubik, _) = harness.run_rubik(&trace, bound, true);
+            let schemes = [fixed, static_oracle, dynamic, rubik_nofb, rubik];
+            CellRow {
+                tails_us: schemes.map(|s| s.tail_latency * 1e6),
+                energy_mj: schemes.map(|s| s.energy_per_request * 1e3),
+            }
+        })
+        .into_results();
+
+    for (i, app) in apps.iter().enumerate() {
         println!(
             "# Fig. 9: {} (tail bound {:.0} us)",
             app.name(),
-            bound * 1e6
+            bounds[i] * 1e6
         );
         print_header(&[
             "load",
@@ -32,33 +74,22 @@ fn main() {
             "rubik_mJ",
         ]);
         for (j, load) in loads.into_iter().enumerate() {
-            // The 50% point is evaluated on the bound-defining trace (same
-            // convention as fig06) so that StaticOracle lands exactly at the
-            // nominal frequency there, as in the paper.
-            let seed = if load == 0.5 {
-                777
-            } else {
-                (i * 100 + j) as u64
-            };
-            let trace = harness.trace(app, load, seed);
-            let fixed = harness.run_fixed(&trace, harness.sim.dvfs.nominal());
-            let (static_oracle, _) = harness.run_static_oracle(&trace, bound);
-            let dynamic = harness.run_dynamic_oracle(&trace, bound);
-            let (rubik_nofb, _) = harness.run_rubik(&trace, bound, false);
-            let (rubik, _) = harness.run_rubik(&trace, bound, true);
+            let row = &cells[spec.index_of(&[i, j])];
+            let t = row.tails_us;
+            let e = row.energy_mj;
             println!(
                 "{:.0}%\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.1}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}",
                 load * 100.0,
-                fixed.tail_latency * 1e6,
-                static_oracle.tail_latency * 1e6,
-                dynamic.tail_latency * 1e6,
-                rubik_nofb.tail_latency * 1e6,
-                rubik.tail_latency * 1e6,
-                fixed.energy_per_request * 1e3,
-                static_oracle.energy_per_request * 1e3,
-                dynamic.energy_per_request * 1e3,
-                rubik_nofb.energy_per_request * 1e3,
-                rubik.energy_per_request * 1e3,
+                t[0],
+                t[1],
+                t[2],
+                t[3],
+                t[4],
+                e[0],
+                e[1],
+                e[2],
+                e[3],
+                e[4],
             );
         }
         println!();

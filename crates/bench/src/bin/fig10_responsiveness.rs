@@ -8,10 +8,10 @@ use rubik::{
     AdrenalineOracle, AppProfile, FixedFrequencyPolicy, LoadProfile, Server, StaticOracle,
     WorkloadGenerator,
 };
-use rubik_bench::{print_header, Harness, TAIL_QUANTILE};
+use rubik_bench::{print_header, BenchArgs, Harness, TAIL_QUANTILE};
 
 fn main() {
-    let harness = Harness::new();
+    let harness = BenchArgs::parse().apply(Harness::new());
     for (i, app) in AppProfile::all().iter().enumerate() {
         let bound = harness.latency_bound(app);
         let mut generator = WorkloadGenerator::new(app.clone(), 300 + i as u64);

@@ -4,21 +4,28 @@
 //! with the slow-transition DVFS configuration and a less memory-bound,
 //! more variable application profile (larger per-core LLC).
 
-use rubik::AppProfile;
-use rubik_bench::{print_header, Harness};
+use rubik::{AppProfile, SweepSpec};
+use rubik_bench::{print_header, BenchArgs, Harness};
 
 fn main() {
-    let harness = Harness::real_system();
-    println!("# Fig. 11: real-system core power savings (%) with 130 us DVFS transitions");
-    print_header(&["app", "load", "static_oracle", "rubik"]);
+    let args = BenchArgs::parse();
+    let harness = args.apply(Harness::real_system());
     let apps = [
         // Larger LLC: less memory-bound, more variable service times (Sec. 5.5).
         AppProfile::masstree().with_mem_fraction(0.2),
         AppProfile::moses().with_mem_fraction(0.15).with_cov(0.35),
     ];
-    for (i, app) in apps.iter().enumerate() {
-        let bound = harness.latency_bound(app);
-        for (j, load) in [0.3, 0.4, 0.5].into_iter().enumerate() {
+    let loads = [0.3, 0.4, 0.5];
+    let executor = args.executor();
+
+    let bounds = executor.map(&apps, |app| harness.latency_bound(app));
+    let spec = SweepSpec::new()
+        .axis("app", apps.len())
+        .axis("load", loads.len());
+    let rows = executor
+        .run(&spec, |cell| {
+            let (i, j) = (cell.get("app"), cell.get("load"));
+            let (app, load) = (&apps[i], loads[j]);
             // See fig06: the 50% point is evaluated on the bound-defining
             // trace so measurement noise cannot force StaticOracle above
             // nominal.
@@ -29,15 +36,22 @@ fn main() {
             };
             let trace = harness.trace(app, load, seed);
             let fixed = harness.run_fixed(&trace, harness.sim.dvfs.nominal());
-            let (static_oracle, _) = harness.run_static_oracle(&trace, bound);
-            let (rubik, _) = harness.run_rubik(&trace, bound, true);
-            println!(
-                "{}\t{:.0}%\t{:.1}\t{:.1}",
-                app.name(),
-                load * 100.0,
+            let (static_oracle, _) = harness.run_static_oracle(&trace, bounds[i]);
+            let (rubik, _) = harness.run_rubik(&trace, bounds[i], true);
+            (
                 Harness::savings_percent(&fixed, &static_oracle),
-                Harness::savings_percent(&fixed, &rubik)
-            );
-        }
+                Harness::savings_percent(&fixed, &rubik),
+            )
+        })
+        .into_results();
+
+    println!("# Fig. 11: real-system core power savings (%) with 130 us DVFS transitions");
+    print_header(&["app", "load", "static_oracle", "rubik"]);
+    for (cell, (static_savings, rubik_savings)) in spec.cells().zip(&rows) {
+        println!(
+            "{}\t{:.0}%\t{static_savings:.1}\t{rubik_savings:.1}",
+            apps[cell.get("app")].name(),
+            loads[cell.get("load")] * 100.0,
+        );
     }
 }

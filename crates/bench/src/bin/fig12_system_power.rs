@@ -3,14 +3,16 @@
 //! them at the server level — the motivation for RubikColoc.
 
 use rubik::{AppProfile, ServerPowerModel};
-use rubik_bench::{print_header, Harness};
+use rubik_bench::{print_header, BenchArgs, Harness};
 
 fn main() {
-    let harness = Harness::new();
+    let args = BenchArgs::parse();
+    let harness = args.apply(Harness::new());
     let server = ServerPowerModel::paper_simulated();
-    println!("# Fig. 12: full-system power savings (%) at 30% load");
-    print_header(&["app", "core_savings_%", "system_savings_%"]);
-    for (i, app) in AppProfile::all().iter().enumerate() {
+    let apps = AppProfile::all();
+
+    // One self-contained cell per application, fanned across the pool.
+    let rows = args.executor().map_indexed(&apps, |i, app| {
         let bound = harness.latency_bound(app);
         let trace = harness.trace(app, 0.3, i as u64);
 
@@ -29,12 +31,15 @@ fn main() {
             &vec![rubik_result.freq_residency(); server.cores()],
             duration,
         );
-
-        println!(
-            "{}\t{:.1}\t{:.1}",
-            app.name(),
+        (
             Harness::savings_percent(&fixed, &rubik_summary),
-            (1.0 - rubik_power / fixed_power) * 100.0
-        );
+            (1.0 - rubik_power / fixed_power) * 100.0,
+        )
+    });
+
+    println!("# Fig. 12: full-system power savings (%) at 30% load");
+    print_header(&["app", "core_savings_%", "system_savings_%"]);
+    for (app, (core_savings, system_savings)) in apps.iter().zip(&rows) {
+        println!("{}\t{core_savings:.1}\t{system_savings:.1}", app.name());
     }
 }

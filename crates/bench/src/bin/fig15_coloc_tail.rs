@@ -1,45 +1,65 @@
 //! Fig. 15: distribution of tail latency (relative to the bound) across
 //! LC-application x batch-mix combinations at 60% load, for the four
 //! colocation schemes.
+//!
+//! The scheme × app × mix grid runs on `rubik-sweep`; pass `--threads N`
+//! to control the worker pool.
 
-use rubik::{AppProfile, BatchMix, ColocScheme, ColocatedCore};
-use rubik_bench::print_header;
+use rubik::{AppProfile, BatchMix, ColocScheme, ColocatedCore, SweepSpec};
+use rubik_bench::{print_header, BenchArgs};
 
 fn main() {
+    let args = BenchArgs::parse();
     // The paper uses 5 apps x 20 mixes = 100 combinations; a reduced grid of
     // 5 x 4 = 20 keeps the harness fast while preserving the distributions.
     let mixes_per_app = 4;
-    let requests = 1500;
+    let requests = args.requests.unwrap_or(1500);
     let load = 0.6;
 
     let core = ColocatedCore::new();
     let apps = AppProfile::all();
-    let mixes = BatchMix::paper_mixes(2015);
+    let mixes = BatchMix::paper_mixes(args.seed.unwrap_or(2015));
+    let schemes = ColocScheme::all();
+    let executor = args.executor();
+
+    // The latency bound is per app, shared by all schemes and mixes; fan the
+    // calibration runs out first.
+    let bounds = executor.map_indexed(&apps, |i, app| {
+        core.latency_bound(app, requests, 10 + i as u64)
+    });
+
+    let spec = SweepSpec::new()
+        .axis("scheme", schemes.len())
+        .axis("app", apps.len())
+        .axis("mix", mixes_per_app);
+    let tails = executor
+        .run(&spec, |cell| {
+            let (s, i, m) = (cell.get("scheme"), cell.get("app"), cell.get("mix"));
+            let mix = &mixes[(i * mixes_per_app + m) % mixes.len()];
+            core.run(
+                schemes[s],
+                &apps[i],
+                load,
+                mix,
+                bounds[i],
+                requests,
+                (100 + i * 10 + m) as u64,
+            )
+            .normalized_tail
+        })
+        .into_results();
 
     println!(
         "# Fig. 15: normalized tail latency across workload mixes at 60% load (sorted, descending)"
     );
     let mut per_scheme: Vec<(String, Vec<f64>)> = Vec::new();
-    for scheme in ColocScheme::all() {
-        let mut tails = Vec::new();
-        for (i, app) in apps.iter().enumerate() {
-            let bound = core.latency_bound(app, requests, 10 + i as u64);
-            for m in 0..mixes_per_app {
-                let mix = &mixes[(i * mixes_per_app + m) % mixes.len()];
-                let outcome = core.run(
-                    scheme,
-                    app,
-                    load,
-                    mix,
-                    bound,
-                    requests,
-                    (100 + i * 10 + m) as u64,
-                );
-                tails.push(outcome.normalized_tail);
-            }
-        }
-        tails.sort_by(|a, b| b.partial_cmp(a).unwrap());
-        per_scheme.push((scheme.name().to_string(), tails));
+    for (s, scheme) in schemes.iter().enumerate() {
+        let mut scheme_tails: Vec<f64> = (0..apps.len())
+            .flat_map(|i| (0..mixes_per_app).map(move |m| (i, m)))
+            .map(|(i, m)| tails[spec.index_of(&[s, i, m])])
+            .collect();
+        scheme_tails.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        per_scheme.push((scheme.name().to_string(), scheme_tails));
     }
 
     print_header(&["mix_rank", "StaticColoc", "RubikColoc", "HW-T", "HW-TPW"]);

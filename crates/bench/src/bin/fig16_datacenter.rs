@@ -3,15 +3,19 @@
 //! 10% to 60%. Both are normalized to the segregated datacenter at 60% load.
 
 use rubik::{DatacenterComparison, DatacenterConfig};
-use rubik_bench::print_header;
+use rubik_bench::{print_header, BenchArgs};
 
 fn main() {
+    let args = BenchArgs::parse();
     let mut config = DatacenterConfig::paper();
-    config.requests_per_sample = 1500;
+    config.requests_per_sample = args.requests.unwrap_or(1500);
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
     let dc = DatacenterComparison::new(config);
 
     let loads = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6];
-    let points = dc.sweep(&loads);
+    let points = dc.sweep_with_threads(&loads, args.threads());
     let reference = points.last().expect("non-empty sweep");
     let ref_power = reference.segregated_power;
     let ref_servers = reference.segregated_servers as f64;

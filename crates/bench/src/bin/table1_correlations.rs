@@ -3,10 +3,10 @@
 
 use rubik::stats::pearson;
 use rubik::{AppProfile, FixedFrequencyPolicy, Server};
-use rubik_bench::{print_header, print_row, Harness};
+use rubik_bench::{print_header, print_row, BenchArgs, Harness};
 
 fn main() {
-    let harness = Harness::new();
+    let harness = BenchArgs::parse().apply(Harness::new());
     println!("# Table 1: correlation of response latency with service time, QPS, queue length");
     print_header(&["app", "service_time", "instantaneous_qps", "queue_length"]);
     for (i, app) in AppProfile::all().iter().enumerate() {

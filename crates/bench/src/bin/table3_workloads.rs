@@ -1,10 +1,10 @@
 //! Table 3: latency-critical application configurations and request counts.
 
 use rubik::{AppProfile, Freq};
-use rubik_bench::{print_header, Harness};
+use rubik_bench::{print_header, BenchArgs, Harness};
 
 fn main() {
-    let harness = Harness::new();
+    let harness = BenchArgs::parse().apply(Harness::new());
     println!("# Table 3: latency-critical applications");
     print_header(&[
         "app",

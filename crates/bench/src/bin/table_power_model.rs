@@ -3,9 +3,10 @@
 //! error (the paper reports 5.1% mean and 11% worst-case on 20,000 samples).
 
 use rubik::power::regression::{k_fold_cross_validation, synthesize_samples, PowerRegression};
-use rubik_bench::print_header;
+use rubik_bench::{print_header, BenchArgs};
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("# Power-model fit and k-fold cross-validation (Sec. 5.1 methodology)");
     print_header(&[
         "samples",
@@ -15,7 +16,7 @@ fn main() {
         "worst_abs_err_%",
     ]);
     for (samples, noise) in [(20_000usize, 0.05f64), (20_000, 0.02), (5_000, 0.05)] {
-        let data = synthesize_samples(samples, noise, 2015);
+        let data = synthesize_samples(samples, noise, args.seed.unwrap_or(2015));
         let report = k_fold_cross_validation(&data, 10);
         println!(
             "{}\t{:.0}\t{}\t{:.1}\t{:.1}",
@@ -28,7 +29,7 @@ fn main() {
     }
 
     // Also report the in-sample fit coefficients for reference.
-    let data = synthesize_samples(20_000, 0.05, 2015);
+    let data = synthesize_samples(20_000, 0.05, args.seed.unwrap_or(2015));
     let model = PowerRegression::fit(&data);
     let c = model.coefficients();
     println!();

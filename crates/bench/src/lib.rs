@@ -15,7 +15,10 @@
 //! `{"benchmarks": [{"id", "mean_ns", "median_ns", "min_ns", "samples",
 //! "iters_per_sample", "elems_per_iter"}]}`, written by the vendored
 //! criterion's JSON emitter and uploaded as a CI artifact so the perf
-//! trajectory is visible across PRs.
+//! trajectory is visible across PRs. `benches/sweep_throughput.rs` adds the
+//! fleet-scale axis: serial vs N-thread wall time of the paper-shaped
+//! colocation grid on `rubik-sweep`, merged into the same file plus a
+//! `BENCH_sweep.json` summary.
 
 use rubik::core::{replay, replay_energy, replay_tail};
 use rubik::{
@@ -23,9 +26,109 @@ use rubik::{
     RubikConfig, RubikController, RunResult, Server, SimConfig, StaticOracle, Trace,
     WorkloadGenerator,
 };
+use rubik_sweep::SweepExecutor;
 
 /// Tail percentile used throughout the evaluation.
 pub const TAIL_QUANTILE: f64 = 0.95;
+
+/// Command-line flags shared by every `fig*`/`table*` binary.
+///
+/// All flags are optional overrides of each binary's paper defaults:
+///
+/// * `--requests N` — requests per experiment run,
+/// * `--seed N` — base RNG seed,
+/// * `--threads N` — worker threads for the grid sweeps (`0` = one per
+///   available core); forwarded to [`rubik_sweep::SweepExecutor`]. Results
+///   are independent of this flag by the engine's determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BenchArgs {
+    /// Override for the per-run request count.
+    pub requests: Option<usize>,
+    /// Override for the base RNG seed.
+    pub seed: Option<u64>,
+    /// Worker threads for grid sweeps (`None` = binary default of auto).
+    pub threads: Option<usize>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments; prints usage and exits on `--help` or
+    /// a malformed flag.
+    pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        if argv.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{}", Self::usage());
+            std::process::exit(0);
+        }
+        match Self::parse_from(&argv) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("error: {e}\n{}", Self::usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses a flag list (exposed for tests).
+    pub fn parse_from(argv: &[String]) -> Result<Self, String> {
+        let mut args = Self::default();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .ok_or_else(|| format!("{name} requires a value"))
+                    .and_then(|v| {
+                        v.parse::<u64>()
+                            .map_err(|_| format!("{name}: invalid number {v:?}"))
+                    })
+            };
+            match flag.as_str() {
+                "--requests" => args.requests = Some(value("--requests")? as usize),
+                "--seed" => args.seed = Some(value("--seed")?),
+                "--threads" => args.threads = Some(value("--threads")? as usize),
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        if args.requests == Some(0) {
+            return Err("--requests must be at least 1".to_string());
+        }
+        Ok(args)
+    }
+
+    /// The usage string printed for `--help`.
+    pub fn usage() -> String {
+        "usage: <figure-binary> [--requests N] [--seed N] [--threads N]\n\
+         \n\
+         --requests N   requests per experiment run (default: the figure's paper shape)\n\
+         --seed N       base RNG seed (default: the figure's published seed)\n\
+         --threads N    worker threads for grid sweeps; 0 = one per core (default: 0)\n\
+         \n\
+         Results are bit-identical for any --threads value (rubik-sweep's\n\
+         determinism contract); the flag only changes wall-clock time."
+            .to_string()
+    }
+
+    /// Applies the request/seed overrides to a harness built with the
+    /// binary's defaults.
+    pub fn apply(&self, mut harness: Harness) -> Harness {
+        if let Some(requests) = self.requests {
+            harness.requests = requests;
+        }
+        if let Some(seed) = self.seed {
+            harness.seed = seed;
+        }
+        harness
+    }
+
+    /// The requested thread count (`0` = auto) for grid sweeps.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or(0)
+    }
+
+    /// A sweep executor honouring `--threads`.
+    pub fn executor(&self) -> SweepExecutor {
+        SweepExecutor::new(self.threads())
+    }
+}
 
 /// Default number of requests per experiment run. The paper's request counts
 /// (Table 3) are used where runtime allows; this default keeps the full
@@ -215,6 +318,56 @@ pub fn print_row(label: &str, values: &[f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn argv(flags: &[&str]) -> Vec<String> {
+        flags.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn bench_args_parse_all_flags() {
+        let args = BenchArgs::parse_from(&argv(&[
+            "--requests",
+            "500",
+            "--seed",
+            "9",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(args.requests, Some(500));
+        assert_eq!(args.seed, Some(9));
+        assert_eq!(args.threads(), 4);
+
+        let defaults = BenchArgs::parse_from(&[]).unwrap();
+        assert_eq!(defaults, BenchArgs::default());
+        assert_eq!(defaults.threads(), 0);
+    }
+
+    #[test]
+    fn bench_args_reject_bad_input() {
+        assert!(BenchArgs::parse_from(&argv(&["--requests"])).is_err());
+        assert!(BenchArgs::parse_from(&argv(&["--requests", "abc"])).is_err());
+        assert!(BenchArgs::parse_from(&argv(&["--requests", "0"])).is_err());
+        assert!(BenchArgs::parse_from(&argv(&["--frobnicate"])).is_err());
+        // --threads 0 is valid: it means one worker per core.
+        assert!(BenchArgs::parse_from(&argv(&["--threads", "0"])).is_ok());
+    }
+
+    #[test]
+    fn bench_args_apply_overrides_harness_defaults() {
+        let args = BenchArgs {
+            requests: Some(123),
+            seed: Some(77),
+            threads: None,
+        };
+        let h = args.apply(Harness::new());
+        assert_eq!(h.requests, 123);
+        assert_eq!(h.seed, 77);
+
+        let untouched = BenchArgs::default().apply(Harness::new());
+        assert_eq!(untouched.requests, DEFAULT_REQUESTS);
+        assert_eq!(untouched.seed, 2015);
+    }
 
     #[test]
     fn latency_bound_is_above_the_mean_service_time() {

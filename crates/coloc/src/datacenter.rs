@@ -13,6 +13,7 @@
 use serde::{Deserialize, Serialize};
 
 use rubik_power::ServerPowerModel;
+use rubik_sweep::{SweepExecutor, SweepSpec};
 use rubik_workloads::{AppProfile, BatchMix};
 
 use crate::runner::ColocatedCore;
@@ -75,6 +76,32 @@ pub struct DatacenterPoint {
     pub worst_normalized_tail: f64,
 }
 
+/// Shared immutable context for a datacenter sweep, built once per sweep
+/// instead of once per load point.
+///
+/// Everything here is independent of the LC load being evaluated: the
+/// application profiles, the batch mixes, the per-app latency bounds
+/// (tail of the fixed-frequency scheme at 50% load — a full calibration
+/// simulation each), and the batch-only server's power/throughput. The
+/// sweep engine's cell closures capture this context by shared reference.
+#[derive(Debug, Clone)]
+pub struct DatacenterContext {
+    /// The five LC application profiles.
+    pub apps: Vec<AppProfile>,
+    /// The batch mixes (paper: 20 mixes of SPEC-like apps).
+    pub mixes: Vec<BatchMix>,
+    /// Per-app latency bounds, index-aligned with `apps`.
+    pub bounds: Vec<f64>,
+    /// Idle power of one core at the minimum DVFS level (W).
+    pub idle_core_power: f64,
+    /// Server power outside the cores (W).
+    pub platform_power: f64,
+    /// Power of one batch-only server, all cores at TPW-optimal levels (W).
+    pub batch_server_power: f64,
+    /// Throughput of one batch-only server (work units / s).
+    pub batch_server_tput: f64,
+}
+
 /// Runs the segregated-vs-colocated comparison.
 #[derive(Debug, Clone)]
 pub struct DatacenterComparison {
@@ -93,9 +120,19 @@ impl DatacenterComparison {
         }
     }
 
-    /// Evaluates one LC load point.
-    pub fn evaluate(&self, lc_load: f64) -> DatacenterPoint {
-        assert!(lc_load > 0.0 && lc_load < 1.0, "LC load must be in (0, 1)");
+    /// The configuration this comparison runs with.
+    pub fn config(&self) -> &DatacenterConfig {
+        &self.config
+    }
+
+    /// Builds the load-independent sweep context (serial).
+    pub fn context(&self) -> DatacenterContext {
+        self.context_with_threads(1)
+    }
+
+    /// Builds the load-independent sweep context, fanning the per-app
+    /// latency-bound calibrations across `threads` workers (`0` = auto).
+    pub fn context_with_threads(&self, threads: usize) -> DatacenterContext {
         let apps = AppProfile::all();
         let mixes = BatchMix::paper_mixes(self.config.seed);
         let dvfs = self.core.sim_config().dvfs.clone();
@@ -128,6 +165,46 @@ impl DatacenterComparison {
         let batch_server_power = platform_power + cores * mean_batch_core_power;
         let batch_server_tput = cores * mean_batch_core_tput;
 
+        // Per-app latency bounds: each is an independent calibration
+        // simulation, so fan them across the pool in app order.
+        let bounds = SweepExecutor::new(threads).map_indexed(&apps, |i, app| {
+            self.core.latency_bound(
+                app,
+                self.config.requests_per_sample,
+                self.config.seed + i as u64,
+            )
+        });
+
+        DatacenterContext {
+            apps,
+            mixes,
+            bounds,
+            idle_core_power,
+            platform_power,
+            batch_server_power,
+            batch_server_tput,
+        }
+    }
+
+    /// Evaluates one LC load point, rebuilding the context (kept for
+    /// API compatibility; sweeps should build the context once and use
+    /// [`DatacenterComparison::evaluate_with`]).
+    pub fn evaluate(&self, lc_load: f64) -> DatacenterPoint {
+        self.evaluate_with(&self.context(), lc_load)
+    }
+
+    /// Evaluates one LC load point against a precomputed context.
+    pub fn evaluate_with(&self, ctx: &DatacenterContext, lc_load: f64) -> DatacenterPoint {
+        assert!(lc_load > 0.0 && lc_load < 1.0, "LC load must be in (0, 1)");
+        let apps = &ctx.apps;
+        let mixes = &ctx.mixes;
+        let dvfs = &self.core.sim_config().dvfs;
+        let idle_core_power = ctx.idle_core_power;
+        let cores = self.config.cores_per_server as f64;
+        let platform_power = ctx.platform_power;
+        let batch_server_power = ctx.batch_server_power;
+        let batch_server_tput = ctx.batch_server_tput;
+
         // --- Segregated LC server: 6 copies of one app at the StaticOracle
         // frequency for this load, no batch work.
         // --- Colocated server: RubikColoc outcome per app, averaged over a
@@ -138,11 +215,7 @@ impl DatacenterComparison {
         let mut worst_tail: f64 = 0.0;
 
         for (i, app) in apps.iter().enumerate() {
-            let bound = self.core.latency_bound(
-                app,
-                self.config.requests_per_sample,
-                self.config.seed + i as u64,
-            );
+            let bound = ctx.bounds[i];
 
             // Segregated: StaticColoc without interference is equivalent to a
             // non-colocated StaticOracle server, so reuse the runner with the
@@ -213,9 +286,32 @@ impl DatacenterComparison {
         }
     }
 
-    /// Evaluates a sweep of LC loads (Fig. 16 uses 10–60%).
+    /// Evaluates a sweep of LC loads (Fig. 16 uses 10–60%), using every
+    /// available core. Bit-identical to the serial path — see
+    /// [`DatacenterComparison::sweep_with_threads`].
     pub fn sweep(&self, loads: &[f64]) -> Vec<DatacenterPoint> {
-        loads.iter().map(|&l| self.evaluate(l)).collect()
+        self.sweep_with_threads(loads, 0)
+    }
+
+    /// Evaluates a sweep of LC loads on a `rubik-sweep` worker pool
+    /// (`threads == 0` = auto, `1` = serial reference path).
+    ///
+    /// The context (profiles, mixes, latency bounds, batch-server power) is
+    /// built once and shared immutably by every cell; each load point is one
+    /// cell. Results are returned in load order and are bit-for-bit
+    /// identical for any thread count (property-tested in
+    /// `tests/parallel_determinism.rs`).
+    pub fn sweep_with_threads(&self, loads: &[f64], threads: usize) -> Vec<DatacenterPoint> {
+        if loads.is_empty() {
+            return Vec::new();
+        }
+        let ctx = self.context_with_threads(threads);
+        let spec = SweepSpec::new().axis("lc_load", loads.len());
+        SweepExecutor::new(threads)
+            .run(&spec, |cell| {
+                self.evaluate_with(&ctx, loads[cell.get("lc_load")])
+            })
+            .into_results()
     }
 }
 

@@ -30,7 +30,7 @@ pub mod partition;
 pub mod runner;
 pub mod schemes;
 
-pub use datacenter::{DatacenterComparison, DatacenterConfig, DatacenterPoint};
+pub use datacenter::{DatacenterComparison, DatacenterConfig, DatacenterContext, DatacenterPoint};
 pub use interference::CoreInterferenceModel;
 pub use partition::MemorySystemConfig;
 pub use runner::{ColocOutcome, ColocatedCore};

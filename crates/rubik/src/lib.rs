@@ -44,10 +44,12 @@ pub use rubik_core as core;
 pub use rubik_power as power;
 pub use rubik_sim as sim;
 pub use rubik_stats as stats;
+pub use rubik_sweep as sweep;
 pub use rubik_workloads as workloads;
 
 pub use rubik_coloc::{
     ColocOutcome, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig,
+    DatacenterContext,
 };
 pub use rubik_core::{
     AdrenalineOracle, AdrenalinePolicy, DynamicOracle, FixedFrequencyPolicy, PegasusConfig,
@@ -58,4 +60,5 @@ pub use rubik_sim::{
     DvfsConfig, DvfsPolicy, Freq, RequestRecord, RequestSpec, RunResult, Server, SimConfig, Trace,
 };
 pub use rubik_stats::Histogram;
+pub use rubik_sweep::{SweepExecutor, SweepRun, SweepSpec};
 pub use rubik_workloads::{AppProfile, BatchApp, BatchMix, LoadProfile, WorkloadGenerator};
