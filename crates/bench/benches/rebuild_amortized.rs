@@ -1,0 +1,125 @@
+//! Amortized cost of the periodic table rebuild (paper Sec. 4.2: the tables
+//! are refreshed every 100 ms tick).
+//!
+//! Three tiers, from the common case to the worst case:
+//!
+//! * `on_tick_unchanged_profile` — no request completed since the last
+//!   build: the version gate short-circuits the whole rebuild, so a tick is
+//!   the version compare plus one frequency decision (~ns, vs a full
+//!   ~ms-class rebuild before gating).
+//! * `on_tick_one_new_sample` — one completion recorded, then the tick: the
+//!   incremental profiler updates its bucket counts in O(1) and the
+//!   persistent `TableBuilder` performs a full warm rebuild with cached FFT
+//!   plans and zero allocations. The acceptance bar is ≥ 20% under the
+//!   pre-builder `table_rebuild/spectral_8x16_128_buckets` median.
+//! * `cold_build_8x16_128` — a throwaway builder from nothing (plan
+//!   construction, buffer growth): what a freshly started controller pays
+//!   exactly once.
+//!
+//! Results merge into `BENCH_controller.json` so the trajectory records the
+//! gating/builder win.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rubik::core::OnlineProfiler;
+use rubik::stats::DeterministicRng;
+use rubik::{DvfsConfig, DvfsPolicy, RubikConfig, RubikController, TargetTailTables};
+use rubik_sim::{InServiceView, QueuedView, RequestRecord, ServerState};
+
+const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
+
+fn busy_state(now: f64, dvfs: &DvfsConfig) -> ServerState {
+    ServerState {
+        now,
+        current_freq: dvfs.min(),
+        target_freq: dvfs.min(),
+        in_service: Some(InServiceView {
+            id: 0,
+            arrival: now - 1e-4,
+            elapsed_compute_cycles: 3e5,
+            elapsed_membound_time: 40e-6,
+            oracle_compute_cycles: 6e5,
+            oracle_membound_time: 80e-6,
+            class: 0,
+        }),
+        queued: (1..6)
+            .map(|i| QueuedView {
+                id: i,
+                arrival: now - 5e-5,
+                oracle_compute_cycles: 6e5,
+                oracle_membound_time: 80e-6,
+                class: 0,
+            })
+            .collect(),
+    }
+}
+
+fn warm_controller() -> (RubikController, DvfsConfig) {
+    let dvfs = DvfsConfig::haswell_like();
+    let mut rubik = RubikController::new(RubikConfig::new(1e-3), dvfs.clone());
+    let mut rng = DeterministicRng::new(2);
+    rubik.seed_profile((0..4096).map(|_| (rng.lognormal(6e5, 0.3), rng.lognormal(80e-6, 0.3))));
+    (rubik, dvfs)
+}
+
+fn bench_rebuild_amortized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebuild_amortized");
+
+    // Tier 1: version-gated no-op tick.
+    {
+        let (mut rubik, dvfs) = warm_controller();
+        let state = busy_state(0.5, &dvfs);
+        rubik.on_tick(&state); // settle: first tick performs nothing new
+        group.bench_function("on_tick_unchanged_profile", |b| {
+            b.iter(|| rubik.on_tick(&state))
+        });
+        assert!(rubik.stats().table_rebuilds_skipped > 0);
+    }
+
+    // Tier 2: one new sample per tick — the warm incremental rebuild.
+    {
+        let (mut rubik, dvfs) = warm_controller();
+        let state = busy_state(0.5, &dvfs);
+        let mut rng = DeterministicRng::new(3);
+        group.bench_function("on_tick_one_new_sample", |b| {
+            b.iter(|| {
+                let record = RequestRecord {
+                    id: 1,
+                    arrival: 0.4999,
+                    start: 0.49995,
+                    completion: 0.5,
+                    compute_cycles: rng.lognormal(6e5, 0.3),
+                    membound_time: rng.lognormal(80e-6, 0.3),
+                    queue_len_at_arrival: 1,
+                    class: 0,
+                };
+                rubik.on_completion(&state, &record);
+                rubik.on_tick(&state)
+            })
+        });
+        assert!(rubik.stats().table_rebuilds_performed > 1);
+    }
+
+    // Tier 3: cold build through the public wrapper (throwaway builder).
+    {
+        let mut profiler = OnlineProfiler::new(4096);
+        let mut rng = DeterministicRng::new(1);
+        for _ in 0..4096 {
+            profiler.record(rng.lognormal(6e5, 0.3), rng.lognormal(80e-6, 0.3));
+        }
+        let compute = profiler.compute_histogram().unwrap();
+        let membound = profiler.membound_histogram().unwrap();
+        group.bench_function("cold_build_8x16_128", |b| {
+            b.iter(|| TargetTailTables::build(&compute, &membound, 0.95))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).output_json(BENCH_JSON);
+    targets = bench_rebuild_amortized
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Byte-identical figure output across controller-internals changes.
+//!
+//! The incremental-rebuild work (version gating, the persistent
+//! `TableBuilder`, incremental profiler histograms) is contractually
+//! invisible: figure stdout must not change by a single byte. These tests
+//! pin that by running the figure binaries at a small, fast grid size and
+//! comparing against checked-in golden captures (`tests/golden/*.txt`)
+//! taken before the rebuild path was made incremental.
+//!
+//! If a **deliberate** output-affecting change lands (new columns, model
+//! changes), regenerate the fixtures with the exact commands below and
+//! explain the diff in the commit:
+//!
+//! ```text
+//! target/release/fig06_power_savings --requests 80 --seed 3 > crates/bench/tests/golden/fig06_power_savings.txt
+//! target/release/fig15_coloc_tail    --requests 80 --seed 3 > crates/bench/tests/golden/fig15_coloc_tail.txt
+//! target/release/fig09_load_sweep    --requests 60 --seed 5 > crates/bench/tests/golden/fig09_load_sweep.txt
+//! ```
+
+use std::process::Command;
+
+fn assert_matches_golden(bin: &str, args: &[&str], fixture: &str) {
+    let output = Command::new(bin)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+    assert!(
+        output.status.success(),
+        "{bin} exited with {:?}: {}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let golden_path = format!("{}/tests/golden/{fixture}", env!("CARGO_MANIFEST_DIR"));
+    let golden = std::fs::read(&golden_path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {golden_path}: {e}"));
+    assert!(
+        output.stdout == golden,
+        "{bin} stdout diverged from {fixture}:\n--- golden ---\n{}\n--- actual ---\n{}",
+        String::from_utf8_lossy(&golden),
+        String::from_utf8_lossy(&output.stdout)
+    );
+}
+
+#[test]
+fn fig06_stdout_is_byte_identical_to_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig06_power_savings"),
+        &["--requests", "80", "--seed", "3"],
+        "fig06_power_savings.txt",
+    );
+}
+
+#[test]
+fn fig09_stdout_is_byte_identical_to_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig09_load_sweep"),
+        &["--requests", "60", "--seed", "5"],
+        "fig09_load_sweep.txt",
+    );
+}
+
+#[test]
+fn fig15_stdout_is_byte_identical_to_golden() {
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig15_coloc_tail"),
+        &["--requests", "80", "--seed", "3"],
+        "fig15_coloc_tail.txt",
+    );
+}

@@ -61,6 +61,7 @@ pub struct ColocatedCore {
     memory: MemorySystemConfig,
     interference: CoreInterferenceModel,
     quantile: f64,
+    force_rubik_rebuilds: bool,
 }
 
 impl ColocatedCore {
@@ -72,7 +73,18 @@ impl ColocatedCore {
             memory: MemorySystemConfig::partitioned(),
             interference: CoreInterferenceModel::paper_default(),
             quantile: 0.95,
+            force_rubik_rebuilds: false,
         }
+    }
+
+    /// Forces the RubikColoc controller to rebuild its tables on every tick
+    /// instead of skipping version-gated no-op rebuilds. Outcomes are
+    /// bit-identical either way (property-tested in
+    /// `tests/parallel_determinism.rs`); this hook exists for those tests
+    /// and for benchmarking the gating win.
+    pub fn with_forced_rubik_rebuilds(mut self, forced: bool) -> Self {
+        self.force_rubik_rebuilds = forced;
+        self
     }
 
     /// Overrides the memory-system configuration.
@@ -130,10 +142,11 @@ impl ColocatedCore {
 
         let (result, batch_freq) = match scheme {
             ColocScheme::RubikColoc => {
-                let mut rubik = RubikController::new(
-                    RubikConfig::new(latency_bound).with_profiling_window(2048),
-                    dvfs.clone(),
-                );
+                let mut config = RubikConfig::new(latency_bound).with_profiling_window(2048);
+                if self.force_rubik_rebuilds {
+                    config = config.without_rebuild_gating();
+                }
+                let mut rubik = RubikController::new(config, dvfs.clone());
                 rubik.seed_profile(
                     trace
                         .requests()

@@ -94,6 +94,56 @@ fn coloc_grid_is_bit_identical_across_thread_counts() {
     }
 }
 
+/// Version-gated rebuilds are an optimization, not a behavior change:
+/// skipping a rebuild whose input histograms are unchanged must leave every
+/// `ColocOutcome` bit-identical to a controller that rebuilds on every tick.
+/// RubikColoc cells across apps, loads, and seeds — low loads especially,
+/// where long idle stretches between completions make ticks overlap an
+/// unchanged profile and the gate actually fires.
+#[test]
+fn version_gated_rebuilds_match_forced_rebuilds_bitwise() {
+    let requests = 400;
+    let gated = ColocatedCore::new();
+    let forced = ColocatedCore::new().with_forced_rubik_rebuilds(true);
+    let apps = AppProfile::all();
+    let loads = [0.1, 0.4, 0.7];
+
+    for base_seed in [11u64, 2015] {
+        let mixes = BatchMix::paper_mixes(base_seed);
+        for (a, app) in apps.iter().enumerate() {
+            let bound = gated.latency_bound(app, requests, base_seed + a as u64);
+            for (l, &load) in loads.iter().enumerate() {
+                let seed = base_seed + (a * 10 + l) as u64;
+                let mix = &mixes[a % mixes.len()];
+                let g = gated.run(
+                    ColocScheme::RubikColoc,
+                    app,
+                    load,
+                    mix,
+                    bound,
+                    requests,
+                    seed,
+                );
+                let f = forced.run(
+                    ColocScheme::RubikColoc,
+                    app,
+                    load,
+                    mix,
+                    bound,
+                    requests,
+                    seed,
+                );
+                assert_eq!(
+                    outcome_bits(&g),
+                    outcome_bits(&f),
+                    "gated vs forced rebuilds diverged: app {}, load {load}, seed {seed}",
+                    app.name()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn datacenter_sweep_is_bit_identical_across_thread_counts() {
     let loads = [0.2, 0.5];

@@ -62,6 +62,6 @@ pub use profiler::OnlineProfiler;
 pub use replay::{replay, replay_energy, replay_tail};
 pub use rubik::{RubikConfig, RubikController, RubikStats};
 pub use static_oracle::StaticOracle;
-pub use tables::TargetTailTables;
+pub use tables::{TableBuilder, TargetTailTables};
 
 pub use rubik_sim::FixedFrequencyPolicy;

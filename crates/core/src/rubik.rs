@@ -19,14 +19,29 @@
 //! paper) from the [`OnlineProfiler`]'s sliding window; a PI
 //! [`FeedbackController`] trims the internal latency target using the tail
 //! latency measured over a rolling window (1 s in the paper).
+//!
+//! # Rebuild cost
+//!
+//! The periodic rebuild is incremental and allocation-free end to end. The
+//! controller owns a persistent [`TableBuilder`] (cached FFT plans, reused
+//! ladder buffers) plus two persistent [`Histogram`]s the profiler's
+//! incrementally maintained bucket counts are materialized into, and it
+//! **version-gates** the whole rebuild: [`OnlineProfiler::version`] is
+//! bumped on every recorded sample, so a tick on which no request completed
+//! short-circuits in nanoseconds — identical histograms would rebuild
+//! identical tables, so skipping changes no output bit.
+//! [`RubikStats::table_rebuilds_performed`] /
+//! [`RubikStats::table_rebuilds_skipped`] count the two cases.
 
 use rubik_sim::{DvfsConfig, DvfsPolicy, Freq, PolicyDecision, RequestRecord, ServerState};
-use rubik_stats::RollingTailTracker;
+use rubik_stats::{Histogram, RollingTailTracker};
 use serde::{Deserialize, Serialize};
 
 use crate::feedback::FeedbackController;
 use crate::profiler::OnlineProfiler;
-use crate::tables::{TargetTailTables, DEFAULT_GAUSSIAN_CUTOFF, DEFAULT_PROGRESS_ROWS};
+use crate::tables::{
+    TableBuilder, TargetTailTables, DEFAULT_GAUSSIAN_CUTOFF, DEFAULT_PROGRESS_ROWS,
+};
 
 /// Configuration of the Rubik controller.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,6 +64,12 @@ pub struct RubikConfig {
     /// Window over which measured tail latency feeds the PI controller, in
     /// seconds (1 s in the paper).
     pub feedback_window: f64,
+    /// Whether periodic table rebuilds are skipped when the profile is
+    /// unchanged since the last build (identical histograms rebuild
+    /// identical tables, so gating never changes an output bit). On by
+    /// default; determinism tests disable it to compare against a
+    /// rebuild-every-tick controller.
+    pub rebuild_gating: bool,
 }
 
 impl RubikConfig {
@@ -69,6 +90,7 @@ impl RubikConfig {
             gaussian_cutoff: DEFAULT_GAUSSIAN_CUTOFF,
             feedback: true,
             feedback_window: 1.0,
+            rebuild_gating: true,
         }
     }
 
@@ -76,6 +98,14 @@ impl RubikConfig {
     /// Fig. 9).
     pub fn without_feedback(mut self) -> Self {
         self.feedback = false;
+        self
+    }
+
+    /// Disables version-gated rebuild skipping, forcing a full table rebuild
+    /// on every tick. Only useful for determinism tests and benchmarks — the
+    /// gated controller produces bit-identical decisions.
+    pub fn without_rebuild_gating(mut self) -> Self {
+        self.rebuild_gating = false;
         self
     }
 
@@ -120,8 +150,12 @@ impl RubikConfig {
 pub struct RubikStats {
     /// Number of frequency decisions evaluated (arrivals + completions).
     pub decisions: u64,
-    /// Number of times the target tail tables were rebuilt.
-    pub table_rebuilds: u64,
+    /// Number of times the target tail tables were actually rebuilt.
+    pub table_rebuilds_performed: u64,
+    /// Number of periodic rebuilds skipped because the profiler version was
+    /// unchanged since the last build (the histograms — and therefore the
+    /// tables — would have been bit-identical).
+    pub table_rebuilds_skipped: u64,
     /// Number of decisions made before the model had enough samples.
     pub cold_decisions: u64,
     /// Number of decisions where some request had no slack left (forcing the
@@ -136,6 +170,15 @@ pub struct RubikController {
     dvfs: DvfsConfig,
     profiler: OnlineProfiler,
     tables: Option<TargetTailTables>,
+    /// Persistent build engine: cached FFT plans and reused ladder buffers
+    /// make warm rebuilds allocation-free.
+    builder: TableBuilder,
+    /// Persistent histograms the profiler's bucket counts are materialized
+    /// into on each performed rebuild.
+    hist_compute: Histogram,
+    hist_membound: Histogram,
+    /// Profiler version the current tables were built from.
+    built_version: Option<u64>,
     feedback: FeedbackController,
     measured: RollingTailTracker,
     last_feedback_update: f64,
@@ -149,6 +192,10 @@ impl RubikController {
         Self {
             profiler: OnlineProfiler::new(config.profiling_window),
             tables: None,
+            builder: TableBuilder::new(),
+            hist_compute: Histogram::zero(),
+            hist_membound: Histogram::zero(),
+            built_version: None,
             feedback: FeedbackController::paper_default(),
             measured,
             last_feedback_update: 0.0,
@@ -198,22 +245,41 @@ impl RubikController {
         if self.profiler.len() < self.config.min_samples {
             return;
         }
-        let compute = self
-            .profiler
-            .compute_histogram()
-            .expect("profiler has samples");
-        let memory = self
-            .profiler
-            .membound_histogram()
-            .expect("profiler has samples");
-        self.tables = Some(TargetTailTables::build_with(
-            &compute,
-            &memory,
-            self.config.quantile,
-            self.config.progress_rows,
-            self.config.gaussian_cutoff,
-        ));
-        self.stats.table_rebuilds += 1;
+        // Version gate: no sample has entered or left the window since the
+        // last build, so the histograms — and therefore the tables — would
+        // be bit-identical. Skip the whole rebuild.
+        let version = self.profiler.version();
+        if self.config.rebuild_gating
+            && self.tables.is_some()
+            && self.built_version == Some(version)
+        {
+            self.stats.table_rebuilds_skipped += 1;
+            return;
+        }
+        self.profiler.compute_histogram_into(&mut self.hist_compute);
+        self.profiler
+            .membound_histogram_into(&mut self.hist_membound);
+        match &mut self.tables {
+            Some(tables) => self.builder.build_with_into(
+                &self.hist_compute,
+                &self.hist_membound,
+                self.config.quantile,
+                self.config.progress_rows,
+                self.config.gaussian_cutoff,
+                tables,
+            ),
+            None => {
+                self.tables = Some(self.builder.build_with(
+                    &self.hist_compute,
+                    &self.hist_membound,
+                    self.config.quantile,
+                    self.config.progress_rows,
+                    self.config.gaussian_cutoff,
+                ))
+            }
+        }
+        self.built_version = Some(version);
+        self.stats.table_rebuilds_performed += 1;
     }
 
     /// Evaluates Eq. 2 for the current state and returns the chosen
@@ -522,6 +588,64 @@ mod tests {
         // The conservative analytical model leaves headroom at 30% load, so
         // the feedback loop should have relaxed the internal target.
         assert!(rubik.internal_target() >= bound);
-        assert!(rubik.stats().table_rebuilds > 1);
+        assert!(rubik.stats().table_rebuilds_performed > 1);
+    }
+
+    #[test]
+    fn unchanged_profile_skips_rebuilds_and_decisions_are_identical() {
+        let dvfs = DvfsConfig::haswell_like();
+        let seed_demands = || (0..200).map(|i| (1e6 + (i % 7) as f64 * 1e4, 30e-6));
+        let mut gated = RubikController::new(RubikConfig::new(2e-3), dvfs.clone());
+        let mut forced = RubikController::new(
+            RubikConfig::new(2e-3).without_rebuild_gating(),
+            dvfs.clone(),
+        );
+        gated.seed_profile(seed_demands());
+        forced.seed_profile(seed_demands());
+
+        let state = ServerState {
+            now: 1e-4,
+            current_freq: dvfs.min(),
+            target_freq: dvfs.min(),
+            in_service: Some(rubik_sim::InServiceView {
+                id: 0,
+                arrival: 0.0,
+                elapsed_compute_cycles: 2e5,
+                elapsed_membound_time: 5e-6,
+                oracle_compute_cycles: 1e6,
+                oracle_membound_time: 30e-6,
+                class: 0,
+            }),
+            queued: vec![],
+        };
+        // Ticks with no intervening completions: the gated controller skips
+        // every rebuild, the forced one redoes it — decisions must agree.
+        for _ in 0..5 {
+            assert_eq!(gated.on_tick(&state), forced.on_tick(&state));
+        }
+        assert_eq!(gated.stats().table_rebuilds_performed, 1);
+        assert_eq!(gated.stats().table_rebuilds_skipped, 5);
+        assert_eq!(forced.stats().table_rebuilds_performed, 6);
+        assert_eq!(forced.stats().table_rebuilds_skipped, 0);
+        assert_eq!(gated.tables().unwrap(), forced.tables().unwrap());
+
+        // A new sample un-gates the next rebuild.
+        let record = RequestRecord {
+            id: 1,
+            arrival: 0.0,
+            start: 0.0,
+            completion: 2e-4,
+            compute_cycles: 1.1e6,
+            membound_time: 25e-6,
+            queue_len_at_arrival: 0,
+            class: 0,
+        };
+        assert_eq!(
+            gated.on_completion(&state, &record),
+            forced.on_completion(&state, &record)
+        );
+        assert_eq!(gated.on_tick(&state), forced.on_tick(&state));
+        assert_eq!(gated.stats().table_rebuilds_performed, 2);
+        assert_eq!(gated.tables().unwrap(), forced.tables().unwrap());
     }
 }

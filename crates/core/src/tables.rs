@@ -20,20 +20,55 @@
 //! # Build cost: the spectral ladder
 //!
 //! The naive build convolves per row and per position — `rows × (cutoff−1)`
-//! full convolutions. [`TailTable::build`] instead works in the frequency
-//! domain: the base PMF is transformed **once** ([`FftPlan`]), the ladder of
-//! self-convolutions `base^⊛i` is produced by one O(n) pointwise product per
-//! rung ([`rubik_stats::fft::Spectrum::mul_assign`]), and each rung is
-//! shared by *all* progress
-//! rows — `O(rows + cutoff)` transforms total. Per rung, a single
-//! running-CDF pass accumulates the rung's prefix sums; each table entry is
-//! then the `q`-quantile of `cond_row ⊛ base^⊛i`, found by bisecting that
-//! shared CDF (evaluating `P[X_row + Y_i ≤ t] = Σ_a pmf_row[a]·CDF_i[t−a]`
-//! directly) without ever materializing the per-row convolution. The
-//! reference per-row builder is kept as [`TailTable::build_direct`] and the
-//! two are checked against each other by the equivalence tests in
+//! full convolutions. The spectral build instead works in the frequency
+//! domain: the base PMF is transformed **once** per transform size
+//! ([`FftPlan`]), the ladder of self-convolutions `base^⊛i` is produced by
+//! one O(n) pointwise product per rung
+//! ([`rubik_stats::fft::Spectrum::mul_assign`]), and each rung is shared by
+//! *all* progress rows — `O(rows + cutoff)` transforms total. Per rung, a
+//! single running-CDF pass accumulates the rung's prefix sums; each table
+//! entry is then the `q`-quantile of `cond_row ⊛ base^⊛i`, found by
+//! bisecting that shared CDF (evaluating
+//! `P[X_row + Y_i ≤ t] = Σ_a pmf_row[a]·CDF_i[t−a]` directly) without ever
+//! materializing the per-row convolution. The reference per-row builder is
+//! kept as [`TailTable::build_direct`] and the two are checked against each
+//! other by the equivalence tests in
 //! `crates/core/tests/spectral_equivalence.rs` and benchmarked by
 //! `crates/bench/benches/table_rebuild.rs`.
+//!
+//! # Rebuild cost: incremental builder
+//!
+//! Rubik rebuilds these tables every 100 ms tick, so the build is a
+//! steady-state hot path, not a one-off. [`TableBuilder`] is the persistent
+//! engine the controller owns for it:
+//!
+//! * **Plan caching.** [`FftPlan`]s (twiddle factors, bit-reversal tables)
+//!   are cached per transform size and reused for every later rebuild; the
+//!   ladder also *right-sizes* each rung's transform — rung `i` only needs
+//!   `i·(len−1)+1` points of support, so early rungs run at 256–1024 instead
+//!   of the deepest rung's size (the running product at the final size
+//!   receives exactly the same pointwise-product sequence as before, so deep
+//!   rungs are bit-identical to the single-size ladder).
+//! * **Buffer reuse.** The trimmed base, the per-row conditionals, the
+//!   spectra, the rung PMF/CDF buffers, and the target's own row storage are
+//!   all reused across rebuilds via `*_into` APIs
+//!   ([`TableBuilder::build_with_into`] writes into an existing
+//!   [`TargetTailTables`]), so a warm rebuild performs **zero allocations**
+//!   once every buffer has reached its high-water size.
+//! * **Warm-start quantile bisection.** Within one build, the quantile index
+//!   for a row is nondecreasing in queue depth and moves by at most the base
+//!   support per rung, so each bisection brackets from the previous rung's
+//!   answer instead of the full support (falling back to the full bracket if
+//!   the windowed one does not straddle the target, so results are exactly
+//!   the ones the full-range bisection returns). The inner dot product is
+//!   also trimmed to the conditional's non-zero support.
+//!
+//! [`TargetTailTables::build`]/[`TargetTailTables::build_with`] remain as
+//! thin wrappers over a throwaway builder, and the controller skips the
+//! rebuild entirely when the profiler's version says the histograms are
+//! unchanged (see `RubikController`), making the periodic tick O(1) in the
+//! no-new-samples case. `crates/bench/benches/rebuild_amortized.rs` tracks
+//! all three tiers (skipped tick, warm rebuild, cold build).
 //!
 //! # Lookup cost
 //!
@@ -43,7 +78,7 @@
 //! two array reads (or two fused multiply-adds past the Gaussian cutoff)
 //! with no transcendental math on the decision path.
 
-use rubik_stats::fft::{Complex, FftPlan};
+use rubik_stats::fft::{Complex, FftPlan, Spectrum};
 use rubik_stats::{GaussianTail, Histogram};
 use serde::{Deserialize, Serialize};
 
@@ -80,112 +115,19 @@ struct TailTable {
     var: f64,
 }
 
-/// Per-row distributions and moments shared by both builders.
-struct RowSetup {
-    boundaries: Vec<f64>,
-    conds: Vec<Histogram>,
-    cond_mean: Vec<f64>,
-    cond_var: Vec<f64>,
-}
-
-fn row_setup(base: &Histogram, rows: usize) -> RowSetup {
-    let mut boundaries = Vec::with_capacity(rows);
-    let mut conds = Vec::with_capacity(rows);
-    let mut cond_mean = Vec::with_capacity(rows);
-    let mut cond_var = Vec::with_capacity(rows);
-    for row in 0..rows {
-        let boundary = if row == 0 {
-            0.0
-        } else {
-            base.quantile(row as f64 / rows as f64)
-        };
-        boundaries.push(boundary);
-        let conditioned = base.conditional_on_elapsed(boundary);
-        cond_mean.push(conditioned.mean());
-        cond_var.push(conditioned.variance());
-        conds.push(conditioned);
-    }
-    RowSetup {
-        boundaries,
-        conds,
-        cond_mean,
-        cond_var,
+/// Lower boundary of progress band `row`: band 0 starts at zero, band `r`
+/// at the `r/rows` quantile of the trimmed base. Shared by the spectral
+/// builder and the `build_direct` oracle so the two row layouts cannot
+/// drift apart.
+fn row_boundary(base: &Histogram, row: usize, rows: usize) -> f64 {
+    if row == 0 {
+        0.0
+    } else {
+        base.quantile(row as f64 / rows as f64)
     }
 }
 
 impl TailTable {
-    /// Spectral builder: one forward transform of the base PMF, the
-    /// `base^⊛i` ladder built by pointwise products in the frequency domain
-    /// and shared across all progress rows, quantiles read off each rung's
-    /// running CDF (see the module docs for the full scheme).
-    fn build(hist: &Histogram, quantile: f64, rows: usize, cutoff: usize) -> Self {
-        // Trim negligible tail mass so the transform size stays small.
-        let base = hist.trim_tail(1e-9);
-        let setup = row_setup(&base, rows);
-        let width = base.bucket_width();
-        let base_len = base.pmf().len();
-
-        // Position 0 needs no convolution: the conditioned distribution's
-        // own quantile.
-        let mut table_rows: Vec<Vec<f64>> = setup
-            .conds
-            .iter()
-            .map(|cond| {
-                let mut v = Vec::with_capacity(cutoff);
-                v.push(cond.quantile(quantile));
-                v
-            })
-            .collect();
-
-        if cutoff > 1 {
-            // The deepest rung base^⊛(cutoff−1) has linear-convolution
-            // support (cutoff−1)(len−1)+1; the plan must fit it to avoid
-            // circular wrap-around.
-            let support_max = (cutoff - 1) * (base_len - 1) + 1;
-            let plan = FftPlan::new(support_max.next_power_of_two().max(2));
-            let mut scratch: Vec<Complex> = Vec::new();
-            let base_spec = plan.forward(base.pmf());
-            let mut rung_spec = base_spec.clone();
-            let mut rung_pmf: Vec<f64> = Vec::new();
-            let mut rung_cdf: Vec<f64> = Vec::with_capacity(support_max);
-
-            for i in 1..cutoff {
-                if i > 1 {
-                    rung_spec.mul_assign(&base_spec);
-                    plan.inverse_into(&rung_spec, &mut scratch, &mut rung_pmf);
-                } else {
-                    // Rung 1 *is* the base PMF — no transform needed.
-                    rung_pmf.clear();
-                    rung_pmf.extend_from_slice(base.pmf());
-                }
-
-                // The single running-CDF pass over this rung, clamping FFT
-                // round-off (a convolution of PMFs cannot go negative).
-                let support = i * (base_len - 1) + 1;
-                rung_cdf.clear();
-                let mut cum = 0.0;
-                for &p in &rung_pmf[..support] {
-                    cum += p.max(0.0);
-                    rung_cdf.push(cum);
-                }
-
-                for (row, cond) in setup.conds.iter().enumerate() {
-                    let t = quantile_of_sum(cond.pmf(), &rung_cdf, i, quantile);
-                    table_rows[row].push((t + 1) as f64 * width);
-                }
-            }
-        }
-
-        Self {
-            rows: table_rows,
-            boundaries: setup.boundaries,
-            cond_mean: setup.cond_mean,
-            cond_var: setup.cond_var,
-            mean: base.mean(),
-            var: base.variance(),
-        }
-    }
-
     /// Reference builder: the original per-row convolution scheme,
     /// `rows × (cutoff−1)` full convolutions. Kept as the oracle for the
     /// spectral-vs-direct equivalence tests and as the baseline for the
@@ -193,10 +135,22 @@ impl TailTable {
     fn build_direct(hist: &Histogram, quantile: f64, rows: usize, cutoff: usize) -> Self {
         // Trim negligible tail mass so repeated convolutions stay cheap.
         let base = hist.trim_tail(1e-9);
-        let setup = row_setup(&base, rows);
+
+        let mut boundaries = Vec::with_capacity(rows);
+        let mut conds = Vec::with_capacity(rows);
+        let mut cond_mean = Vec::with_capacity(rows);
+        let mut cond_var = Vec::with_capacity(rows);
+        for row in 0..rows {
+            let boundary = row_boundary(&base, row, rows);
+            boundaries.push(boundary);
+            let conditioned = base.conditional_on_elapsed(boundary);
+            cond_mean.push(conditioned.mean());
+            cond_var.push(conditioned.variance());
+            conds.push(conditioned);
+        }
 
         let mut table_rows = Vec::with_capacity(rows);
-        for cond in &setup.conds {
+        for cond in &conds {
             let mut row_vals = Vec::with_capacity(cutoff);
             let mut cumulative = cond.clone();
             row_vals.push(cumulative.quantile(quantile));
@@ -209,9 +163,9 @@ impl TailTable {
 
         Self {
             rows: table_rows,
-            boundaries: setup.boundaries,
-            cond_mean: setup.cond_mean,
-            cond_var: setup.cond_var,
+            boundaries,
+            cond_mean,
+            cond_var,
             mean: base.mean(),
             var: base.variance(),
         }
@@ -226,6 +180,28 @@ impl TailTable {
             mean: 0.0,
             var: 0.0,
         }
+    }
+
+    /// In-place equivalent of [`TailTable::zero`], reusing the storage.
+    fn zero_into(&mut self, rows: usize, cutoff: usize) {
+        self.rows.truncate(rows);
+        while self.rows.len() < rows {
+            self.rows.push(Vec::new());
+        }
+        for row in &mut self.rows {
+            row.clear();
+            row.resize(cutoff, 0.0);
+        }
+        for v in [
+            &mut self.boundaries,
+            &mut self.cond_mean,
+            &mut self.cond_var,
+        ] {
+            v.clear();
+            v.resize(rows, 0.0);
+        }
+        self.mean = 0.0;
+        self.var = 0.0;
     }
 
     /// Largest row whose boundary is `<= elapsed`. Boundaries are ascending,
@@ -256,36 +232,84 @@ impl TailTable {
 /// representative of each of the `i` summands). Returns the combined bucket
 /// index `t` (value `(t+1)·w`): the smallest `t` with
 /// `P[a + b + i ≤ t] ≥ q − ε`, found by bisection; each CDF evaluation is a
-/// dot product of the conditioned PMF with a shifted window of the shared
-/// rung CDF.
-fn quantile_of_sum(cond_pmf: &[f64], rung_cdf: &[f64], i: usize, q: f64) -> usize {
+/// dot product of the conditioned PMF — trimmed to its non-zero support
+/// `[first, last]` — with a shifted window of the shared rung CDF.
+///
+/// `warm` carries the previous rung's answer for this row. The quantile is
+/// nondecreasing across rungs (each rung adds an independent non-negative
+/// draw) and advances by at most `base_len` indices (the added draw is
+/// bounded by the base support), so `(warm, warm + base_len]` brackets the
+/// answer; the bracket is verified before use and the bisection falls back
+/// to the full range whenever it does not straddle the target. The CDF is
+/// monotone in `t` (a sum of nondecreasing non-negative terms), so every
+/// valid bracket converges to the same minimal `t` — warm starts change the
+/// probe count, never the result.
+fn quantile_of_sum(
+    cond_pmf: &[f64],
+    (first, last): (usize, usize),
+    rung_cdf: &[f64],
+    i: usize,
+    q: f64,
+    warm: Option<(usize, usize)>,
+) -> usize {
     let support = rung_cdf.len();
     let total = rung_cdf[support - 1];
     let cdf_at = |t: usize| -> f64 {
-        // P[a + b + i <= t] = Σ_a cond[a] · P[b <= t - i - a]
+        // P[a + b + i <= t] = Σ_a cond[a] · P[b <= t - i - a], accumulated
+        // over ascending a exactly like the naive branchy loop (adding a
+        // zero-mass term is a floating-point no-op, so the zero-skip branch
+        // is dropped), but split into the two structural segments — shift
+        // beyond the rung support (CDF saturates at `total`) and shift
+        // inside it — so both run as zipped slices with no per-element
+        // branches or bounds checks.
+        let Some(ti) = t.checked_sub(i) else {
+            return 0.0;
+        };
+        // Terms with a > t - i have empty windows (P[b < 0] = 0).
+        let a_hi = last.min(ti);
+        if a_hi < first {
+            return 0.0;
+        }
         let mut acc = 0.0;
-        for (a, &p) in cond_pmf.iter().enumerate() {
-            if p == 0.0 {
-                continue;
+        // Segment 1: a <= ti - support ⟹ shift >= support ⟹ CDF = total.
+        let mut a = first;
+        if let Some(saturated_end) = ti.checked_sub(support) {
+            let end = saturated_end.min(a_hi);
+            if end >= a {
+                for &p in &cond_pmf[a..=end] {
+                    acc += p * total;
+                }
+                a = end + 1;
             }
-            let Some(shift) = t.checked_sub(i + a) else {
-                // a grows monotonically; later terms only shift further left.
-                break;
-            };
-            acc += p * if shift >= support {
-                total
-            } else {
-                rung_cdf[shift]
-            };
+        }
+        // Segment 2: the in-support window, rung CDF read back-to-front as
+        // a ascends (shift = ti - a descends).
+        if a <= a_hi {
+            let window = &rung_cdf[ti - a_hi..=ti - a];
+            for (&p, &cdf) in cond_pmf[a..=a_hi].iter().zip(window.iter().rev()) {
+                acc += p * cdf;
+            }
         }
         acc
     };
 
-    let mut lo = i; // a = 0, b = 0
-    let mut hi = cond_pmf.len() - 1 + (support - 1) + i;
-    if cdf_at(lo) >= q - QUANTILE_EPS {
-        return lo;
-    }
+    let full_hi = cond_pmf.len() - 1 + (support - 1) + i;
+    let (mut lo, mut hi) = match warm {
+        Some((prev, base_len))
+            if prev < full_hi
+                && cdf_at(prev) < q - QUANTILE_EPS
+                && cdf_at((prev + base_len).min(full_hi)) >= q - QUANTILE_EPS =>
+        {
+            (prev, (prev + base_len).min(full_hi))
+        }
+        _ => {
+            let lo = i; // a = 0, b = 0
+            if cdf_at(lo) >= q - QUANTILE_EPS {
+                return lo;
+            }
+            (lo, full_hi)
+        }
+    };
     // Invariant: cdf_at(lo) < q - ε <= cdf_at(hi) (hi covers all mass).
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
@@ -346,18 +370,297 @@ impl TailsCursor<'_> {
     }
 }
 
-impl TargetTailTables {
-    /// Builds the tables from the profiled compute-cycle and memory-time
-    /// histograms for the given tail quantile (e.g. 0.95), with the paper's
-    /// default table shape (8 progress rows, Gaussian beyond depth 16).
-    pub fn build(compute: &Histogram, memory: &Histogram, quantile: f64) -> Self {
-        Self::build_with(
+/// Persistent spectral table builder (see the module docs, "Rebuild cost:
+/// incremental builder").
+///
+/// The controller owns one of these across its lifetime: FFT plans are
+/// cached per transform size, and every working buffer — the trimmed base,
+/// per-row conditionals, spectra, rung PMF/CDF — is reused from rebuild to
+/// rebuild, so a warm [`TableBuilder::build_with_into`] performs no
+/// allocation once the buffers have reached their high-water sizes. One-off
+/// callers go through [`TargetTailTables::build`], which spins up a
+/// throwaway builder.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    /// FFT plans cached by transform size (a handful of powers of two).
+    plans: Vec<FftPlan>,
+    /// Packed-FFT scratch shared by all transforms.
+    scratch: Vec<Complex>,
+    /// Trimmed copy of the histogram under construction.
+    base: Histogram,
+    /// Per-row conditional distributions.
+    conds: Vec<Histogram>,
+    /// Non-zero support `[first, last]` of each row's conditional PMF.
+    row_nnz: Vec<(usize, usize)>,
+    /// Previous rung's quantile index per row (warm-start bisection).
+    prev_t: Vec<usize>,
+    /// Spectrum of the trimmed base at the current ladder size.
+    base_spec: Spectrum,
+    /// Running product `base_spec^i`.
+    running: Spectrum,
+    /// Time-domain rung `base^⊛i`.
+    rung_pmf: Vec<f64>,
+    /// Running CDF of the current rung.
+    rung_cdf: Vec<f64>,
+}
+
+impl Default for TableBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TableBuilder {
+    /// Creates an empty builder; buffers grow to their steady-state sizes on
+    /// first use.
+    pub fn new() -> Self {
+        Self {
+            plans: Vec::new(),
+            scratch: Vec::new(),
+            base: Histogram::zero(),
+            conds: Vec::new(),
+            row_nnz: Vec::new(),
+            prev_t: Vec::new(),
+            base_spec: Spectrum::default(),
+            running: Spectrum::default(),
+            rung_pmf: Vec::new(),
+            rung_cdf: Vec::new(),
+        }
+    }
+
+    /// Builds a fresh pair of tables with the paper's default shape. Warm
+    /// callers that hold a target should prefer
+    /// [`TableBuilder::build_with_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is not in `(0, 1)`.
+    pub fn build(
+        &mut self,
+        compute: &Histogram,
+        memory: &Histogram,
+        quantile: f64,
+    ) -> TargetTailTables {
+        self.build_with(
             compute,
             memory,
             quantile,
             DEFAULT_PROGRESS_ROWS,
             DEFAULT_GAUSSIAN_CUTOFF,
         )
+    }
+
+    /// Builds a fresh pair of tables with explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is not in `(0, 1)`, or `rows`/`cutoff` are zero.
+    pub fn build_with(
+        &mut self,
+        compute: &Histogram,
+        memory: &Histogram,
+        quantile: f64,
+        rows: usize,
+        cutoff: usize,
+    ) -> TargetTailTables {
+        assert!(
+            quantile > 0.0 && quantile < 1.0,
+            "quantile must be in (0, 1)"
+        );
+        let mut out = TargetTailTables {
+            compute: TailTable::zero(rows.max(1), cutoff.max(1)),
+            memory: TailTable::zero(rows.max(1), cutoff.max(1)),
+            quantile,
+            cutoff,
+            tail: GaussianTail::new(quantile),
+        };
+        self.build_with_into(compute, memory, quantile, rows, cutoff, &mut out);
+        out
+    }
+
+    /// Rebuilds `out` in place from the given histograms, reusing both the
+    /// builder's scratch state and the target's own storage. This is the
+    /// controller's warm path: bit-identical results to
+    /// [`TargetTailTables::build_with`], zero steady-state allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantile` is not in `(0, 1)`, or `rows`/`cutoff` are zero.
+    pub fn build_with_into(
+        &mut self,
+        compute: &Histogram,
+        memory: &Histogram,
+        quantile: f64,
+        rows: usize,
+        cutoff: usize,
+        out: &mut TargetTailTables,
+    ) {
+        assert!(
+            quantile > 0.0 && quantile < 1.0,
+            "quantile must be in (0, 1)"
+        );
+        assert!(rows > 0 && cutoff > 0, "table dimensions must be positive");
+        self.build_table_into(compute, quantile, rows, cutoff, &mut out.compute);
+        if memory.mean() < NEGLIGIBLE_MEM_TIME {
+            out.memory.zero_into(rows, cutoff);
+        } else {
+            self.build_table_into(memory, quantile, rows, cutoff, &mut out.memory);
+        }
+        out.quantile = quantile;
+        out.cutoff = cutoff;
+        out.tail = GaussianTail::new(quantile);
+    }
+
+    /// Builds one table into `out` (see the module docs for the ladder
+    /// scheme).
+    fn build_table_into(
+        &mut self,
+        hist: &Histogram,
+        quantile: f64,
+        rows: usize,
+        cutoff: usize,
+        out: &mut TailTable,
+    ) {
+        let Self {
+            plans,
+            scratch,
+            base,
+            conds,
+            row_nnz,
+            prev_t,
+            base_spec,
+            running,
+            rung_pmf,
+            rung_cdf,
+        } = self;
+
+        // Trim negligible tail mass so the transform size stays small.
+        hist.trim_tail_into(1e-9, base);
+        let width = base.bucket_width();
+        let base_len = base.pmf().len();
+
+        // Row setup: boundaries, conditionals (with their non-zero support),
+        // moments, and the position-0 column — all into reused storage.
+        out.boundaries.clear();
+        out.cond_mean.clear();
+        out.cond_var.clear();
+        out.rows.truncate(rows);
+        while out.rows.len() < rows {
+            out.rows.push(Vec::new());
+        }
+        if conds.len() < rows {
+            conds.resize(rows, Histogram::zero());
+        }
+        row_nnz.clear();
+        prev_t.clear();
+        for row in 0..rows {
+            let boundary = row_boundary(base, row, rows);
+            out.boundaries.push(boundary);
+            let cond = &mut conds[row];
+            base.conditional_on_elapsed_into(boundary, cond);
+            out.cond_mean.push(cond.mean());
+            out.cond_var.push(cond.variance());
+            let pmf = cond.pmf();
+            let first = pmf
+                .iter()
+                .position(|&p| p != 0.0)
+                .expect("conditional PMF has mass");
+            let last = pmf.iter().rposition(|&p| p != 0.0).expect("has mass");
+            row_nnz.push((first, last));
+            // Position 0 needs no convolution: the conditioned distribution's
+            // own quantile (also the warm start for rung 1).
+            let j0 = cond.quantile_bucket(quantile);
+            let row_vals = &mut out.rows[row];
+            row_vals.clear();
+            row_vals.reserve(cutoff);
+            row_vals.push(cond.bucket_value(j0));
+            prev_t.push(j0);
+        }
+        out.mean = base.mean();
+        out.var = base.variance();
+
+        if cutoff > 1 {
+            // Right-sized ladder: rung base^⊛i has linear-convolution support
+            // i(len−1)+1, so early rungs transform at small power-of-two
+            // sizes. When the size steps up, the running product at the new
+            // size is caught up with the same pointwise-product sequence a
+            // single-size ladder would have applied, so rungs at the deepest
+            // size are bit-identical to the uniform-size build.
+            let mut cur_size = 0usize;
+            let mut exp = 0usize;
+            for i in 1..cutoff {
+                let support = i * (base_len - 1) + 1;
+                if i > 1 {
+                    let size = support.next_power_of_two().max(2);
+                    let plan_idx = if size != cur_size {
+                        let idx = plan_index(plans, size);
+                        plans[idx].forward_into(base.pmf(), scratch, base_spec);
+                        running.clone_from(base_spec);
+                        exp = 1;
+                        cur_size = size;
+                        idx
+                    } else {
+                        plan_index(plans, size)
+                    };
+                    while exp < i {
+                        running.mul_assign(base_spec);
+                        exp += 1;
+                    }
+                    plans[plan_idx].inverse_into(running, scratch, rung_pmf);
+                } else {
+                    // Rung 1 *is* the base PMF — no transform needed.
+                    rung_pmf.clear();
+                    rung_pmf.extend_from_slice(base.pmf());
+                }
+
+                // The single running-CDF pass over this rung, clamping FFT
+                // round-off (a convolution of PMFs cannot go negative).
+                rung_cdf.clear();
+                let mut cum = 0.0;
+                for &p in &rung_pmf[..support] {
+                    cum += p.max(0.0);
+                    rung_cdf.push(cum);
+                }
+
+                for (row, cond) in conds.iter().enumerate().take(rows) {
+                    let t = quantile_of_sum(
+                        cond.pmf(),
+                        row_nnz[row],
+                        rung_cdf,
+                        i,
+                        quantile,
+                        Some((prev_t[row], base_len)),
+                    );
+                    prev_t[row] = t;
+                    out.rows[row].push((t + 1) as f64 * width);
+                }
+            }
+        }
+    }
+}
+
+/// Index of the cached plan for transform size `n`, creating it on first
+/// use. The cache holds a handful of distinct power-of-two sizes, so a
+/// linear scan beats any map.
+fn plan_index(plans: &mut Vec<FftPlan>, n: usize) -> usize {
+    match plans.iter().position(|p| p.len() == n) {
+        Some(idx) => idx,
+        None => {
+            plans.push(FftPlan::new(n));
+            plans.len() - 1
+        }
+    }
+}
+
+impl TargetTailTables {
+    /// Builds the tables from the profiled compute-cycle and memory-time
+    /// histograms for the given tail quantile (e.g. 0.95), with the paper's
+    /// default table shape (8 progress rows, Gaussian beyond depth 16).
+    ///
+    /// Thin wrapper over a throwaway [`TableBuilder`]; rebuild loops should
+    /// hold a persistent builder and use [`TableBuilder::build_with_into`].
+    pub fn build(compute: &Histogram, memory: &Histogram, quantile: f64) -> Self {
+        TableBuilder::new().build(compute, memory, quantile)
     }
 
     /// Builds the tables with explicit table dimensions (used by the
@@ -373,7 +676,7 @@ impl TargetTailTables {
         rows: usize,
         cutoff: usize,
     ) -> Self {
-        Self::build_impl(compute, memory, quantile, rows, cutoff, TailTable::build)
+        TableBuilder::new().build_with(compute, memory, quantile, rows, cutoff)
     }
 
     /// Builds the tables with the reference per-row convolution scheme and
@@ -403,34 +706,16 @@ impl TargetTailTables {
         rows: usize,
         cutoff: usize,
     ) -> Self {
-        Self::build_impl(
-            compute,
-            memory,
-            quantile,
-            rows,
-            cutoff,
-            TailTable::build_direct,
-        )
-    }
-
-    fn build_impl(
-        compute: &Histogram,
-        memory: &Histogram,
-        quantile: f64,
-        rows: usize,
-        cutoff: usize,
-        builder: fn(&Histogram, f64, usize, usize) -> TailTable,
-    ) -> Self {
         assert!(
             quantile > 0.0 && quantile < 1.0,
             "quantile must be in (0, 1)"
         );
         assert!(rows > 0 && cutoff > 0, "table dimensions must be positive");
-        let compute_table = builder(compute, quantile, rows, cutoff);
+        let compute_table = TailTable::build_direct(compute, quantile, rows, cutoff);
         let memory_table = if memory.mean() < NEGLIGIBLE_MEM_TIME {
             TailTable::zero(rows, cutoff)
         } else {
-            builder(memory, quantile, rows, cutoff)
+            TailTable::build_direct(memory, quantile, rows, cutoff)
         };
         Self {
             compute: compute_table,

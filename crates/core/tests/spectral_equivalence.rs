@@ -9,7 +9,7 @@
 //! two builders pick the same bucket everywhere; the relative tolerance only
 //! absorbs float noise in the shared bucket-value arithmetic.
 
-use rubik_core::TargetTailTables;
+use rubik_core::{TableBuilder, TargetTailTables};
 use rubik_stats::{DeterministicRng, Histogram};
 
 const REL_TOL: f64 = 1e-9;
@@ -147,5 +147,64 @@ fn quantile_sweep_matches() {
         let spectral = TargetTailTables::build(&c, &zero_hist(), q);
         let direct = TargetTailTables::build_direct(&c, &zero_hist(), q);
         assert_tables_equivalent(&format!("q={q}"), &spectral, &direct, &probes_for(&c));
+    }
+}
+
+/// A persistent [`TableBuilder`] reused across many different profiles —
+/// warm rebuilds into the same target, shifting histogram shapes, shrinking
+/// and growing supports, even changing table shapes — must produce tables
+/// `==` (exact `PartialEq`, i.e. every stored f64 equal) to a throwaway
+/// builder's fresh output each time. This pins the warm-path contract: the
+/// controller's in-place rebuilds are indistinguishable from cold builds.
+#[test]
+fn persistent_builder_warm_rebuilds_match_fresh_builds_exactly() {
+    let mut rng = DeterministicRng::new(0xE6);
+    let mut builder = TableBuilder::new();
+
+    // Start from an arbitrary profile; rebuild the same target in place for
+    // every subsequent profile.
+    let c0 = lognormal_hist(&mut rng, 1e6, 0.3, 2000);
+    let m0 = lognormal_hist(&mut rng, 80e-6, 0.3, 2000);
+    let mut warm = builder.build_with(&c0, &m0, 0.95, 8, 16);
+
+    let profiles: Vec<(Histogram, Histogram, f64, usize, usize)> = vec![
+        // Same shape, new data.
+        (
+            lognormal_hist(&mut rng, 2e6, 0.8, 3000),
+            lognormal_hist(&mut rng, 40e-6, 0.8, 3000),
+            0.95,
+            8,
+            16,
+        ),
+        // Tighter distribution (smaller trimmed support), other quantile.
+        (
+            lognormal_hist(&mut rng, 5e5, 0.1, 1000),
+            lognormal_hist(&mut rng, 10e-6, 0.1, 1000),
+            0.99,
+            8,
+            16,
+        ),
+        // Zero memory path + different table shape.
+        (
+            lognormal_hist(&mut rng, 1e6, 1.2, 4000),
+            zero_hist(),
+            0.9,
+            4,
+            8,
+        ),
+        // Larger shape again (row storage must regrow cleanly).
+        (
+            lognormal_hist(&mut rng, 3e6, 0.5, 2000),
+            lognormal_hist(&mut rng, 120e-6, 0.5, 2000),
+            0.95,
+            8,
+            32,
+        ),
+    ];
+
+    for (step, (c, m, q, rows, cutoff)) in profiles.iter().enumerate() {
+        builder.build_with_into(c, m, *q, *rows, *cutoff, &mut warm);
+        let fresh = TargetTailTables::build_with(c, m, *q, *rows, *cutoff);
+        assert_eq!(warm, fresh, "warm rebuild diverged at step {step}");
     }
 }

@@ -53,7 +53,7 @@ pub use rubik_coloc::{
 };
 pub use rubik_core::{
     AdrenalineOracle, AdrenalinePolicy, DynamicOracle, FixedFrequencyPolicy, PegasusConfig,
-    PegasusPolicy, RubikConfig, RubikController, StaticOracle, TargetTailTables,
+    PegasusPolicy, RubikConfig, RubikController, StaticOracle, TableBuilder, TargetTailTables,
 };
 pub use rubik_power::{CorePowerModel, ServerPowerModel, Tdp};
 pub use rubik_sim::{

@@ -149,14 +149,26 @@ pub fn fft_in_place(data: &mut [Complex], inverse: bool) {
 /// the upper half is implied by Hermitian symmetry). Building a plan is
 /// `O(n)`; each transform is `O(n log n)` with no allocation when the caller
 /// reuses its scratch buffers.
+///
+/// Twiddles are stored **per butterfly stage, contiguously** (the stage for
+/// block length `len` holds the `len/2` factors `exp(-2πik/len)`), and the
+/// inverse direction keeps its own pre-conjugated copy. Conjugation is an
+/// exact sign flip and the per-stage tables hold exactly the values the
+/// strided lookups used to produce, so the butterfly arithmetic — and hence
+/// every transform bit — is unchanged; the kernel just walks both tables
+/// sequentially instead of gathering with a stride and branching on the
+/// direction per butterfly.
 #[derive(Debug, Clone)]
 pub struct FftPlan {
     /// Real transform size (power of two, ≥ 2).
     n: usize,
     /// Half size: the complex FFT actually executed.
     half: usize,
-    /// Twiddles for the half-size FFT: `exp(-2πik/half)` for `k < half/2`.
-    twiddles: Vec<Complex>,
+    /// Forward twiddles, concatenated per stage (`half - 1` entries: one for
+    /// the `len = 2` stage, two for `len = 4`, ..., `half/2` for the last).
+    stage_twiddles: Vec<Complex>,
+    /// The same tables conjugated, for the inverse direction.
+    stage_twiddles_conj: Vec<Complex>,
     /// Unpack factors `exp(-2πik/n)` for `k <= half`.
     unpack: Vec<Complex>,
     /// Bit-reversal permutation for the half-size FFT.
@@ -169,10 +181,27 @@ pub struct FftPlan {
 /// Spectra from the same plan can be multiplied pointwise, which corresponds
 /// to circular convolution of length `n` in the time domain — linear
 /// convolution as long as the true support fits in `n`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Default, PartialEq)]
 pub struct Spectrum {
     n: usize,
     bins: Vec<Complex>,
+}
+
+impl Clone for Spectrum {
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            bins: self.bins.clone(),
+        }
+    }
+
+    /// Reuses `self`'s bin storage, so cloning into a spectrum that already
+    /// has capacity performs no allocation (the table-rebuild loop clones the
+    /// base spectrum into a persistent running product every build).
+    fn clone_from(&mut self, source: &Self) {
+        self.n = source.n;
+        self.bins.clone_from(&source.bins);
+    }
 }
 
 impl Spectrum {
@@ -198,13 +227,6 @@ impl Spectrum {
             *a = a.mul(*b);
         }
     }
-
-    /// Out-of-place pointwise product.
-    pub fn multiplied(&self, other: &Spectrum) -> Spectrum {
-        let mut out = self.clone();
-        out.mul_assign(other);
-        out
-    }
 }
 
 impl FftPlan {
@@ -219,12 +241,25 @@ impl FftPlan {
             "FFT plan size must be a power of two >= 2"
         );
         let half = n / 2;
-        let twiddles = (0..half / 2)
+        let twiddles: Vec<Complex> = (0..half / 2)
             .map(|k| {
                 let angle = -2.0 * PI * k as f64 / half as f64;
                 Complex::new(angle.cos(), angle.sin())
             })
             .collect();
+        // Re-lay the twiddles out per stage (the factors the strided lookup
+        // `twiddles[k * stride]` used to gather), so the butterfly kernel
+        // reads them sequentially. Values are copied, not recomputed.
+        let mut stage_twiddles = Vec::with_capacity(half.saturating_sub(1));
+        let mut len = 2;
+        while len <= half {
+            let stride = half / len;
+            for k in 0..len / 2 {
+                stage_twiddles.push(twiddles[k * stride]);
+            }
+            len <<= 1;
+        }
+        let stage_twiddles_conj = stage_twiddles.iter().map(|w| w.conj()).collect();
         let unpack = (0..=half)
             .map(|k| {
                 let angle = -2.0 * PI * k as f64 / n as f64;
@@ -245,7 +280,8 @@ impl FftPlan {
         Self {
             n,
             half,
-            twiddles,
+            stage_twiddles,
+            stage_twiddles_conj,
             unpack,
             rev,
         }
@@ -262,7 +298,11 @@ impl FftPlan {
     }
 
     /// Half-size complex FFT using the precomputed twiddles (decimation in
-    /// time). `inverse` conjugates the twiddles; scaling is the caller's job.
+    /// time). `inverse` selects the pre-conjugated twiddle tables; scaling is
+    /// the caller's job. The butterflies are identical to the classic strided
+    /// formulation — the per-stage tables hold the same factor values — so
+    /// the output is bit-for-bit unchanged; only the memory access pattern
+    /// (sequential twiddle reads, branch-free inner loop) differs.
     fn half_fft(&self, data: &mut [Complex], inverse: bool) {
         let m = self.half;
         debug_assert_eq!(data.len(), m);
@@ -272,23 +312,26 @@ impl FftPlan {
                 data.swap(i, j);
             }
         }
+        let twiddles = if inverse {
+            &self.stage_twiddles_conj
+        } else {
+            &self.stage_twiddles
+        };
         let mut len = 2;
+        let mut offset = 0;
         while len <= m {
-            let stride = m / len;
-            let mut i = 0;
-            while i < m {
-                for k in 0..len / 2 {
-                    let mut w = self.twiddles[k * stride];
-                    if inverse {
-                        w = w.conj();
-                    }
-                    let u = data[i + k];
-                    let v = data[i + k + len / 2].mul(w);
-                    data[i + k] = u.add(v);
-                    data[i + k + len / 2] = u.sub(v);
+            let half_len = len / 2;
+            let stage = &twiddles[offset..offset + half_len];
+            for block in data.chunks_exact_mut(len) {
+                let (lo, hi) = block.split_at_mut(half_len);
+                for k in 0..half_len {
+                    let u = lo[k];
+                    let v = hi[k].mul(stage[k]);
+                    lo[k] = u.add(v);
+                    hi[k] = u.sub(v);
                 }
-                i += len;
             }
+            offset += half_len;
             len <<= 1;
         }
     }
@@ -308,29 +351,47 @@ impl FftPlan {
             self.n
         );
         let m = self.half;
-        scratch.clear();
         scratch.resize(m, Complex::default());
         // Pack x[2k] + i·x[2k+1].
-        for k in 0..m {
-            let re = real.get(2 * k).copied().unwrap_or(0.0);
-            let im = real.get(2 * k + 1).copied().unwrap_or(0.0);
-            scratch[k] = Complex::new(re, im);
+        let mut pairs = real.chunks_exact(2);
+        let mut k = 0;
+        for pair in pairs.by_ref() {
+            scratch[k] = Complex::new(pair[0], pair[1]);
+            k += 1;
+        }
+        if let [tail] = pairs.remainder() {
+            scratch[k] = Complex::new(*tail, 0.0);
+            k += 1;
+        }
+        for slot in &mut scratch[k..] {
+            *slot = Complex::default();
         }
         self.half_fft(scratch, false);
 
         out.n = self.n;
-        out.bins.clear();
         out.bins.resize(m + 1, Complex::default());
         // Unpack: E[k] = (Z[k] + conj(Z[m-k]))/2, O[k] = -i(Z[k] - conj(Z[m-k]))/2,
-        // X[k] = E[k] + e^{-2πik/n}·O[k].
-        for k in 0..=m {
-            let zk = scratch[k % m];
-            let zmk = scratch[(m - k) % m].conj();
+        // X[k] = E[k] + e^{-2πik/n}·O[k]. Same arithmetic as the classic
+        // indexed loop (`zk = Z[k % m]`, `zmk = conj(Z[(m-k) % m])`); the
+        // wrap-around endpoints k = 0 and k = m are peeled so the interior
+        // runs on zipped slices without bounds checks.
+        let unpack_bin = |zk: Complex, zmk: Complex, w: Complex| {
             let e = zk.add(zmk).scale(0.5);
             let d = zk.sub(zmk).scale(0.5);
             let o = Complex::new(d.im, -d.re); // -i·d
-            out.bins[k] = e.add(self.unpack[k].mul(o));
+            e.add(w.mul(o))
+        };
+        let z0 = scratch[0];
+        out.bins[0] = unpack_bin(z0, z0.conj(), self.unpack[0]);
+        let interior = out.bins[1..m]
+            .iter_mut()
+            .zip(&scratch[1..m])
+            .zip(scratch[1..m].iter().rev())
+            .zip(&self.unpack[1..m]);
+        for (((bin, &zk), &zmk), &w) in interior {
+            *bin = unpack_bin(zk, zmk.conj(), w);
         }
+        out.bins[m] = unpack_bin(z0, z0.conj(), self.unpack[m]);
     }
 
     /// Convenience allocating forward transform.
@@ -355,17 +416,23 @@ impl FftPlan {
     pub fn inverse_into(&self, spec: &Spectrum, scratch: &mut Vec<Complex>, out: &mut Vec<f64>) {
         assert_eq!(spec.n, self.n, "spectrum plan size mismatch");
         let m = self.half;
-        scratch.clear();
         scratch.resize(m, Complex::default());
         // Re-pack: E[k] = (X[k] + conj(X[m-k]))/2,
         //          O[k] = conj(w_k)·(X[k] - conj(X[m-k]))/2,
         //          Z[k] = E[k] + i·O[k].
-        for (k, slot) in scratch.iter_mut().enumerate() {
-            let xk = spec.bins[k];
-            let xmk = spec.bins[m - k].conj();
+        // `X[m-k]` is the spectrum read back-to-front, so the whole pass is
+        // zipped slices (no per-element index arithmetic); the operations
+        // per element are unchanged.
+        let repack = scratch
+            .iter_mut()
+            .zip(&spec.bins[..m])
+            .zip(spec.bins[1..].iter().rev())
+            .zip(&self.unpack[..m]);
+        for (((slot, &xk), &xmk_raw), &w) in repack {
+            let xmk = xmk_raw.conj();
             let e = xk.add(xmk).scale(0.5);
             let h = xk.sub(xmk).scale(0.5);
-            let o = self.unpack[k].conj().mul(h);
+            let o = w.conj().mul(h);
             let io = Complex::new(-o.im, o.re); // i·o
             *slot = e.add(io);
         }

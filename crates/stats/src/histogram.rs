@@ -46,16 +46,23 @@ impl PartialEq for Histogram {
 impl Histogram {
     /// Internal constructor: caches the running CDF for the given PMF.
     fn with_pmf(bucket_width: f64, pmf: Vec<f64>) -> Self {
-        let mut cdf = Vec::with_capacity(pmf.len());
-        let mut cum = 0.0;
-        for &p in &pmf {
-            cum += p;
-            cdf.push(cum);
-        }
-        Self {
+        let mut h = Self {
             bucket_width,
             pmf,
-            cdf,
+            cdf: Vec::new(),
+        };
+        h.rebuild_cdf();
+        h
+    }
+
+    /// Recomputes the cached running CDF in place, reusing its storage.
+    fn rebuild_cdf(&mut self) {
+        self.cdf.clear();
+        self.cdf.reserve(self.pmf.len());
+        let mut cum = 0.0;
+        for &p in &self.pmf {
+            cum += p;
+            self.cdf.push(cum);
         }
     }
     /// Builds a histogram from raw samples using `buckets` equal-width
@@ -127,6 +134,49 @@ impl Histogram {
         Self::with_pmf(1.0, vec![1.0])
     }
 
+    /// Rebuilds the histogram in place from per-bucket sample counts,
+    /// reusing the PMF/CDF storage — the allocation-free path the online
+    /// profiler uses to materialize its incrementally maintained counts.
+    ///
+    /// Produces **bit-identical** PMFs to [`Histogram::from_samples`] on the
+    /// same bucketing: `from_samples` accumulates `k` additions of
+    /// `w = 1/total` per bucket, which equals `k * w` exactly when `total`
+    /// is a power of two (every partial sum `j/total` is then representable);
+    /// for other totals the repeated addition is replayed per bucket so the
+    /// rounding matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty or all-zero, `total` does not equal the
+    /// sum of `counts`, or `bucket_width` is not positive.
+    pub fn assign_counts(&mut self, counts: &[u32], total: usize, bucket_width: f64) {
+        assert!(
+            !counts.is_empty(),
+            "histogram must have at least one bucket"
+        );
+        assert!(bucket_width > 0.0, "bucket width must be positive");
+        let check: u64 = counts.iter().map(|&k| u64::from(k)).sum();
+        assert!(
+            check == total as u64 && total > 0,
+            "counts must sum to the (non-zero) sample total"
+        );
+        let w = 1.0 / total as f64;
+        self.bucket_width = bucket_width;
+        self.pmf.clear();
+        if total.is_power_of_two() {
+            self.pmf.extend(counts.iter().map(|&k| k as f64 * w));
+        } else {
+            self.pmf.extend(counts.iter().map(|&k| {
+                let mut mass = 0.0;
+                for _ in 0..k {
+                    mass += w;
+                }
+                mass
+            }));
+        }
+        self.rebuild_cdf();
+    }
+
     /// The width of each bucket, in the histogram's unit.
     pub fn bucket_width(&self) -> f64 {
         self.bucket_width
@@ -184,9 +234,21 @@ impl Histogram {
     ///
     /// Panics if `q` is not within `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
+        self.bucket_value(self.quantile_bucket(q))
+    }
+
+    /// The index of the bucket [`Histogram::quantile`] reports — the bucket
+    /// where the CDF crosses `q`. Exposed so index-space consumers (the
+    /// table builder seeds its warm-start bisection from it) avoid a
+    /// round-trip through the value domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not within `[0, 1]`.
+    pub fn quantile_bucket(&self, q: f64) -> usize {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         let i = self.cdf.partition_point(|&c| c < q - 1e-12);
-        self.bucket_value(i.min(self.pmf.len() - 1))
+        i.min(self.pmf.len() - 1)
     }
 
     /// Cumulative probability `P[X <= x]`. O(1) via the cached running CDF.
@@ -214,17 +276,33 @@ impl Histogram {
     /// one-bucket distribution at one bucket width (it will complete "soon",
     /// but not instantaneously).
     pub fn conditional_on_elapsed(&self, elapsed: f64) -> Histogram {
+        let mut out = Histogram::zero();
+        self.conditional_on_elapsed_into(elapsed, &mut out);
+        out
+    }
+
+    /// In-place variant of [`Histogram::conditional_on_elapsed`]: writes the
+    /// conditioned distribution into `out`, reusing its PMF/CDF storage.
+    /// Produces bit-identical values to the allocating version (same sums,
+    /// same divisions, in the same order); the periodic table rebuild calls
+    /// this once per progress row without allocating.
+    pub fn conditional_on_elapsed_into(&self, elapsed: f64, out: &mut Histogram) {
         assert!(elapsed >= 0.0, "elapsed must be non-negative");
+        out.bucket_width = self.bucket_width;
+        out.pmf.clear();
         let shift = (elapsed / self.bucket_width).floor() as usize;
-        if shift >= self.pmf.len() {
-            return Histogram::with_pmf(self.bucket_width, vec![1.0]);
+        let tail_mass: f64 = if shift >= self.pmf.len() {
+            0.0
+        } else {
+            self.pmf[shift..].iter().sum()
+        };
+        if shift >= self.pmf.len() || tail_mass <= 0.0 {
+            out.pmf.push(1.0);
+        } else {
+            out.pmf
+                .extend(self.pmf[shift..].iter().map(|&p| p / tail_mass));
         }
-        let tail_mass: f64 = self.pmf[shift..].iter().sum();
-        if tail_mass <= 0.0 {
-            return Histogram::with_pmf(self.bucket_width, vec![1.0]);
-        }
-        let pmf: Vec<f64> = self.pmf[shift..].iter().map(|&p| p / tail_mass).collect();
-        Histogram::with_pmf(self.bucket_width, pmf)
+        out.rebuild_cdf();
     }
 
     /// Convolution of two distributions: the distribution of the sum of two
@@ -289,6 +367,22 @@ impl Histogram {
     /// Truncates trailing buckets holding less than `epsilon` total mass,
     /// renormalizing. Keeps convolution costs bounded.
     pub fn trim_tail(&self, epsilon: f64) -> Histogram {
+        let mut out = Histogram::zero();
+        self.trim_tail_into(epsilon, &mut out);
+        out
+    }
+
+    /// In-place variant of [`Histogram::trim_tail`]: writes the trimmed,
+    /// renormalized distribution into `out`, reusing its storage. Replicates
+    /// the allocating version's arithmetic exactly (the same
+    /// [`Histogram::from_pmf`] normalization sum and divisions, in the same
+    /// order), so results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the retained prefix has no positive mass (mirrors
+    /// [`Histogram::from_pmf`]).
+    pub fn trim_tail_into(&self, epsilon: f64, out: &mut Histogram) {
         let mut cum = 0.0;
         let mut cut = self.pmf.len();
         for (i, &p) in self.pmf.iter().enumerate().rev() {
@@ -298,8 +392,18 @@ impl Histogram {
                 break;
             }
         }
-        let pmf = self.pmf[..cut.max(1)].to_vec();
-        Histogram::from_pmf(pmf, self.bucket_width)
+        let keep = &self.pmf[..cut.max(1)];
+        // from_pmf's normalization, in place: same left-to-right total, same
+        // per-entry division.
+        let mut total = 0.0;
+        for &p in keep {
+            total += p;
+        }
+        assert!(total > 0.0, "pmf must have positive total mass");
+        out.bucket_width = self.bucket_width;
+        out.pmf.clear();
+        out.pmf.extend(keep.iter().map(|&p| p / total));
+        out.rebuild_cdf();
     }
 }
 
@@ -446,6 +550,69 @@ mod tests {
         let t = h.trim_tail(0.01);
         assert!(t.len() < 100);
         assert!((t.pmf().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assign_counts_matches_from_samples_bitwise() {
+        // Power-of-two and non-power-of-two totals: both paths must replay
+        // from_samples' floating-point accumulation exactly.
+        for n in [256usize, 1000, 4096, 37] {
+            let samples: Vec<f64> = (0..n).map(|i| ((i * 97) % 313) as f64 * 0.37).collect();
+            let reference = Histogram::from_samples(&samples, 64);
+            let mut counts = vec![0u32; 64];
+            for &s in &samples {
+                let idx = ((s / reference.bucket_width()) as usize).min(63);
+                counts[idx] += 1;
+            }
+            let mut h = Histogram::zero();
+            h.assign_counts(&counts, n, reference.bucket_width());
+            assert_eq!(h.pmf(), reference.pmf(), "n = {n}");
+            assert_eq!(h.bucket_width(), reference.bucket_width());
+            assert_eq!(h.quantile(0.95), reference.quantile(0.95));
+        }
+    }
+
+    #[test]
+    fn assign_counts_reuses_storage() {
+        let mut h = Histogram::zero();
+        h.assign_counts(&[1, 2, 3, 10], 16, 0.5);
+        let before = h.pmf().as_ptr();
+        h.assign_counts(&[4, 4, 4, 4], 16, 0.25);
+        assert_eq!(before, h.pmf().as_ptr(), "refill must not reallocate");
+    }
+
+    #[test]
+    #[should_panic(expected = "counts must sum")]
+    fn assign_counts_rejects_mismatched_total() {
+        let mut h = Histogram::zero();
+        h.assign_counts(&[1, 2], 4, 1.0);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_versions() {
+        let h = Histogram::from_samples(&uniform_samples(3000, 12.0), 128);
+        let mut scratch = Histogram::zero();
+        for eps in [1e-9, 1e-3, 0.2] {
+            h.trim_tail_into(eps, &mut scratch);
+            let fresh = h.trim_tail(eps);
+            assert_eq!(scratch.pmf(), fresh.pmf(), "eps = {eps}");
+            assert_eq!(scratch.bucket_width(), fresh.bucket_width());
+        }
+        for elapsed in [0.0, 3.7, 11.9, 400.0] {
+            h.conditional_on_elapsed_into(elapsed, &mut scratch);
+            let fresh = h.conditional_on_elapsed(elapsed);
+            assert_eq!(scratch.pmf(), fresh.pmf(), "elapsed = {elapsed}");
+            assert_eq!(scratch.quantile(0.9), fresh.quantile(0.9));
+        }
+    }
+
+    #[test]
+    fn quantile_bucket_is_the_reported_bucket() {
+        let h = Histogram::from_samples(&uniform_samples(500, 7.0), 32);
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            assert_eq!(h.quantile(q), h.bucket_value(h.quantile_bucket(q)));
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use crate::percentile::percentile;
+use crate::percentile::percentile_of_sorted;
 
 /// Tracks `(completion_time, latency)` samples and reports the latency
 /// percentile over the most recent time window.
@@ -17,6 +17,9 @@ pub struct RollingTailTracker {
     window: f64,
     quantile: f64,
     samples: VecDeque<(f64, f64)>,
+    /// Reused sort buffer for [`RollingTailTracker::tail`], so the periodic
+    /// feedback read performs no steady-state allocation.
+    scratch: Vec<f64>,
 }
 
 impl RollingTailTracker {
@@ -36,6 +39,7 @@ impl RollingTailTracker {
             window,
             quantile,
             samples: VecDeque::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -63,10 +67,17 @@ impl RollingTailTracker {
     }
 
     /// The tail latency over the current window, or `None` if the window has
-    /// no samples.
-    pub fn tail(&self) -> Option<f64> {
-        let latencies: Vec<f64> = self.samples.iter().map(|&(_, l)| l).collect();
-        percentile(&latencies, self.quantile)
+    /// no samples. Sorts into a reused scratch buffer, so repeated reads
+    /// allocate nothing once the buffer reaches the window's high-water mark.
+    pub fn tail(&mut self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.scratch.clear();
+        self.scratch.extend(self.samples.iter().map(|&(_, l)| l));
+        self.scratch
+            .sort_unstable_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+        Some(percentile_of_sorted(&self.scratch, self.quantile))
     }
 
     /// Number of samples currently in the window.
@@ -96,7 +107,7 @@ mod tests {
 
     #[test]
     fn empty_tracker_reports_none() {
-        let t = RollingTailTracker::new(1.0, 0.95);
+        let mut t = RollingTailTracker::new(1.0, 0.95);
         assert!(t.tail().is_none());
         assert!(t.is_empty());
     }
