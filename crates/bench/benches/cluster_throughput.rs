@@ -1,0 +1,112 @@
+//! Fleet-scale cluster throughput: wall time of one `Cluster::run` as the
+//! fleet grows (10 → 100 → 1000 servers), with a Rubik controller per
+//! server — the heaviest realistic per-server policy — behind the
+//! power-aware router.
+//!
+//! This tracks the binary-heap event loop's scalability: the per-request
+//! cost must stay near-flat as servers multiply, because the loop touches
+//! only the globally earliest server per event (stale heap entries are
+//! skipped in O(log n)). Requests scale with the fleet so every size serves
+//! the same per-server load.
+//!
+//! Results merge into `BENCH_controller.json` like the other controller
+//! benches, and a `BENCH_cluster.json` summary (per-fleet-size median wall
+//! time and requests/s) is written for later PRs to regress against.
+//!
+//! Env knobs: `RUBIK_CLUSTER_BENCH_REQUESTS` (default 30) sets requests per
+//! server; `RUBIK_BENCH_SAMPLE_MS` / `RUBIK_BENCH_SAMPLES` are the usual
+//! criterion smoke knobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rubik::cluster::{fleet_trace, PowerAware};
+use rubik::{AppProfile, Cluster, RubikConfig, RubikController, SimConfig, Trace};
+
+const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
+const CLUSTER_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+
+const FLEETS: [usize; 3] = [10, 100, 1000];
+const LOAD: f64 = 0.3;
+
+fn requests_per_server() -> usize {
+    std::env::var("RUBIK_CLUSTER_BENCH_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30)
+}
+
+fn run_fleet(config: &SimConfig, trace: &Trace, fleet: usize, bound: f64) -> f64 {
+    let cluster = Cluster::new(
+        config.clone(),
+        fleet,
+        Box::new(PowerAware::default()),
+        |_| {
+            RubikController::seeded_for_trace(
+                RubikConfig::new(bound).with_profiling_window(1024),
+                config.dvfs.clone(),
+                trace,
+                256,
+            )
+        },
+    );
+    let outcome = cluster.run(trace);
+    assert_eq!(outcome.requests, trace.len());
+    outcome.fleet_energy // checksum so the run cannot be optimized away
+}
+
+fn bench_cluster_throughput(c: &mut Criterion) {
+    let config = SimConfig::paper_simulated();
+    let profile = AppProfile::masstree();
+    let bound = 3.0 * profile.mean_service_time();
+    let per_server = requests_per_server();
+
+    let mut group = c.benchmark_group("cluster_throughput");
+    for fleet in FLEETS {
+        let trace = fleet_trace(&profile, LOAD, fleet, per_server * fleet, 2015);
+        group.bench_with_input(BenchmarkId::new("servers", fleet), &fleet, |b, &fleet| {
+            b.iter(|| run_fleet(&config, &trace, fleet, bound))
+        });
+    }
+    group.finish();
+
+    write_cluster_summary(c, per_server);
+}
+
+/// Distills the group's results into `BENCH_cluster.json`: per-fleet-size
+/// median wall time and request throughput.
+fn write_cluster_summary(c: &Criterion, per_server: usize) {
+    let mut entries = Vec::new();
+    for fleet in FLEETS {
+        let id = format!("cluster_throughput/servers/{fleet}");
+        if let Some(r) = c.results().iter().find(|r| r.id == id) {
+            let requests = per_server * fleet;
+            let rps = requests as f64 / (r.median_ns * 1e-9);
+            entries.push(format!(
+                "    {{\"servers\": {fleet}, \"requests\": {requests}, \
+                 \"median_ns\": {:.1}, \"requests_per_sec\": {rps:.1}}}",
+                r.median_ns
+            ));
+        }
+    }
+    if entries.is_empty() {
+        return;
+    }
+    let json = format!(
+        "{{\n  \"load_per_server\": {LOAD},\n  \"requests_per_server\": {per_server},\n  \
+         \"router\": \"power-aware\",\n  \"policy\": \"rubik-per-server\",\n  \
+         \"fleets\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    if let Err(e) = std::fs::write(CLUSTER_JSON, &json) {
+        eprintln!("cluster_throughput: could not write {CLUSTER_JSON}: {e}");
+    } else {
+        println!("cluster_throughput: wrote {CLUSTER_JSON}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5).output_json(BENCH_JSON);
+    targets = bench_cluster_throughput
+}
+criterion_main!(benches);

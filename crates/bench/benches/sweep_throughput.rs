@@ -20,6 +20,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use rubik::coloc::ColocRunSpec;
 use rubik::{AppProfile, BatchMix, ColocScheme, ColocatedCore, SweepExecutor, SweepSpec};
 
 const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
@@ -79,13 +80,15 @@ fn run_grid(ctx: &GridContext, threads: usize) -> f64 {
             let (a, m, l) = (cell.get("app"), cell.get("mix"), cell.get("load"));
             ctx.core
                 .run(
-                    ColocScheme::RubikColoc,
-                    &ctx.apps[a],
-                    ctx.loads[l],
-                    &ctx.mixes[m % ctx.mixes.len()],
-                    ctx.bounds[a],
-                    ctx.requests,
-                    (100 + a * 100 + m * 10 + l) as u64,
+                    &ColocRunSpec::new(
+                        ColocScheme::RubikColoc,
+                        &ctx.apps[a],
+                        &ctx.mixes[m % ctx.mixes.len()],
+                        ctx.bounds[a],
+                    )
+                    .with_load(ctx.loads[l])
+                    .with_requests(ctx.requests)
+                    .with_seed((100 + a * 100 + m * 10 + l) as u64),
                 )
                 .normalized_tail
         })

@@ -5,6 +5,7 @@
 //! The scheme × app × mix grid runs on `rubik-sweep`; pass `--threads N`
 //! to control the worker pool.
 
+use rubik::coloc::ColocRunSpec;
 use rubik::{AppProfile, BatchMix, ColocScheme, ColocatedCore, SweepSpec};
 use rubik_bench::{print_header, BenchArgs};
 
@@ -37,13 +38,10 @@ fn main() {
             let (s, i, m) = (cell.get("scheme"), cell.get("app"), cell.get("mix"));
             let mix = &mixes[(i * mixes_per_app + m) % mixes.len()];
             core.run(
-                schemes[s],
-                &apps[i],
-                load,
-                mix,
-                bounds[i],
-                requests,
-                (100 + i * 10 + m) as u64,
+                &ColocRunSpec::new(schemes[s], &apps[i], mix, bounds[i])
+                    .with_load(load)
+                    .with_requests(requests)
+                    .with_seed((100 + i * 10 + m) as u64),
             )
             .normalized_tail
         })

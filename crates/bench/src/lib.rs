@@ -18,7 +18,9 @@
 //! trajectory is visible across PRs. `benches/sweep_throughput.rs` adds the
 //! fleet-scale axis: serial vs N-thread wall time of the paper-shaped
 //! colocation grid on `rubik-sweep`, merged into the same file plus a
-//! `BENCH_sweep.json` summary.
+//! `BENCH_sweep.json` summary. `benches/cluster_throughput.rs` tracks the
+//! multi-server event loop (10/100/1000-server fleets, Rubik per server)
+//! and writes a `BENCH_cluster.json` summary.
 
 use rubik::core::{replay, replay_energy, replay_tail};
 use rubik::{

@@ -1,0 +1,407 @@
+//! The cluster driver: N `ServerSim`s multiplexed through one event loop.
+//!
+//! Every server is an independent open-loop simulation
+//! ([`rubik_sim::ServerSim`]); the driver owns a binary heap of
+//! `(next event time, server)` entries and always advances the globally
+//! earliest event, so thousands of servers run in one process with no
+//! threads and no per-server clocks to reconcile. Arrivals from the global
+//! request stream are routed by a [`Router`] and offered to the chosen
+//! server, whose own engine then sequences the arrival against its pending
+//! completions, transitions, and ticks.
+//!
+//! # Event ordering and determinism
+//!
+//! The heap orders events by `(time, server index)`, and every routing
+//! decision observes the fleet *after* all server events strictly before
+//! the arrival instant have been processed (events at exactly the arrival
+//! instant are sequenced by the destination server's own round order, which
+//! is what makes a 1-server cluster bitwise-identical to
+//! [`rubik_sim::Server::run`]). Entries are stamped and lazily invalidated:
+//! whenever a server is stepped or offered work, its stamp advances and a
+//! fresh entry is pushed, so stale heap entries are skipped on pop. The
+//! whole loop is sequential and deterministic — fleet-scale parallelism
+//! comes from sweeping many cluster cells on `rubik-sweep`, not from
+//! threading inside one cluster.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rubik_power::CorePowerModel;
+use rubik_sim::{DvfsPolicy, RunResult, ServerSim, SimConfig, Trace};
+
+use crate::outcome::ClusterOutcome;
+use crate::router::{Router, ServerView};
+
+/// A heap entry: the next event of one server, stamped for lazy
+/// invalidation.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    time: f64,
+    server: usize,
+    stamp: u64,
+}
+
+impl HeapEntry {
+    fn key(&self) -> (f64, usize, u64) {
+        (self.time, self.server, self.stamp)
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let (t0, s0, v0) = self.key();
+        let (t1, s1, v1) = other.key();
+        t0.total_cmp(&t1).then(s0.cmp(&s1)).then(v0.cmp(&v1))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A fleet of simulated servers behind a load balancer.
+///
+/// Built with one [`DvfsPolicy`] instance per server (Rubik per server, in
+/// the paper's setting) and a [`Router`]; consumed by [`Cluster::run`],
+/// which drives the global arrival stream through the fleet and aggregates
+/// a [`ClusterOutcome`].
+pub struct Cluster<P: DvfsPolicy = Box<dyn DvfsPolicy>> {
+    servers: Vec<ServerSim<P>>,
+    router: Box<dyn Router>,
+    power: CorePowerModel,
+    quantile: f64,
+}
+
+impl<P: DvfsPolicy> std::fmt::Debug for Cluster<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("servers", &self.servers.len())
+            .field("router", &self.router.name())
+            .field("quantile", &self.quantile)
+            .finish()
+    }
+}
+
+impl<P: DvfsPolicy> Cluster<P> {
+    /// Creates a fleet of `servers` identical-hardware servers. `policy` is
+    /// called once per server index to build that server's DVFS controller —
+    /// per-server instances, never shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    pub fn new<F>(config: SimConfig, servers: usize, router: Box<dyn Router>, mut policy: F) -> Self
+    where
+        F: FnMut(usize) -> P,
+    {
+        assert!(servers > 0, "a cluster needs at least one server");
+        let servers = (0..servers)
+            .map(|i| ServerSim::new(config.clone(), policy(i)))
+            .collect();
+        Self {
+            servers,
+            router,
+            power: CorePowerModel::haswell_like(),
+            quantile: 0.95,
+        }
+    }
+
+    /// Overrides the core power model used for fleet energy accounting.
+    ///
+    /// This does **not** reach into the router: a [`PowerAware`]
+    /// (crate::PowerAware) router carries its own scoring model, so
+    /// construct it from the same model passed here or its routing
+    /// objective will diverge from the reported fleet energy.
+    pub fn with_power(mut self, power: CorePowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Overrides the tail quantile (default 0.95).
+    pub fn with_quantile(mut self, quantile: f64) -> Self {
+        assert!(
+            quantile > 0.0 && quantile < 1.0,
+            "quantile must be in (0, 1)"
+        );
+        self.quantile = quantile;
+        self
+    }
+
+    /// Number of servers in the fleet.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the fleet is empty (never true — see [`Cluster::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The fleet's router.
+    pub fn router(&self) -> &dyn Router {
+        self.router.as_ref()
+    }
+
+    /// Serves the global arrival stream `trace` through the fleet and
+    /// returns the aggregated outcome.
+    ///
+    /// The trace is the *fleet's* arrival process (e.g. from
+    /// [`crate::fleet_trace`]); each request is routed on arrival and
+    /// offered to one server. Requests must be time-ordered, which
+    /// [`Trace`] guarantees.
+    pub fn run(self, trace: &Trace) -> ClusterOutcome {
+        self.run_with_results(trace).0
+    }
+
+    /// Like [`Cluster::run`], but also returns each server's raw
+    /// [`RunResult`] (used by the equivalence suites and for per-server
+    /// timelines).
+    pub fn run_with_results(mut self, trace: &Trace) -> (ClusterOutcome, Vec<RunResult>) {
+        let n = self.servers.len();
+        let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::with_capacity(2 * n);
+        let mut stamps: Vec<u64> = vec![0; n];
+        // One view per server, maintained incrementally: only a stepped or
+        // offered server's view changes, so routing stays O(fleet) in reads
+        // but O(events) — not O(arrivals × fleet) — in writes.
+        let mut views: Vec<ServerView> = Vec::with_capacity(n);
+        for i in 0..n {
+            views.push(server_view(&self.servers, i));
+            if let Some(time) = self.servers[i].next_event_time() {
+                heap.push(Reverse(HeapEntry {
+                    time,
+                    server: i,
+                    stamp: stamps[i],
+                }));
+            }
+        }
+
+        for &request in trace.requests() {
+            // Process every fleet event strictly before the arrival; events
+            // at exactly the arrival instant are left for the destination
+            // server's engine to order against the arrival itself.
+            drain_before(
+                &mut heap,
+                &mut stamps,
+                &mut self.servers,
+                &mut views,
+                request.arrival,
+            );
+
+            let target = self.router.route(&request, &views);
+            assert!(
+                target < n,
+                "router {} chose server {target} of a {n}-server fleet",
+                self.router.name()
+            );
+            self.servers[target].offer(request);
+            schedule(&mut heap, &mut stamps, &self.servers, &mut views, target);
+        }
+
+        // The stream is exhausted: no more work will ever be offered, so
+        // close every server and let the remaining events drain.
+        for i in 0..n {
+            self.servers[i].close();
+            schedule(&mut heap, &mut stamps, &self.servers, &mut views, i);
+        }
+        drain_before(
+            &mut heap,
+            &mut stamps,
+            &mut self.servers,
+            &mut views,
+            f64::INFINITY,
+        );
+
+        // Align every server's timeline with the fleet's end so idle/sleep
+        // power is charged through the whole run: without this, a server
+        // that drained early would be charged nothing while a backlogged
+        // neighbour worked on, flattering imbalanced routings.
+        let end = self.servers.iter().map(ServerSim::now).fold(0.0, f64::max);
+        for server in &mut self.servers {
+            server.coast_to(end);
+        }
+
+        let results: Vec<RunResult> = self.servers.into_iter().map(ServerSim::finish).collect();
+        let outcome = ClusterOutcome::aggregate(&results, &self.power, self.quantile);
+        (outcome, results)
+    }
+}
+
+fn server_view<P: DvfsPolicy>(servers: &[ServerSim<P>], i: usize) -> ServerView {
+    let s = &servers[i];
+    ServerView {
+        index: i,
+        in_flight: s.in_flight(),
+        admitted: s.pending_requests(),
+        current_freq: s.current_freq(),
+        target_freq: s.target_freq(),
+        busy: !s.is_idle(),
+    }
+}
+
+/// Re-registers server `i` after its state changed: refreshes its router
+/// view, advances its stamp (invalidating any entry already in the heap),
+/// and pushes its current next-event time, if any.
+fn schedule<P: DvfsPolicy>(
+    heap: &mut BinaryHeap<Reverse<HeapEntry>>,
+    stamps: &mut [u64],
+    servers: &[ServerSim<P>],
+    views: &mut [ServerView],
+    i: usize,
+) {
+    views[i] = server_view(servers, i);
+    stamps[i] += 1;
+    if let Some(time) = servers[i].next_event_time() {
+        heap.push(Reverse(HeapEntry {
+            time,
+            server: i,
+            stamp: stamps[i],
+        }));
+    }
+}
+
+/// Steps fleet events in `(time, server)` order while they lie strictly
+/// before `limit`.
+fn drain_before<P: DvfsPolicy>(
+    heap: &mut BinaryHeap<Reverse<HeapEntry>>,
+    stamps: &mut [u64],
+    servers: &mut [ServerSim<P>],
+    views: &mut [ServerView],
+    limit: f64,
+) {
+    while let Some(&Reverse(entry)) = heap.peek() {
+        if entry.time >= limit {
+            break;
+        }
+        heap.pop();
+        if entry.stamp != stamps[entry.server] {
+            continue; // stale: the server was stepped or offered work since
+        }
+        let stepped = servers[entry.server].step();
+        debug_assert!(stepped.is_some(), "a scheduled event must fire");
+        schedule(heap, stamps, servers, views, entry.server);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::{JoinShortestQueue, Passthrough, RoundRobin};
+    use rubik_sim::{FixedFrequencyPolicy, RequestSpec};
+
+    fn config() -> SimConfig {
+        SimConfig::paper_simulated()
+    }
+
+    fn fixed(config: &SimConfig) -> impl FnMut(usize) -> FixedFrequencyPolicy + '_ {
+        move |_| FixedFrequencyPolicy::new(config.dvfs.nominal())
+    }
+
+    fn burst(n: usize, gap: f64) -> Trace {
+        (0..n as u64)
+            .map(|i| RequestSpec::new(i, i as f64 * gap, 1.2e6, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn all_requests_complete_across_the_fleet() {
+        let cfg = config();
+        let cluster = Cluster::new(cfg.clone(), 4, Box::new(RoundRobin::new()), fixed(&cfg));
+        let outcome = cluster.run(&burst(200, 1e-4));
+        assert_eq!(outcome.requests, 200);
+        assert_eq!(outcome.servers(), 4);
+        // Round-robin spreads a uniform stream evenly.
+        for s in &outcome.per_server {
+            assert_eq!(s.requests, 50);
+        }
+        assert!(outcome.tail_latency > 0.0);
+        assert!(outcome.fleet_energy > 0.0);
+    }
+
+    #[test]
+    fn jsq_beats_round_robin_on_tail_under_bursts() {
+        // Requests arrive in simultaneous pairs; with 2 servers, round-robin
+        // sends each pair to both servers (fine), but a skewed stream shows
+        // the difference. Use simultaneous triples on 2 servers: JSQ never
+        // stacks 3 on one server, round-robin does every other round.
+        let cfg = config();
+        let trace: Trace = (0..60u64)
+            .map(|i| RequestSpec::new(i, (i / 3) as f64 * 2e-3, 2.4e6, 0.0))
+            .collect();
+        let rr = Cluster::new(cfg.clone(), 2, Box::new(RoundRobin::new()), fixed(&cfg));
+        let jsq = Cluster::new(
+            cfg.clone(),
+            2,
+            Box::new(JoinShortestQueue::new()),
+            fixed(&cfg),
+        );
+        let rr_out = rr.run(&trace);
+        let jsq_out = jsq.run(&trace);
+        assert_eq!(rr_out.requests, 60);
+        assert_eq!(jsq_out.requests, 60);
+        assert!(
+            jsq_out.tail_latency <= rr_out.tail_latency + 1e-12,
+            "JSQ tail {} vs RR tail {}",
+            jsq_out.tail_latency,
+            rr_out.tail_latency
+        );
+    }
+
+    #[test]
+    fn empty_trace_produces_empty_outcome() {
+        let cfg = config();
+        let cluster = Cluster::new(cfg.clone(), 3, Box::new(Passthrough), fixed(&cfg));
+        let (outcome, results) = cluster.run_with_results(&Trace::default());
+        assert_eq!(outcome.requests, 0);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(r.records().is_empty());
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic_for_a_fixed_input() {
+        let cfg = config();
+        let trace = burst(120, 3e-4);
+        let run =
+            |router: Box<dyn Router>| Cluster::new(cfg.clone(), 3, router, fixed(&cfg)).run(&trace);
+        let a = run(Box::new(JoinShortestQueue::new()));
+        let b = run(Box::new(JoinShortestQueue::new()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boxed_policies_allow_heterogeneous_fleets() {
+        let cfg = config();
+        let slow = cfg.dvfs.min();
+        let fast = cfg.dvfs.nominal();
+        let cluster = Cluster::new(
+            cfg.clone(),
+            2,
+            Box::new(RoundRobin::new()),
+            |i| -> Box<dyn DvfsPolicy> {
+                Box::new(FixedFrequencyPolicy::new(if i == 0 { slow } else { fast }))
+            },
+        );
+        let outcome = cluster.run(&burst(40, 2e-3));
+        // The slow server burns less power but is slower per request.
+        assert!(outcome.per_server[0].tail_latency > outcome.per_server[1].tail_latency);
+        assert!(outcome.per_server[0].busy_time > outcome.per_server[1].busy_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_server_cluster_panics() {
+        let cfg = config();
+        let _ = Cluster::new(cfg.clone(), 0, Box::new(Passthrough), fixed(&cfg));
+    }
+}

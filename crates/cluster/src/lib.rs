@@ -1,0 +1,119 @@
+//! `rubik-cluster`: multi-server serving behind a load balancer.
+//!
+//! The paper evaluates Rubik one core at a time; a datacenter runs *fleets*.
+//! This crate models a cluster of N simulated servers — each an independent
+//! open-loop [`rubik_sim::ServerSim`] with its **own** DVFS controller
+//! (Rubik per server) — behind a pluggable [`Router`]. A single
+//! deterministic binary-heap event loop multiplexes every server, so
+//! thousands of servers fit in one process with no threads per server;
+//! fleet-scale parallelism comes from sweeping many cluster configurations
+//! on `rubik-sweep`.
+//!
+//! The pieces:
+//!
+//! * [`Cluster`] — the driver: routes each arrival of a global request
+//!   stream, advances the globally earliest server event, aggregates a
+//!   [`ClusterOutcome`] (fleet power, global tail latency, per-server
+//!   residency),
+//! * [`Router`] — the load-balancing policy, with [`RoundRobin`],
+//!   [`JoinShortestQueue`], and [`PowerAware`] (routes on each server's
+//!   live occupancy and DVFS operating point) implementations, plus the
+//!   [`Passthrough`] identity router,
+//! * [`fleet_trace`] — scales an application's arrival process to a fleet.
+//!
+//! A 1-server cluster behind [`Passthrough`] reproduces the standalone
+//! simulator **bitwise** (pinned in `tests/cluster_equivalence.rs`), so
+//! cluster results compose with every single-server number in this
+//! repository.
+//!
+//! # Example: a small Rubik fleet behind JSQ
+//!
+//! ```
+//! use rubik_cluster::{fleet_trace, Cluster, JoinShortestQueue};
+//! use rubik_sim::{FixedFrequencyPolicy, SimConfig};
+//! use rubik_workloads::AppProfile;
+//!
+//! let config = SimConfig::paper_simulated();
+//! let profile = AppProfile::masstree();
+//!
+//! // 8 servers at 40% load each; 800 requests arriving fleet-wide.
+//! let trace = fleet_trace(&profile, 0.4, 8, 800, 42);
+//! let cluster = Cluster::new(
+//!     config.clone(),
+//!     8,
+//!     Box::new(JoinShortestQueue::new()),
+//!     |_server| FixedFrequencyPolicy::new(config.dvfs.nominal()),
+//! );
+//! let outcome = cluster.run(&trace);
+//!
+//! assert_eq!(outcome.requests, 800);
+//! assert_eq!(outcome.servers(), 8);
+//! assert!(outcome.tail_latency > 0.0);
+//! assert!(outcome.fleet_power > 0.0);
+//! let per_server: usize = outcome.per_server.iter().map(|s| s.requests).sum();
+//! assert_eq!(per_server, 800);
+//! ```
+//!
+//! Swapping `FixedFrequencyPolicy` for `rubik_core::RubikController` (one
+//! instance per server, seeded from the head of the trace) gives each
+//! server the paper's controller; the cluster driver never looks inside a
+//! policy, so every scheme in `rubik-core` works unchanged.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod driver;
+mod outcome;
+mod router;
+
+pub use driver::Cluster;
+pub use outcome::{ClusterOutcome, ServerOutcome};
+pub use router::{JoinShortestQueue, Passthrough, PowerAware, RoundRobin, Router, ServerView};
+
+use rubik_sim::Trace;
+use rubik_workloads::{AppProfile, WorkloadGenerator};
+
+/// Generates the arrival stream of a whole fleet: `servers` servers each at
+/// `per_server_load` (fraction of one core's nominal capacity) produce a
+/// pooled Poisson stream at `per_server_load × servers` times one core's
+/// capacity.
+///
+/// # Panics
+///
+/// Panics if `servers == 0` or the load is not positive.
+pub fn fleet_trace(
+    profile: &AppProfile,
+    per_server_load: f64,
+    servers: usize,
+    requests: usize,
+    seed: u64,
+) -> Trace {
+    assert!(servers > 0, "a fleet needs at least one server");
+    WorkloadGenerator::new(profile.clone(), seed)
+        .steady_trace(per_server_load * servers as f64, requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubik_sim::Freq;
+
+    #[test]
+    fn fleet_trace_scales_rate_with_servers() {
+        let profile = AppProfile::masstree();
+        let one = fleet_trace(&profile, 0.4, 1, 4000, 7);
+        let four = fleet_trace(&profile, 0.4, 4, 4000, 7);
+        // Same request count, ~4x the arrival rate => ~1/4 the duration.
+        let ratio = one.duration() / four.duration();
+        assert!((3.0..5.0).contains(&ratio), "ratio = {ratio}");
+        // Offered load relative to one core scales accordingly.
+        let nominal = Freq::from_mhz(2400);
+        assert!(four.offered_load(nominal) > 3.0 * one.offered_load(nominal) / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn fleet_trace_rejects_zero_servers() {
+        let _ = fleet_trace(&AppProfile::masstree(), 0.4, 0, 100, 1);
+    }
+}

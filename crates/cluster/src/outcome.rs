@@ -1,0 +1,234 @@
+//! Fleet-level result aggregation.
+
+use rubik_power::CorePowerModel;
+use rubik_sim::RunResult;
+use rubik_stats::percentile;
+use serde::{Deserialize, Serialize};
+
+/// Per-server summary inside a [`ClusterOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerOutcome {
+    /// Requests this server completed.
+    pub requests: usize,
+    /// This server's own tail latency (0 if it served nothing).
+    pub tail_latency: f64,
+    /// Core energy over the run (J): active + idle + sleep.
+    pub energy: f64,
+    /// Seconds spent executing requests.
+    pub busy_time: f64,
+    /// Seconds spent idle (clock-gated).
+    pub idle_time: f64,
+    /// Seconds spent in deep sleep.
+    pub sleep_time: f64,
+    /// End of this server's timeline. The cluster driver coasts every
+    /// server to the fleet's end before finishing, so within a
+    /// [`ClusterOutcome`] this equals the run duration and the server is
+    /// charged idle/sleep power through the whole run.
+    pub end_time: f64,
+}
+
+impl ServerOutcome {
+    /// Core utilization: busy time over total residency time.
+    pub fn utilization(&self) -> f64 {
+        let total = self.busy_time + self.idle_time + self.sleep_time;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.busy_time / total
+        }
+    }
+}
+
+/// The aggregated result of one cluster run: global latency statistics,
+/// fleet energy/power, and the per-server residency breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterOutcome {
+    /// Total requests completed across the fleet.
+    pub requests: usize,
+    /// Global tail latency over every request in the fleet.
+    pub tail_latency: f64,
+    /// Global mean latency.
+    pub mean_latency: f64,
+    /// Total core energy across the fleet (J).
+    pub fleet_energy: f64,
+    /// Average fleet power (W): fleet energy over the run duration.
+    pub fleet_power: f64,
+    /// Wall-clock duration of the run (the latest server end time).
+    pub duration: f64,
+    /// Per-server summaries, in server index order.
+    pub per_server: Vec<ServerOutcome>,
+}
+
+impl ClusterOutcome {
+    /// Aggregates per-server [`RunResult`]s into a fleet outcome. The global
+    /// tail is the quantile over the *pooled* latencies of every request —
+    /// the number a fleet operator's SLO is written against — not a mean of
+    /// per-server tails.
+    pub fn aggregate(results: &[RunResult], power: &CorePowerModel, quantile: f64) -> Self {
+        let latencies: Vec<f64> = results
+            .iter()
+            .flat_map(|r| r.records().iter().map(|rec| rec.latency()))
+            .collect();
+        let requests = latencies.len();
+        let tail_latency = percentile(&latencies, quantile).unwrap_or(0.0);
+        let mean_latency = if requests == 0 {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / requests as f64
+        };
+        let duration = results.iter().map(|r| r.end_time()).fold(0.0, f64::max);
+
+        let per_server: Vec<ServerOutcome> = results
+            .iter()
+            .map(|r| {
+                let res = r.freq_residency();
+                ServerOutcome {
+                    requests: r.records().len(),
+                    tail_latency: r.tail_latency(quantile).unwrap_or(0.0),
+                    energy: power.energy(&res).total(),
+                    busy_time: res.busy_time(),
+                    idle_time: res.idle_time(),
+                    sleep_time: res.sleep,
+                    end_time: r.end_time(),
+                }
+            })
+            .collect();
+
+        let fleet_energy: f64 = per_server.iter().map(|s| s.energy).sum();
+        let fleet_power = if duration > 0.0 {
+            fleet_energy / duration
+        } else {
+            0.0
+        };
+
+        Self {
+            requests,
+            tail_latency,
+            mean_latency,
+            fleet_energy,
+            fleet_power,
+            duration,
+            per_server,
+        }
+    }
+
+    /// Number of servers in the fleet.
+    pub fn servers(&self) -> usize {
+        self.per_server.len()
+    }
+
+    /// Fleet energy per completed request (J), or 0 for an empty run.
+    pub fn energy_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.fleet_energy / self.requests as f64
+        }
+    }
+
+    /// Mean core utilization across the fleet.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.per_server.is_empty() {
+            return 0.0;
+        }
+        self.per_server.iter().map(|s| s.utilization()).sum::<f64>() / self.per_server.len() as f64
+    }
+
+    /// The spread of load across the fleet: the largest per-server request
+    /// count divided by the ideal (uniform) share. 1.0 means perfectly
+    /// balanced; round-robin sits near 1, a broken router far above.
+    pub fn load_imbalance(&self) -> f64 {
+        if self.requests == 0 || self.per_server.is_empty() {
+            return 1.0;
+        }
+        let max = self
+            .per_server
+            .iter()
+            .map(|s| s.requests)
+            .max()
+            .unwrap_or(0) as f64;
+        let ideal = self.requests as f64 / self.per_server.len() as f64;
+        if ideal <= 0.0 {
+            1.0
+        } else {
+            max / ideal
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubik_sim::{CoreActivity, Freq, RequestRecord, Segment};
+
+    fn record(id: u64, arrival: f64, completion: f64) -> RequestRecord {
+        RequestRecord {
+            id,
+            arrival,
+            start: arrival,
+            completion,
+            compute_cycles: 1e6,
+            membound_time: 0.0,
+            queue_len_at_arrival: 0,
+            class: 0,
+        }
+    }
+
+    fn result(records: Vec<RequestRecord>, busy: f64, idle: f64) -> RunResult {
+        let segments = vec![
+            Segment {
+                start: 0.0,
+                end: busy,
+                freq: Freq::from_mhz(2400),
+                activity: CoreActivity::Busy,
+            },
+            Segment {
+                start: busy,
+                end: busy + idle,
+                freq: Freq::from_mhz(2400),
+                activity: CoreActivity::Idle,
+            },
+        ];
+        let end = busy + idle;
+        RunResult::new(records, segments, end)
+    }
+
+    #[test]
+    fn aggregate_pools_latencies_across_servers() {
+        let power = CorePowerModel::haswell_like();
+        // Server 0: latencies 1 ms ×10; server 1: 3 ms ×10.
+        let a = result((0..10).map(|i| record(i, 0.0, 1e-3)).collect(), 0.5, 0.5);
+        let b = result((10..20).map(|i| record(i, 0.0, 3e-3)).collect(), 0.8, 0.2);
+        let o = ClusterOutcome::aggregate(&[a, b], &power, 0.95);
+        assert_eq!(o.requests, 20);
+        assert_eq!(o.servers(), 2);
+        // The pooled 95th percentile lands in the slow server's latencies.
+        assert!((o.tail_latency - 3e-3).abs() < 1e-9);
+        assert!((o.mean_latency - 2e-3).abs() < 1e-9);
+        assert!((o.duration - 1.0).abs() < 1e-12);
+        assert!(o.fleet_energy > 0.0);
+        assert!((o.fleet_power - o.fleet_energy).abs() < 1e-9); // duration = 1 s
+        assert!(o.energy_per_request() > 0.0);
+        assert!(o.mean_utilization() > 0.5);
+    }
+
+    #[test]
+    fn empty_fleet_outcome_is_zeroed() {
+        let power = CorePowerModel::haswell_like();
+        let o = ClusterOutcome::aggregate(&[], &power, 0.95);
+        assert_eq!(o.requests, 0);
+        assert_eq!(o.tail_latency, 0.0);
+        assert_eq!(o.fleet_power, 0.0);
+        assert_eq!(o.load_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn load_imbalance_flags_skew() {
+        let power = CorePowerModel::haswell_like();
+        let a = result((0..30).map(|i| record(i, 0.0, 1e-3)).collect(), 0.9, 0.1);
+        let b = result((30..40).map(|i| record(i, 0.0, 1e-3)).collect(), 0.3, 0.7);
+        let o = ClusterOutcome::aggregate(&[a, b], &power, 0.95);
+        // 30 of 40 requests on one of two servers: 30 / 20 = 1.5.
+        assert!((o.load_imbalance() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,220 @@
+//! Request routing: the load-balancer policies of a simulated fleet.
+//!
+//! A [`Router`] picks the destination server for each arriving request. It
+//! sees one [`ServerView`] per server — a cheap summary of the server's
+//! current state (occupancy and DVFS operating point) refreshed by the
+//! [`Cluster`](crate::Cluster) driver immediately before each routing
+//! decision. Routers may keep internal state (e.g. the round-robin cursor)
+//! but must be deterministic: the same request/view sequence must produce
+//! the same choices, or cluster runs stop being reproducible.
+
+use rubik_power::CorePowerModel;
+use rubik_sim::{Freq, RequestSpec};
+
+/// A per-server summary handed to [`Router::route`].
+///
+/// `in_flight` counts every request committed to the server — queued, in
+/// service, and offered-but-not-yet-admitted — which is what a load balancer
+/// observes: a request routed a microsecond ago occupies a slot even if the
+/// server has not processed its arrival event yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerView {
+    /// Index of the server in the cluster.
+    pub index: usize,
+    /// Requests committed to the server (offered + queued + in service).
+    pub in_flight: usize,
+    /// Requests admitted into the server (queued + in service).
+    pub admitted: usize,
+    /// Frequency currently in effect on the server's core.
+    pub current_freq: Freq,
+    /// Frequency the server's policy most recently requested.
+    pub target_freq: Freq,
+    /// Whether the core is serving or has queued work.
+    pub busy: bool,
+}
+
+/// A load-balancing policy for a [`Cluster`](crate::Cluster).
+pub trait Router {
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &str;
+
+    /// Chooses the destination server (an index into `servers`) for
+    /// `request`. `servers` holds one view per server, in index order, and
+    /// is never empty.
+    fn route(&mut self, request: &RequestSpec, servers: &[ServerView]) -> usize;
+}
+
+/// Sends every request to server 0 — the identity router.
+///
+/// With a single server this makes a cluster an exact proxy for the
+/// standalone simulator: the equivalence suite pins that a 1-server cluster
+/// behind `Passthrough` reproduces [`rubik_sim::Server::run`] bitwise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Passthrough;
+
+impl Router for Passthrough {
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+
+    fn route(&mut self, _request: &RequestSpec, _servers: &[ServerView]) -> usize {
+        0
+    }
+}
+
+/// Cycles through the servers in index order, ignoring their state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin router starting at server 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Router for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn route(&mut self, _request: &RequestSpec, servers: &[ServerView]) -> usize {
+        let choice = self.next % servers.len();
+        self.next = (self.next + 1) % servers.len();
+        choice
+    }
+}
+
+/// Joins the server with the fewest in-flight requests (ties broken by the
+/// lowest index) — the classic JSQ policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinShortestQueue;
+
+impl JoinShortestQueue {
+    /// A JSQ router.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Router for JoinShortestQueue {
+    fn name(&self) -> &str {
+        "join-shortest-queue"
+    }
+
+    fn route(&mut self, _request: &RequestSpec, servers: &[ServerView]) -> usize {
+        servers
+            .iter()
+            .min_by_key(|v| (v.in_flight, v.index))
+            .expect("a cluster has at least one server")
+            .index
+    }
+}
+
+/// Queue-aware routing with a power tie-break: among the servers with the
+/// fewest in-flight requests, picks the one whose core currently burns the
+/// least active power.
+///
+/// Per-server DVFS controllers (Rubik) leave each core at a different
+/// operating point — a lightly loaded server that just finished a burst may
+/// still sit at a high frequency while an equally idle neighbour coasts at
+/// the minimum level. JSQ is blind to that difference; `PowerAware` routes
+/// the marginal request to the cheaper core, nudging the fleet toward its
+/// low-power operating points without sacrificing queue balance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerAware {
+    power: CorePowerModel,
+}
+
+impl PowerAware {
+    /// A power-aware router scoring servers with the given core power model.
+    pub fn new(power: CorePowerModel) -> Self {
+        Self { power }
+    }
+}
+
+impl Default for PowerAware {
+    fn default() -> Self {
+        Self::new(CorePowerModel::haswell_like())
+    }
+}
+
+impl Router for PowerAware {
+    fn name(&self) -> &str {
+        "power-aware"
+    }
+
+    fn route(&mut self, _request: &RequestSpec, servers: &[ServerView]) -> usize {
+        servers
+            .iter()
+            .min_by(|a, b| {
+                (a.in_flight.cmp(&b.in_flight))
+                    .then_with(|| {
+                        self.power
+                            .active_power(a.current_freq)
+                            .total_cmp(&self.power.active_power(b.current_freq))
+                    })
+                    .then_with(|| a.index.cmp(&b.index))
+            })
+            .expect("a cluster has at least one server")
+            .index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(index: usize, in_flight: usize, mhz: u32) -> ServerView {
+        ServerView {
+            index,
+            in_flight,
+            admitted: in_flight,
+            current_freq: Freq::from_mhz(mhz),
+            target_freq: Freq::from_mhz(mhz),
+            busy: in_flight > 0,
+        }
+    }
+
+    fn req() -> RequestSpec {
+        RequestSpec::new(0, 0.0, 1e6, 0.0)
+    }
+
+    #[test]
+    fn passthrough_always_picks_server_zero() {
+        let mut r = Passthrough;
+        let views = [view(0, 9, 2400), view(1, 0, 800)];
+        assert_eq!(r.route(&req(), &views), 0);
+        assert_eq!(r.route(&req(), &views), 0);
+    }
+
+    #[test]
+    fn round_robin_cycles_in_index_order() {
+        let mut r = RoundRobin::new();
+        let views = [view(0, 0, 2400), view(1, 0, 2400), view(2, 0, 2400)];
+        let picks: Vec<usize> = (0..7).map(|_| r.route(&req(), &views)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn jsq_picks_fewest_in_flight_lowest_index() {
+        let mut r = JoinShortestQueue::new();
+        let views = [view(0, 3, 2400), view(1, 1, 2400), view(2, 1, 800)];
+        assert_eq!(r.route(&req(), &views), 1, "tie broken by lowest index");
+        let views = [view(0, 0, 2400), view(1, 1, 800)];
+        assert_eq!(r.route(&req(), &views), 0);
+    }
+
+    #[test]
+    fn power_aware_breaks_queue_ties_by_cheaper_core() {
+        let mut r = PowerAware::default();
+        // Equal occupancy: the 800 MHz core burns less than the 3.4 GHz one.
+        let views = [view(0, 1, 3400), view(1, 1, 800)];
+        assert_eq!(r.route(&req(), &views), 1);
+        // Queue balance still dominates.
+        let views = [view(0, 0, 3400), view(1, 1, 800)];
+        assert_eq!(r.route(&req(), &views), 0);
+    }
+}

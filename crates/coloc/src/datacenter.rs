@@ -223,13 +223,15 @@ impl DatacenterComparison {
             let seg = ColocatedCore::new()
                 .with_interference(crate::interference::CoreInterferenceModel::none())
                 .run(
-                    ColocScheme::StaticColoc,
-                    app,
-                    lc_load,
-                    &mixes[i % mixes.len()],
-                    bound,
-                    self.config.requests_per_sample,
-                    self.config.seed + 100 + i as u64,
+                    &crate::ColocRunSpec::new(
+                        ColocScheme::StaticColoc,
+                        app,
+                        &mixes[i % mixes.len()],
+                        bound,
+                    )
+                    .with_load(lc_load)
+                    .with_requests(self.config.requests_per_sample)
+                    .with_seed(self.config.seed + 100 + i as u64),
                 );
             // Segregated servers do not run batch work on LC cores: only the
             // LC energy counts, idle time is charged at idle power.
@@ -242,13 +244,10 @@ impl DatacenterComparison {
             // time.
             let mix = &mixes[i % mixes.len()];
             let coloc = self.core.run(
-                ColocScheme::RubikColoc,
-                app,
-                lc_load,
-                mix,
-                bound,
-                self.config.requests_per_sample,
-                self.config.seed + 200 + i as u64,
+                &crate::ColocRunSpec::new(ColocScheme::RubikColoc, app, mix, bound)
+                    .with_load(lc_load)
+                    .with_requests(self.config.requests_per_sample)
+                    .with_seed(self.config.seed + 200 + i as u64),
             );
             worst_tail = worst_tail.max(coloc.normalized_tail);
             coloc_power_total += platform_power + cores * coloc.average_power();

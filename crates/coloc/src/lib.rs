@@ -33,5 +33,5 @@ pub mod schemes;
 pub use datacenter::{DatacenterComparison, DatacenterConfig, DatacenterContext, DatacenterPoint};
 pub use interference::CoreInterferenceModel;
 pub use partition::MemorySystemConfig;
-pub use runner::{ColocOutcome, ColocatedCore};
+pub use runner::{ColocOutcome, ColocRunSpec, ColocatedCore};
 pub use schemes::ColocScheme;

@@ -53,6 +53,133 @@ impl ColocOutcome {
     }
 }
 
+/// Declarative specification of one colocated-core run: which scheme serves
+/// which LC application at which load, next to which batch mix, under which
+/// tail-latency bound.
+///
+/// Built with [`ColocRunSpec::new`] plus `with_*` setters (load defaults to
+/// 0.5, requests to 1000, seed to 0), and executed by
+/// [`ColocatedCore::run`]. This replaces the old seven-positional-argument
+/// `run` signature, whose call sites were unreadable and fragile to
+/// reordering.
+///
+/// ```
+/// use rubik_coloc::{ColocRunSpec, ColocScheme, ColocatedCore};
+/// use rubik_workloads::{AppProfile, BatchMix};
+///
+/// let core = ColocatedCore::new();
+/// let profile = AppProfile::masstree();
+/// let mix = BatchMix::paper_mixes(1)[0].clone();
+/// let bound = core.latency_bound(&profile, 800, 11);
+///
+/// let spec = ColocRunSpec::new(ColocScheme::RubikColoc, &profile, &mix, bound)
+///     .with_load(0.4)
+///     .with_requests(800)
+///     .with_seed(1);
+/// let outcome = core.run(&spec);
+/// assert!(outcome.tail_latency > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ColocRunSpec<'a> {
+    scheme: ColocScheme,
+    profile: &'a AppProfile,
+    mix: &'a BatchMix,
+    latency_bound: f64,
+    load: f64,
+    requests: usize,
+    seed: u64,
+}
+
+impl<'a> ColocRunSpec<'a> {
+    /// Creates a spec with the required ingredients: the scheme, the LC
+    /// application, the colocated batch mix, and the LC tail-latency bound.
+    /// Load (0.5), request count (1000), and seed (0) start at defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency_bound <= 0`.
+    pub fn new(
+        scheme: ColocScheme,
+        profile: &'a AppProfile,
+        mix: &'a BatchMix,
+        latency_bound: f64,
+    ) -> Self {
+        assert!(latency_bound > 0.0, "latency bound must be positive");
+        Self {
+            scheme,
+            profile,
+            mix,
+            latency_bound,
+            load: 0.5,
+            requests: 1000,
+            seed: 0,
+        }
+    }
+
+    /// Sets the LC load (fraction of one core's nominal capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load <= 0`.
+    pub fn with_load(mut self, load: f64) -> Self {
+        assert!(load > 0.0, "load must be positive");
+        self.load = load;
+        self
+    }
+
+    /// Sets the number of LC requests to simulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `requests == 0`.
+    pub fn with_requests(mut self, requests: usize) -> Self {
+        assert!(requests > 0, "request count must be positive");
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the RNG seed for the trace generator.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The colocation scheme under test.
+    pub fn scheme(&self) -> ColocScheme {
+        self.scheme
+    }
+
+    /// The latency-critical application profile.
+    pub fn profile(&self) -> &'a AppProfile {
+        self.profile
+    }
+
+    /// The colocated batch mix.
+    pub fn mix(&self) -> &'a BatchMix {
+        self.mix
+    }
+
+    /// The LC tail-latency bound.
+    pub fn latency_bound(&self) -> f64 {
+        self.latency_bound
+    }
+
+    /// The LC load.
+    pub fn load(&self) -> f64 {
+        self.load
+    }
+
+    /// Requests per run.
+    pub fn requests(&self) -> usize {
+        self.requests
+    }
+
+    /// The RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
 /// Simulator for one colocated core.
 #[derive(Debug, Clone)]
 pub struct ColocatedCore {
@@ -110,20 +237,19 @@ impl ColocatedCore {
             .unwrap_or(profile.mean_service_time() * 3.0)
     }
 
-    /// Runs one colocated core: `profile` at `load` sharing the core with
-    /// `mix`, under `scheme`, with the LC tail bound `latency_bound`.
-    #[allow(clippy::too_many_arguments)]
-    pub fn run(
-        &self,
-        scheme: ColocScheme,
-        profile: &AppProfile,
-        load: f64,
-        mix: &BatchMix,
-        latency_bound: f64,
-        requests: usize,
-        seed: u64,
-    ) -> ColocOutcome {
-        assert!(latency_bound > 0.0, "latency bound must be positive");
+    /// Runs one colocated core as described by `spec`: the LC application at
+    /// its load sharing the core with the batch mix, under the scheme, with
+    /// the LC tail bound.
+    pub fn run(&self, spec: &ColocRunSpec<'_>) -> ColocOutcome {
+        let &ColocRunSpec {
+            scheme,
+            profile,
+            mix,
+            latency_bound,
+            load,
+            requests,
+            seed,
+        } = spec;
         let dvfs = &self.sim_config.dvfs;
         let mut generator = WorkloadGenerator::new(profile.clone(), seed);
         let base_trace = generator.steady_trace(load, requests);
@@ -216,6 +342,31 @@ impl ColocatedCore {
         }
     }
 
+    /// Positional-argument shim for the pre-[`ColocRunSpec`] API.
+    ///
+    /// Equivalent to building a spec and calling [`ColocatedCore::run`]; it
+    /// exists only so external callers written against the old signature
+    /// keep compiling while they migrate.
+    #[deprecated(note = "build a `ColocRunSpec` and call `ColocatedCore::run`")]
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_positional(
+        &self,
+        scheme: ColocScheme,
+        profile: &AppProfile,
+        load: f64,
+        mix: &BatchMix,
+        latency_bound: f64,
+        requests: usize,
+        seed: u64,
+    ) -> ColocOutcome {
+        self.run(
+            &ColocRunSpec::new(scheme, profile, mix, latency_bound)
+                .with_load(load)
+                .with_requests(requests)
+                .with_seed(seed),
+        )
+    }
+
     /// Mean TPW-optimal batch frequency over the mix.
     fn mean_batch_freq(&self, mix: &BatchMix, llc_share: f64) -> Freq {
         let dvfs = &self.sim_config.dvfs;
@@ -285,7 +436,12 @@ mod tests {
     #[test]
     fn rubikcoloc_maintains_the_tail_bound() {
         let (core, profile, mix, bound) = setup();
-        let outcome = core.run(ColocScheme::RubikColoc, &profile, 0.5, &mix, bound, 2000, 1);
+        let outcome = core.run(
+            &ColocRunSpec::new(ColocScheme::RubikColoc, &profile, &mix, bound)
+                .with_load(0.5)
+                .with_requests(2000)
+                .with_seed(1),
+        );
         assert!(
             outcome.normalized_tail <= 1.15,
             "RubikColoc normalized tail = {}",
@@ -298,25 +454,15 @@ mod tests {
     #[test]
     fn hardware_schemes_degrade_the_tail_more_than_rubikcoloc() {
         let (core, profile, mix, bound) = setup();
-        let rubik = core.run(ColocScheme::RubikColoc, &profile, 0.6, &mix, bound, 1500, 2);
-        let hw_tpw = core.run(
-            ColocScheme::HwThroughputPerWatt,
-            &profile,
-            0.6,
-            &mix,
-            bound,
-            1500,
-            2,
-        );
-        let hw_t = core.run(
-            ColocScheme::HwThroughput,
-            &profile,
-            0.6,
-            &mix,
-            bound,
-            1500,
-            2,
-        );
+        let at_load = |scheme| {
+            ColocRunSpec::new(scheme, &profile, &mix, bound)
+                .with_load(0.6)
+                .with_requests(1500)
+                .with_seed(2)
+        };
+        let rubik = core.run(&at_load(ColocScheme::RubikColoc));
+        let hw_tpw = core.run(&at_load(ColocScheme::HwThroughputPerWatt));
+        let hw_t = core.run(&at_load(ColocScheme::HwThroughput));
         assert!(hw_tpw.normalized_tail > rubik.normalized_tail);
         assert!(hw_t.normalized_tail > rubik.normalized_tail);
     }
@@ -324,8 +470,14 @@ mod tests {
     #[test]
     fn batch_work_decreases_as_lc_load_increases() {
         let (core, profile, mix, bound) = setup();
-        let low = core.run(ColocScheme::RubikColoc, &profile, 0.2, &mix, bound, 1500, 3);
-        let high = core.run(ColocScheme::RubikColoc, &profile, 0.6, &mix, bound, 1500, 3);
+        let at_load = |load| {
+            ColocRunSpec::new(ColocScheme::RubikColoc, &profile, &mix, bound)
+                .with_load(load)
+                .with_requests(1500)
+                .with_seed(3)
+        };
+        let low = core.run(&at_load(0.2));
+        let high = core.run(&at_load(0.6));
         // Batch throughput is per unit time; compare rates.
         let low_rate = low.batch_work / low.duration;
         let high_rate = high.batch_work / high.duration;
@@ -337,13 +489,9 @@ mod tests {
     fn outcome_energy_accounting_is_consistent() {
         let (core, profile, mix, bound) = setup();
         let o = core.run(
-            ColocScheme::StaticColoc,
-            &profile,
-            0.4,
-            &mix,
-            bound,
-            1000,
-            4,
+            &ColocRunSpec::new(ColocScheme::StaticColoc, &profile, &mix, bound)
+                .with_load(0.4)
+                .with_seed(4),
         );
         assert!(o.lc_energy > 0.0);
         assert!(o.batch_energy > 0.0);
@@ -359,7 +507,12 @@ mod tests {
         let profile = AppProfile::moses();
         let mix = BatchMix::paper_mixes(5)[0].clone();
         let bound = core.latency_bound(&profile, 900, 5);
-        let o = core.run(ColocScheme::RubikColoc, &profile, 0.4, &mix, bound, 900, 5);
+        let o = core.run(
+            &ColocRunSpec::new(ColocScheme::RubikColoc, &profile, &mix, bound)
+                .with_load(0.4)
+                .with_requests(900)
+                .with_seed(5),
+        );
         assert!(
             o.normalized_tail <= 1.1,
             "normalized tail {}",
@@ -370,7 +523,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "latency bound")]
     fn rejects_nonpositive_bound() {
-        let (core, profile, mix, _) = setup();
-        let _ = core.run(ColocScheme::RubikColoc, &profile, 0.3, &mix, 0.0, 100, 1);
+        let (_, profile, mix, _) = setup();
+        let _ = ColocRunSpec::new(ColocScheme::RubikColoc, &profile, &mix, 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn positional_shim_matches_spec_api() {
+        let (core, profile, mix, bound) = setup();
+        let via_spec = core.run(
+            &ColocRunSpec::new(ColocScheme::StaticColoc, &profile, &mix, bound)
+                .with_load(0.3)
+                .with_requests(600)
+                .with_seed(9),
+        );
+        let via_shim =
+            core.run_positional(ColocScheme::StaticColoc, &profile, 0.3, &mix, bound, 600, 9);
+        assert_eq!(via_spec, via_shim);
     }
 }

@@ -69,7 +69,8 @@ fn relative_throughput(mem: f64, f: Freq, nominal: Freq) -> f64 {
 pub fn tpw_optimal_freq(mem: f64, dvfs: &DvfsConfig, power: &CorePowerModel) -> Freq {
     let nominal = dvfs.nominal();
     dvfs.levels()
-        .into_iter()
+        .iter()
+        .copied()
         .max_by(|&a, &b| {
             let ta = relative_throughput(mem, a, nominal) / power.active_power(a);
             let tb = relative_throughput(mem, b, nominal) / power.active_power(b);
@@ -88,7 +89,8 @@ pub fn batch_tpw_freq(
 ) -> Freq {
     let nominal = dvfs.nominal();
     dvfs.levels()
-        .into_iter()
+        .iter()
+        .copied()
         .filter(|&f| f <= nominal)
         .max_by(|&a, &b| {
             let ta = app.throughput(a, nominal, llc_share) / power.active_power(a);
@@ -131,7 +133,8 @@ pub fn hw_t_lc_freq(
     let lc_min_power = power.active_power(dvfs.min());
     let batch_freq = dvfs
         .levels()
-        .into_iter()
+        .iter()
+        .copied()
         .rev()
         .find(|&f| {
             batch_cores as f64 * power.active_power(f) + lc_min_power <= tdp.core_budget() + 1e-9
@@ -142,7 +145,8 @@ pub fn hw_t_lc_freq(
     // remaining budget.
     let batch_power = batch_cores as f64 * power.active_power(batch_freq);
     dvfs.levels()
-        .into_iter()
+        .iter()
+        .copied()
         .rev()
         .find(|&f| batch_power + power.active_power(f) <= tdp.core_budget() + 1e-9)
         .unwrap_or_else(|| dvfs.min())

@@ -8,7 +8,7 @@
 //! threading cannot be observed at all, not that it is "close".
 
 use rubik_coloc::{
-    ColocOutcome, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig,
+    ColocOutcome, ColocRunSpec, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig,
     DatacenterPoint,
 };
 use rubik_sweep::{SweepExecutor, SweepSpec};
@@ -63,13 +63,10 @@ fn coloc_grid_is_bit_identical_across_thread_counts() {
         let run_cell = |cell: &rubik_sweep::Cell<'_>| -> ColocOutcome {
             let (s, a, l) = (cell.get("scheme"), cell.get("app"), cell.get("load"));
             core.run(
-                schemes[s],
-                &apps[a],
-                loads[l],
-                &mixes[a % mixes.len()],
-                bounds[a],
-                requests,
-                base_seed + cell.index() as u64,
+                &ColocRunSpec::new(schemes[s], &apps[a], &mixes[a % mixes.len()], bounds[a])
+                    .with_load(loads[l])
+                    .with_requests(requests)
+                    .with_seed(base_seed + cell.index() as u64),
             )
         };
 
@@ -115,24 +112,12 @@ fn version_gated_rebuilds_match_forced_rebuilds_bitwise() {
             for (l, &load) in loads.iter().enumerate() {
                 let seed = base_seed + (a * 10 + l) as u64;
                 let mix = &mixes[a % mixes.len()];
-                let g = gated.run(
-                    ColocScheme::RubikColoc,
-                    app,
-                    load,
-                    mix,
-                    bound,
-                    requests,
-                    seed,
-                );
-                let f = forced.run(
-                    ColocScheme::RubikColoc,
-                    app,
-                    load,
-                    mix,
-                    bound,
-                    requests,
-                    seed,
-                );
+                let spec = ColocRunSpec::new(ColocScheme::RubikColoc, app, mix, bound)
+                    .with_load(load)
+                    .with_requests(requests)
+                    .with_seed(seed);
+                let g = gated.run(&spec);
+                let f = forced.run(&spec);
                 assert_eq!(
                     outcome_bits(&g),
                     outcome_bits(&f),

@@ -33,7 +33,7 @@
 //! [`RubikStats::table_rebuilds_performed`] /
 //! [`RubikStats::table_rebuilds_skipped`] count the two cases.
 
-use rubik_sim::{DvfsConfig, DvfsPolicy, Freq, PolicyDecision, RequestRecord, ServerState};
+use rubik_sim::{DvfsConfig, DvfsPolicy, Freq, PolicyDecision, RequestRecord, ServerState, Trace};
 use rubik_stats::{Histogram, RollingTailTracker};
 use serde::{Deserialize, Serialize};
 
@@ -214,6 +214,28 @@ impl RubikController {
     {
         self.profiler.seed(demands);
         self.rebuild_tables();
+    }
+
+    /// The standard experiment-harness construction: a controller seeded
+    /// from the first `seed_requests` demands of `trace`. One definition so
+    /// figures, benches, and equivalence tests all measure the same
+    /// controller (per-server instances in a cluster call this once per
+    /// server with the shared fleet trace).
+    pub fn seeded_for_trace(
+        config: RubikConfig,
+        dvfs: DvfsConfig,
+        trace: &Trace,
+        seed_requests: usize,
+    ) -> Self {
+        let mut rubik = Self::new(config, dvfs);
+        rubik.seed_profile(
+            trace
+                .requests()
+                .iter()
+                .take(seed_requests)
+                .map(|r| (r.compute_cycles, r.membound_time)),
+        );
+        rubik
     }
 
     /// The controller's configuration.

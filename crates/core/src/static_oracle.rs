@@ -37,7 +37,7 @@ impl StaticOracle {
     /// the tail as low as possible).
     pub fn lowest_feasible_freq(&self, trace: &Trace, latency_bound: f64) -> Freq {
         assert!(latency_bound > 0.0, "latency bound must be positive");
-        for level in self.dvfs.levels() {
+        for &level in self.dvfs.levels() {
             if let Some(tail) = self.tail_at(trace, level) {
                 if tail <= latency_bound {
                     return level;

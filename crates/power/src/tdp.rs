@@ -71,7 +71,8 @@ impl Tdp {
     ) -> Option<Freq> {
         assert!(cores > 0);
         dvfs.levels()
-            .into_iter()
+            .iter()
+            .copied()
             .rev()
             .find(|&f| self.fits(model, &vec![f; cores]))
     }

@@ -12,7 +12,9 @@
 //! * [`core`] — the Rubik controller and the baseline schemes
 //!   (fixed-frequency, StaticOracle, DynamicOracle, AdrenalineOracle,
 //!   Pegasus-style feedback),
-//! * [`coloc`] — RubikColoc: colocation of batch and latency-critical work.
+//! * [`coloc`] — RubikColoc: colocation of batch and latency-critical work,
+//! * [`cluster`] — multi-server serving: fleets of stepped [`sim`] servers
+//!   behind a routing policy, with per-server Rubik controllers.
 //!
 //! The most common types are also re-exported at the crate root.
 //!
@@ -39,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub use rubik_cluster as cluster;
 pub use rubik_coloc as coloc;
 pub use rubik_core as core;
 pub use rubik_power as power;
@@ -47,6 +50,10 @@ pub use rubik_stats as stats;
 pub use rubik_sweep as sweep;
 pub use rubik_workloads as workloads;
 
+pub use rubik_cluster::{
+    Cluster, ClusterOutcome, JoinShortestQueue, Passthrough, PowerAware, RoundRobin, Router,
+    ServerView,
+};
 pub use rubik_coloc::{
     ColocOutcome, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig,
     DatacenterContext,
@@ -57,7 +64,8 @@ pub use rubik_core::{
 };
 pub use rubik_power::{CorePowerModel, ServerPowerModel, Tdp};
 pub use rubik_sim::{
-    DvfsConfig, DvfsPolicy, Freq, RequestRecord, RequestSpec, RunResult, Server, SimConfig, Trace,
+    DvfsConfig, DvfsPolicy, Freq, RequestRecord, RequestSpec, RunResult, Server, ServerSim,
+    SimConfig, SimEvent, Trace,
 };
 pub use rubik_stats::Histogram;
 pub use rubik_sweep::{SweepExecutor, SweepRun, SweepSpec};

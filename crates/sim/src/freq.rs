@@ -70,6 +70,10 @@ pub struct DvfsConfig {
     nominal: Freq,
     /// Seconds for a voltage/frequency transition to take effect.
     transition_latency: f64,
+    /// All levels, ascending — materialized once at construction so the hot
+    /// scheme code that scans levels ([`DvfsConfig::levels`]) never
+    /// allocates.
+    levels: Vec<Freq>,
 }
 
 impl DvfsConfig {
@@ -100,12 +104,17 @@ impl DvfsConfig {
             transition_latency >= 0.0,
             "transition latency must be non-negative"
         );
+        let levels = (min.mhz()..=max.mhz())
+            .step_by(step_mhz as usize)
+            .map(Freq::from_mhz)
+            .collect();
         let cfg = Self {
             min,
             max,
             step_mhz,
             nominal,
             transition_latency,
+            levels,
         };
         assert!(
             cfg.is_level(nominal),
@@ -174,11 +183,11 @@ impl DvfsConfig {
     }
 
     /// All available frequency levels, ascending.
-    pub fn levels(&self) -> Vec<Freq> {
-        (self.min.mhz()..=self.max.mhz())
-            .step_by(self.step_mhz as usize)
-            .map(Freq::from_mhz)
-            .collect()
+    ///
+    /// The slice is cached at construction — calling this in per-decision
+    /// scheme code is free (it used to allocate a fresh `Vec` per call).
+    pub fn levels(&self) -> &[Freq] {
+        &self.levels
     }
 
     /// Number of available levels.
@@ -268,7 +277,7 @@ mod tests {
         for w in levels.windows(2) {
             assert!(w[1] > w[0]);
         }
-        for l in levels {
+        for &l in levels {
             assert!(cfg.is_level(l));
         }
         assert!(!cfg.is_level(Freq::from_mhz(2500)));

@@ -17,7 +17,10 @@
 //!   cycles, memory-bound time),
 //! * [`DvfsPolicy`] / [`ServerState`] — the controller interface invoked on
 //!   every arrival, completion, and periodic tick,
-//! * [`Server`] — the event-driven single-core simulator,
+//! * [`ServerSim`] / [`SimEvent`] — the resumable open-loop engine: offer
+//!   arrivals as they happen, advance one event at a time (this is what
+//!   `rubik-cluster` multiplexes to simulate whole fleets in one process),
+//! * [`Server`] — the closed-loop wrapper that replays a complete trace,
 //! * [`RunResult`] — per-request records plus the frequency/activity
 //!   timeline, from which tail latency and (via `rubik-power`) energy are
 //!   derived.
@@ -57,4 +60,4 @@ pub use policy::{
 };
 pub use request::{RequestRecord, RequestSpec, Trace};
 pub use result::{CoreActivity, FreqResidency, RunResult, Segment};
-pub use server::Server;
+pub use server::{Server, ServerSim, SimEvent};

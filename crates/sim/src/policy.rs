@@ -1,17 +1,32 @@
 //! The DVFS controller interface.
 //!
-//! A [`DvfsPolicy`] is consulted by the simulator on every request arrival,
+//! A [`DvfsPolicy`] is consulted by the simulation engine
+//! ([`ServerSim`](crate::server::ServerSim), or its closed-loop wrapper
+//! [`Server::run`](crate::server::Server::run)) on every request arrival,
 //! every request completion, and on a periodic tick (Rubik uses the tick to
 //! rebuild its target tail tables every 100 ms and to run its feedback
 //! controller). The policy sees the current [`ServerState`] — the queue
 //! contents, the progress of the request in service, and the current
 //! frequency — and may request a frequency change.
 //!
+//! A policy never observes *how* the simulation is driven: the callbacks and
+//! their order are identical whether the whole trace was offered up front or
+//! arrivals trickle in one [`ServerSim::offer`](crate::server::ServerSim)
+//! at a time (the step-vs-run equivalence suite pins this bitwise). Policies
+//! therefore port unchanged from single-core replay to the open-loop
+//! multi-server drivers in `rubik-cluster`, which own one policy instance
+//! per simulated server.
+//!
 //! The `&ServerState` handed to each callback is a scratch buffer the
 //! simulator refreshes in place between events (so the event loop performs
 //! no per-event allocation — see `rubik_sim::server`); it is valid for the
 //! duration of the callback, and a policy that wants to keep history must
 //! clone what it needs.
+//!
+//! `&mut P` and `Box<P>` forward the trait (see the impls below), so engine
+//! types can own a boxed policy (`ServerSim<Box<dyn DvfsPolicy>>`, the
+//! default) or borrow one (`ServerSim<&mut dyn DvfsPolicy>`, how
+//! `Server::run` drives a caller-owned policy).
 
 use crate::freq::Freq;
 use crate::request::RequestRecord;
@@ -129,6 +144,50 @@ pub trait DvfsPolicy {
     /// target; the power model charges idle/sleep power regardless).
     fn idle_frequency(&self) -> Option<Freq> {
         None
+    }
+}
+
+impl<P: DvfsPolicy + ?Sized> DvfsPolicy for &mut P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_arrival(&mut self, state: &ServerState) -> PolicyDecision {
+        (**self).on_arrival(state)
+    }
+
+    fn on_completion(&mut self, state: &ServerState, record: &RequestRecord) -> PolicyDecision {
+        (**self).on_completion(state, record)
+    }
+
+    fn on_tick(&mut self, state: &ServerState) -> PolicyDecision {
+        (**self).on_tick(state)
+    }
+
+    fn idle_frequency(&self) -> Option<Freq> {
+        (**self).idle_frequency()
+    }
+}
+
+impl<P: DvfsPolicy + ?Sized> DvfsPolicy for Box<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn on_arrival(&mut self, state: &ServerState) -> PolicyDecision {
+        (**self).on_arrival(state)
+    }
+
+    fn on_completion(&mut self, state: &ServerState, record: &RequestRecord) -> PolicyDecision {
+        (**self).on_completion(state, record)
+    }
+
+    fn on_tick(&mut self, state: &ServerState) -> PolicyDecision {
+        (**self).on_tick(state)
+    }
+
+    fn idle_frequency(&self) -> Option<Freq> {
+        (**self).idle_frequency()
     }
 }
 

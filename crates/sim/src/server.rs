@@ -1,25 +1,50 @@
 //! The event-driven single-core server simulator.
 //!
-//! One core serves a FIFO queue of requests from a [`Trace`]. A request with
-//! compute demand `C` cycles and memory-bound time `M` seconds, served
-//! uninterrupted at frequency `f`, takes `C/f + M` seconds. Compute and
-//! memory progress are interleaved proportionally, so frequency changes in
-//! the middle of a request take effect smoothly and the controller can
-//! observe how many compute cycles (ω) the running request has already
-//! executed.
+//! One core serves a FIFO queue of requests. A request with compute demand
+//! `C` cycles and memory-bound time `M` seconds, served uninterrupted at
+//! frequency `f`, takes `C/f + M` seconds. Compute and memory progress are
+//! interleaved proportionally, so frequency changes in the middle of a
+//! request take effect smoothly and the controller can observe how many
+//! compute cycles (ω) the running request has already executed.
 //!
 //! The simulator invokes the [`DvfsPolicy`] on every arrival, every
 //! completion, and on a periodic tick; requested frequency changes take
 //! effect after the configured V/F transition latency, during which the core
 //! keeps running at the old frequency (paper Sec. 2.1 / Table 2).
 //!
+//! # Execution model: advance a machine, not replay a trace
+//!
+//! The engine is [`ServerSim`]: a **resumable, open-loop simulation** that is
+//! fed arrivals as they happen ([`ServerSim::offer`]) and advanced one event
+//! at a time ([`ServerSim::step`]). Callers that do not know the future —
+//! a cluster load balancer, a live-traffic driver, an interactive debugger —
+//! interleave `offer` and `step` freely; [`ServerSim::next_event_time`]
+//! exposes the time of the next pending event so many `ServerSim`s can be
+//! multiplexed through one event loop (see `rubik-cluster`).
+//!
+//! Each [`step`](ServerSim::step) processes exactly one [`SimEvent`]. Events
+//! that fall on the same instant are handled in a fixed round order —
+//! V/F transition, completion, arrivals (one per step), tick — which is the
+//! order the closed-loop [`Server::run`] has always used; `Server::run` is
+//! now a thin wrapper that offers the whole trace up front,
+//! [`close`](ServerSim::close)s the stream, and steps to completion, and is
+//! **bitwise-identical** to the pre-`ServerSim` implementation (pinned by
+//! the golden stdout fixtures in `rubik-bench` and the step-vs-run
+//! equivalence suites).
+//!
+//! While a `ServerSim` is *open*, more arrivals may still be offered, so the
+//! periodic policy tick keeps firing even when the server is momentarily
+//! idle — exactly as the closed-loop run ticks through idle gaps in the
+//! middle of a trace. Once [`close`](ServerSim::close)d, ticks stop when no
+//! admitted work remains, which is how a run ends.
+//!
 //! # Scratch-state snapshots
 //!
 //! Policies receive the [`ServerState`] by reference at every decision
 //! point. The simulator owns **one** scratch `ServerState` per run and
-//! refreshes it in place before each callback ([`SimState::snapshot`]):
-//! `queued` is a `clear()`-and-`extend()` of a retained `Vec`, so after the
-//! queue's high-water mark is reached the event loop performs **zero heap
+//! refreshes it in place before each callback: `queued` is a
+//! `clear()`-and-`extend()` of a retained `Vec`, so after the queue's
+//! high-water mark is reached the event loop performs **zero heap
 //! allocations per event** for policy snapshots. Policies must therefore
 //! treat the state as valid only for the duration of the callback (the
 //! borrow rules already enforce this — `ServerState` is passed as `&`), and
@@ -35,19 +60,43 @@ use std::collections::VecDeque;
 /// Tolerance used to batch events that occur at "the same" instant.
 const TIME_EPS: f64 = 1e-12;
 
-/// The single-core server simulator.
+/// The single-core server simulator (closed-loop entry point).
 ///
 /// `Server` is stateless across runs: [`Server::run`] consumes a trace and a
 /// policy and produces a [`RunResult`]. This makes it cheap to sweep loads,
-/// policies, and seeds from the benchmark harness.
+/// policies, and seeds from the benchmark harness. It is a thin wrapper over
+/// [`ServerSim`], the resumable open-loop engine.
 #[derive(Debug, Clone, Default)]
 pub struct Server {
     config: SimConfig,
 }
 
+/// One simulation event, as returned by [`ServerSim::step`].
+///
+/// Events that fall on the same instant are delivered in this order:
+/// [`FreqTransition`](SimEvent::FreqTransition), then
+/// [`Completion`](SimEvent::Completion), then each
+/// [`Arrival`](SimEvent::Arrival), then [`Tick`](SimEvent::Tick).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// A previously requested V/F transition took effect; the core now runs
+    /// at the contained frequency.
+    FreqTransition(Freq),
+    /// The request in service completed; the record carries its timing.
+    Completion(RequestRecord),
+    /// An offered request entered the server: it started service if the core
+    /// was free, otherwise it joined the FIFO queue.
+    Arrival {
+        /// Identifier of the arriving request.
+        id: u64,
+    },
+    /// The periodic policy tick fired.
+    Tick,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Running {
-    idx: usize,
+    spec: RequestSpec,
     start: f64,
     /// Fraction of the request's work completed, in `[0, 1]`.
     progress: f64,
@@ -56,17 +105,73 @@ struct Running {
     queue_len_at_arrival: usize,
 }
 
-struct SimState<'a> {
-    trace: &'a [RequestSpec],
+/// Position inside the current event round. Events batched on one instant
+/// are processed in `Transition → Completion → Arrivals → Tick` order;
+/// `Advance` means the round is over and the clock must move to the next
+/// event time before anything else happens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Phase {
+    Advance,
+    Transition,
+    Completion,
+    Arrivals,
+    Tick,
+}
+
+/// A resumable, open-loop single-core simulation.
+///
+/// Unlike [`Server::run`], which replays a complete [`Trace`], a `ServerSim`
+/// is *advanced*: arrivals are [`offer`](ServerSim::offer)ed as the caller
+/// learns about them, and the machine is moved forward one [`SimEvent`] at a
+/// time with [`step`](ServerSim::step) (or in bulk with
+/// [`drain_until`](ServerSim::drain_until)). [`finish`](ServerSim::finish)
+/// consumes the simulation and returns the same [`RunResult`] a closed-loop
+/// run would have produced.
+///
+/// The policy type parameter defaults to `Box<dyn DvfsPolicy>`; `&mut dyn
+/// DvfsPolicy` and any concrete policy work too (see the forwarding impls in
+/// [`crate::policy`]).
+///
+/// # Example
+///
+/// ```
+/// use rubik_sim::{FixedFrequencyPolicy, RequestSpec, ServerSim, SimConfig, SimEvent};
+///
+/// let config = SimConfig::default();
+/// let policy = FixedFrequencyPolicy::new(config.dvfs.nominal());
+/// let mut sim = ServerSim::new(config, policy);
+///
+/// // Arrivals are offered as they happen — the future is not pre-known.
+/// sim.offer(RequestSpec::new(0, 0.0, 1.2e6, 0.0));
+/// assert_eq!(sim.next_event_time(), Some(0.0));
+/// assert!(matches!(sim.step(), Some(SimEvent::Arrival { id: 0 })));
+///
+/// // Step to the completion, then close the stream and wrap up.
+/// sim.offer(RequestSpec::new(1, 1e-3, 1.2e6, 0.0));
+/// sim.close();
+/// let done = sim.drain_until(f64::INFINITY);
+/// assert!(done >= 3); // completion, second arrival, second completion
+/// let result = sim.finish();
+/// assert_eq!(result.records().len(), 2);
+/// ```
+pub struct ServerSim<P: DvfsPolicy = Box<dyn DvfsPolicy>> {
+    config: SimConfig,
+    policy: P,
     now: f64,
-    queue: VecDeque<(usize, usize)>, // (trace index, queue length at arrival)
+    /// While open, more arrivals may be offered and the periodic tick keeps
+    /// firing even when no admitted work remains.
+    open: bool,
+    /// Offered requests that have not yet been admitted (arrival time still
+    /// in the future, or pending in the current round).
+    arrivals: VecDeque<RequestSpec>,
+    queue: VecDeque<(RequestSpec, usize)>, // (spec, queue length at arrival)
     running: Option<Running>,
     current_freq: Freq,
     target_freq: Freq,
     pending_transition: Option<(Freq, f64)>,
-    next_arrival: usize,
     next_tick: f64,
     asleep: bool,
+    phase: Phase,
     records: Vec<RequestRecord>,
     segments: Vec<Segment>,
     /// Reusable policy-visible snapshot; refreshed in place before every
@@ -74,41 +179,484 @@ struct SimState<'a> {
     scratch: ServerState,
 }
 
-impl SimState<'_> {
-    /// Refreshes the scratch [`ServerState`] from the live simulation state
-    /// and returns it. The `queued` vector is cleared and refilled, reusing
-    /// its capacity; no allocation occurs once the queue's high-water mark
-    /// has been reached.
-    fn snapshot(&mut self) -> &ServerState {
-        let trace = self.trace;
+impl<P: DvfsPolicy> std::fmt::Debug for ServerSim<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerSim")
+            .field("now", &self.now)
+            .field("open", &self.open)
+            .field("policy", &self.policy.name())
+            .field("offered", &self.arrivals.len())
+            .field("queued", &self.queue.len())
+            .field("running", &self.running.is_some())
+            .field("current_freq", &self.current_freq)
+            .field("completed", &self.records.len())
+            .finish()
+    }
+}
+
+impl<P: DvfsPolicy> ServerSim<P> {
+    /// Creates an **open** simulation at time 0. The starting frequency is
+    /// the policy's idle frequency, or the nominal level if the policy has
+    /// no preference.
+    pub fn new(config: SimConfig, policy: P) -> Self {
+        let start_freq = policy
+            .idle_frequency()
+            .unwrap_or_else(|| config.dvfs.nominal());
+        let next_tick = config.tick_interval;
+        let asleep = matches!(config.idle_mode, IdleMode::Sleep { .. });
+        Self {
+            config,
+            policy,
+            now: 0.0,
+            open: true,
+            arrivals: VecDeque::new(),
+            queue: VecDeque::new(),
+            running: None,
+            current_freq: start_freq,
+            target_freq: start_freq,
+            pending_transition: None,
+            next_tick,
+            asleep,
+            phase: Phase::Advance,
+            records: Vec::new(),
+            segments: Vec::new(),
+            scratch: ServerState {
+                now: 0.0,
+                current_freq: start_freq,
+                target_freq: start_freq,
+                in_service: None,
+                queued: Vec::new(),
+            },
+        }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Current simulation time (the time of the most recently processed
+    /// event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Whether the arrival stream is still open (see [`ServerSim::close`]).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    /// The DVFS policy driving this simulation.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to the policy (e.g. to seed a profile mid-run).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// Frequency currently in effect.
+    pub fn current_freq(&self) -> Freq {
+        self.current_freq
+    }
+
+    /// Frequency most recently requested by the policy (a V/F transition may
+    /// still be in flight).
+    pub fn target_freq(&self) -> Freq {
+        self.target_freq
+    }
+
+    /// Number of requests admitted into the server: queued plus in service.
+    pub fn pending_requests(&self) -> usize {
+        self.queue.len() + usize::from(self.running.is_some())
+    }
+
+    /// Number of requests anywhere in the system: offered-but-not-admitted,
+    /// queued, and in service. This is what a load balancer should count —
+    /// an offered request is committed to this server even before its
+    /// arrival event has been processed.
+    pub fn in_flight(&self) -> usize {
+        self.arrivals.len() + self.pending_requests()
+    }
+
+    /// Whether the server has no admitted work (it may still hold offered
+    /// future arrivals).
+    pub fn is_idle(&self) -> bool {
+        self.running.is_none() && self.queue.is_empty()
+    }
+
+    /// Records of the requests completed so far, in completion order.
+    pub fn records(&self) -> &[RequestRecord] {
+        &self.records
+    }
+
+    /// Offers a request to the server: it will arrive (start service or
+    /// queue) when the simulation reaches `spec.arrival`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream has been [`close`](ServerSim::close)d, if the
+    /// arrival time lies in the simulation's past, or if it precedes a
+    /// previously offered arrival (offers must be time-ordered).
+    pub fn offer(&mut self, spec: RequestSpec) {
+        assert!(self.open, "cannot offer a request to a closed ServerSim");
+        assert!(
+            spec.arrival >= self.now,
+            "offered arrival at {} is in the past (now = {})",
+            spec.arrival,
+            self.now
+        );
+        if let Some(last) = self.arrivals.back() {
+            assert!(
+                spec.arrival >= last.arrival,
+                "offered arrivals must be time-ordered: {} after {}",
+                spec.arrival,
+                last.arrival
+            );
+        }
+        self.arrivals.push_back(spec);
+    }
+
+    /// Offers every request of an iterator (time-ordered, e.g. a
+    /// [`Trace`]'s requests), reserving capacity up front.
+    pub fn offer_all<I: IntoIterator<Item = RequestSpec>>(&mut self, specs: I) {
+        let iter = specs.into_iter();
+        let (hint, _) = iter.size_hint();
+        self.arrivals.reserve(hint);
+        self.records.reserve(hint);
+        for spec in iter {
+            self.offer(spec);
+        }
+    }
+
+    /// Closes the arrival stream: no further [`offer`](ServerSim::offer)s
+    /// are accepted, and once the admitted work drains the periodic tick
+    /// stops firing, so [`step`](ServerSim::step) eventually returns `None`.
+    pub fn close(&mut self) {
+        self.open = false;
+    }
+
+    /// The time of the next pending event, or `None` when a closed
+    /// simulation has nothing left to do.
+    ///
+    /// An **open** simulation always has a next event (at minimum the
+    /// periodic tick), so an external driver must bound how far it drains —
+    /// see [`ServerSim::drain_until`].
+    pub fn next_event_time(&self) -> Option<f64> {
+        if self.due_in_round() {
+            return Some(self.now);
+        }
+        self.raw_next_event_time()
+    }
+
+    /// Advances the simulation by exactly one event and returns it, or
+    /// `None` when a closed simulation has nothing left to do.
+    pub fn step(&mut self) -> Option<SimEvent> {
+        loop {
+            match self.phase {
+                Phase::Advance => {
+                    let t = self.raw_next_event_time()?;
+                    self.advance_to(t);
+                    self.phase = Phase::Transition;
+                }
+                Phase::Transition => {
+                    self.phase = Phase::Completion;
+                    if let Some((f, t)) = self.pending_transition {
+                        if t <= self.now + TIME_EPS {
+                            self.current_freq = f;
+                            self.pending_transition = None;
+                            return Some(SimEvent::FreqTransition(f));
+                        }
+                    }
+                }
+                Phase::Completion => {
+                    self.phase = Phase::Arrivals;
+                    if let Some(t) = self.completion_time() {
+                        if t <= self.now + TIME_EPS {
+                            let record = self.complete_running();
+                            return Some(SimEvent::Completion(record));
+                        }
+                    }
+                }
+                Phase::Arrivals => {
+                    if self
+                        .arrivals
+                        .front()
+                        .is_some_and(|r| r.arrival <= self.now + TIME_EPS)
+                    {
+                        let id = self.admit_arrival();
+                        return Some(SimEvent::Arrival { id });
+                    }
+                    self.phase = Phase::Tick;
+                }
+                Phase::Tick => {
+                    self.phase = Phase::Advance;
+                    if self.next_tick <= self.now + TIME_EPS {
+                        self.next_tick += self.config.tick_interval;
+                        self.refresh_snapshot();
+                        let decision = self.policy.on_tick(&self.scratch);
+                        self.apply_decision(decision);
+                        return Some(SimEvent::Tick);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Processes every event up to and including time `t` and returns how
+    /// many were processed. The clock is left at the last processed event;
+    /// it does not advance to `t` if nothing happens there.
+    pub fn drain_until(&mut self, t: f64) -> usize {
+        let mut processed = 0;
+        while self.next_event_time().is_some_and(|te| te <= t) {
+            let stepped = self.step();
+            debug_assert!(stepped.is_some(), "a due event must produce a SimEvent");
+            processed += 1;
+        }
+        processed
+    }
+
+    /// Advances the clock to `t` without processing any events, extending
+    /// the idle/sleep timeline at the current frequency. Fleet drivers use
+    /// this to align every server's end time so idle power is charged
+    /// through the whole run, not just to each server's last event. A no-op
+    /// if `t` is in the past.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event is due at or before `t` — coasting must not skip
+    /// simulation work.
+    pub fn coast_to(&mut self, t: f64) {
+        assert!(
+            self.next_event_time().is_none_or(|te| te > t),
+            "cannot coast past a pending event"
+        );
+        self.advance_to(t);
+    }
+
+    /// Runs a **closed** simulation to completion (every offered request
+    /// served, every trailing event processed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is still open — an open simulation ticks
+    /// forever, so running it to completion would never return.
+    pub fn run_to_completion(&mut self) {
+        assert!(
+            !self.open,
+            "close() the arrival stream before running to completion"
+        );
+        while self.step().is_some() {}
+    }
+
+    /// Consumes the simulation and returns the per-request records and the
+    /// frequency/activity timeline accumulated so far.
+    pub fn finish(self) -> RunResult {
+        let end = self.now;
+        RunResult::new(self.records, self.segments, end)
+    }
+
+    /// Refreshes the scratch [`ServerState`] from the live simulation state.
+    /// The `queued` vector is cleared and refilled, reusing its capacity; no
+    /// allocation occurs once the queue's high-water mark has been reached.
+    fn refresh_snapshot(&mut self) {
         let scratch = &mut self.scratch;
         scratch.now = self.now;
         scratch.current_freq = self.current_freq;
         scratch.target_freq = self.target_freq;
-        scratch.in_service = self.running.as_ref().map(|r| {
-            let spec = &trace[r.idx];
-            InServiceView {
-                id: spec.id,
-                arrival: spec.arrival,
-                elapsed_compute_cycles: r.progress * spec.compute_cycles,
-                elapsed_membound_time: r.progress * spec.membound_time,
-                oracle_compute_cycles: spec.compute_cycles,
-                oracle_membound_time: spec.membound_time,
-                class: spec.class,
-            }
+        scratch.in_service = self.running.as_ref().map(|r| InServiceView {
+            id: r.spec.id,
+            arrival: r.spec.arrival,
+            elapsed_compute_cycles: r.progress * r.spec.compute_cycles,
+            elapsed_membound_time: r.progress * r.spec.membound_time,
+            oracle_compute_cycles: r.spec.compute_cycles,
+            oracle_membound_time: r.spec.membound_time,
+            class: r.spec.class,
         });
         scratch.queued.clear();
-        scratch.queued.extend(self.queue.iter().map(|&(idx, _)| {
-            let spec = &trace[idx];
-            QueuedView {
+        scratch
+            .queued
+            .extend(self.queue.iter().map(|(spec, _)| QueuedView {
                 id: spec.id,
                 arrival: spec.arrival,
                 oracle_compute_cycles: spec.compute_cycles,
                 oracle_membound_time: spec.membound_time,
                 class: spec.class,
+            }));
+    }
+
+    fn completion_time(&self) -> Option<f64> {
+        let r = self.running.as_ref()?;
+        let total = r.spec.service_time_at(self.current_freq);
+        let remaining = (1.0 - r.progress).max(0.0) * total + r.wakeup_remaining;
+        Some(self.now + remaining)
+    }
+
+    /// The earliest event visible from the top of a round: next admission,
+    /// completion, pending transition, and — while more work exists or may
+    /// yet be offered — the periodic tick.
+    fn raw_next_event_time(&self) -> Option<f64> {
+        let mut next: Option<f64> = None;
+        let mut consider = |t: Option<f64>| {
+            if let Some(t) = t {
+                next = Some(match next {
+                    Some(n) => n.min(t),
+                    None => t,
+                });
             }
-        }));
-        scratch
+        };
+
+        consider(self.arrivals.front().map(|r| r.arrival.max(self.now)));
+        consider(self.completion_time());
+        consider(self.pending_transition.map(|(_, t)| t));
+
+        // Ticks only matter while there is or may yet be work; without this
+        // a closed simulation would tick forever after the last completion.
+        let more_work = self.open
+            || !self.arrivals.is_empty()
+            || self.running.is_some()
+            || !self.queue.is_empty();
+        if more_work {
+            consider(Some(self.next_tick.max(self.now)));
+        }
+        next
+    }
+
+    /// Whether an event is still due in the current round (at the current
+    /// instant), considering only the phases not yet passed.
+    fn due_in_round(&self) -> bool {
+        if self.phase == Phase::Advance {
+            return false;
+        }
+        let due = |t: f64| t <= self.now + TIME_EPS;
+        (self.phase <= Phase::Transition && self.pending_transition.is_some_and(|(_, t)| due(t)))
+            || (self.phase <= Phase::Completion && self.completion_time().is_some_and(due))
+            || (self.phase <= Phase::Arrivals
+                && self.arrivals.front().is_some_and(|r| due(r.arrival)))
+            || (self.phase <= Phase::Tick && due(self.next_tick))
+    }
+
+    fn advance_to(&mut self, t: f64) {
+        let t = t.max(self.now);
+        if t > self.now + TIME_EPS {
+            let activity = if self.running.is_some() {
+                CoreActivity::Busy
+            } else if self.asleep {
+                CoreActivity::Sleep
+            } else {
+                CoreActivity::Idle
+            };
+            push_segment(&mut self.segments, self.now, t, self.current_freq, activity);
+
+            if let Some(r) = self.running.as_mut() {
+                let mut dt = t - self.now;
+                if r.wakeup_remaining > 0.0 {
+                    let consumed = r.wakeup_remaining.min(dt);
+                    r.wakeup_remaining -= consumed;
+                    dt -= consumed;
+                }
+                if dt > 0.0 {
+                    let total = r.spec.service_time_at(self.current_freq);
+                    if total > 0.0 {
+                        r.progress = (r.progress + dt / total).min(1.0);
+                    } else {
+                        r.progress = 1.0;
+                    }
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    fn complete_running(&mut self) -> RequestRecord {
+        let running = self
+            .running
+            .take()
+            .expect("completion without a running request");
+        let spec = running.spec;
+        let record = RequestRecord {
+            id: spec.id,
+            arrival: spec.arrival,
+            start: running.start,
+            completion: self.now,
+            compute_cycles: spec.compute_cycles,
+            membound_time: spec.membound_time,
+            queue_len_at_arrival: running.queue_len_at_arrival,
+            class: spec.class,
+        };
+        self.records.push(record);
+
+        // Start the next queued request, if any.
+        if let Some((spec, qlen)) = self.queue.pop_front() {
+            self.running = Some(Running {
+                spec,
+                start: self.now,
+                progress: 0.0,
+                wakeup_remaining: 0.0,
+                queue_len_at_arrival: qlen,
+            });
+        } else if matches!(self.config.idle_mode, IdleMode::Sleep { .. }) {
+            self.asleep = true;
+        }
+
+        self.refresh_snapshot();
+        let decision = self.policy.on_completion(&self.scratch, &record);
+        self.apply_decision(decision);
+        record
+    }
+
+    fn admit_arrival(&mut self) -> u64 {
+        let spec = self
+            .arrivals
+            .pop_front()
+            .expect("admission without an offered request");
+        let id = spec.id;
+        let pending_before = self.queue.len() + usize::from(self.running.is_some());
+
+        if self.running.is_none() {
+            let wakeup = match (self.asleep, self.config.idle_mode) {
+                (true, IdleMode::Sleep { wakeup_latency }) => wakeup_latency,
+                _ => 0.0,
+            };
+            self.asleep = false;
+            self.running = Some(Running {
+                spec,
+                start: self.now,
+                progress: 0.0,
+                wakeup_remaining: wakeup,
+                queue_len_at_arrival: pending_before,
+            });
+        } else {
+            self.queue.push_back((spec, pending_before));
+        }
+
+        self.refresh_snapshot();
+        let decision = self.policy.on_arrival(&self.scratch);
+        self.apply_decision(decision);
+        id
+    }
+
+    fn apply_decision(&mut self, decision: PolicyDecision) {
+        let f = match decision {
+            PolicyDecision::Keep => return,
+            PolicyDecision::SetFrequency(f) => f,
+        };
+        assert!(
+            self.config.dvfs.is_level(f),
+            "policy requested {f}, which is not an available DVFS level"
+        );
+        if f == self.target_freq {
+            return;
+        }
+        self.target_freq = f;
+        let latency = self.config.dvfs.transition_latency();
+        if latency <= 0.0 {
+            self.current_freq = f;
+            self.pending_transition = None;
+        } else {
+            self.pending_transition = Some((f, self.now + latency));
+        }
     }
 }
 
@@ -125,225 +673,18 @@ impl Server {
 
     /// Runs the trace under the given policy and returns the per-request
     /// records and the frequency/activity timeline.
+    ///
+    /// This is the closed-loop convenience wrapper over [`ServerSim`]: the
+    /// whole trace is offered up front, the stream is closed, and the
+    /// machine is stepped to completion. The result is bitwise-identical to
+    /// offering the same arrivals incrementally as simulated time reaches
+    /// them (see the step-vs-run equivalence suite in `tests/`).
     pub fn run(&self, trace: &Trace, policy: &mut dyn DvfsPolicy) -> RunResult {
-        let start_freq = policy
-            .idle_frequency()
-            .unwrap_or_else(|| self.config.dvfs.nominal());
-        let mut st = SimState {
-            trace: trace.requests(),
-            now: 0.0,
-            queue: VecDeque::new(),
-            running: None,
-            current_freq: start_freq,
-            target_freq: start_freq,
-            pending_transition: None,
-            next_arrival: 0,
-            next_tick: self.config.tick_interval,
-            asleep: matches!(self.config.idle_mode, IdleMode::Sleep { .. }),
-            records: Vec::with_capacity(trace.len()),
-            segments: Vec::new(),
-            scratch: ServerState {
-                now: 0.0,
-                current_freq: start_freq,
-                target_freq: start_freq,
-                in_service: None,
-                queued: Vec::new(),
-            },
-        };
-
-        while let Some(next_time) = self.next_event_time(&st) {
-            self.advance_to(&mut st, next_time);
-            self.handle_events(&mut st, policy);
-        }
-
-        let end = st.now;
-        RunResult::new(st.records, st.segments, end)
-    }
-
-    fn service_time(&self, spec: &RequestSpec, freq: Freq) -> f64 {
-        spec.service_time_at(freq)
-    }
-
-    fn completion_time(&self, st: &SimState<'_>) -> Option<f64> {
-        let r = st.running.as_ref()?;
-        let spec = &st.trace[r.idx];
-        let total = self.service_time(spec, st.current_freq);
-        let remaining = (1.0 - r.progress).max(0.0) * total + r.wakeup_remaining;
-        Some(st.now + remaining)
-    }
-
-    fn next_event_time(&self, st: &SimState<'_>) -> Option<f64> {
-        let mut next: Option<f64> = None;
-        let mut consider = |t: Option<f64>| {
-            if let Some(t) = t {
-                next = Some(match next {
-                    Some(n) => n.min(t),
-                    None => t,
-                });
-            }
-        };
-
-        consider(st.trace.get(st.next_arrival).map(|r| r.arrival.max(st.now)));
-        consider(self.completion_time(st));
-        consider(st.pending_transition.map(|(_, t)| t));
-
-        // Ticks only matter while there is or will be work; without this the
-        // loop would tick forever after the last completion.
-        let more_work =
-            st.next_arrival < st.trace.len() || st.running.is_some() || !st.queue.is_empty();
-        if more_work {
-            consider(Some(st.next_tick.max(st.now)));
-        }
-        next
-    }
-
-    fn advance_to(&self, st: &mut SimState<'_>, t: f64) {
-        let t = t.max(st.now);
-        if t > st.now + TIME_EPS {
-            let activity = if st.running.is_some() {
-                CoreActivity::Busy
-            } else if st.asleep {
-                CoreActivity::Sleep
-            } else {
-                CoreActivity::Idle
-            };
-            push_segment(&mut st.segments, st.now, t, st.current_freq, activity);
-
-            if let Some(r) = st.running.as_mut() {
-                let mut dt = t - st.now;
-                if r.wakeup_remaining > 0.0 {
-                    let consumed = r.wakeup_remaining.min(dt);
-                    r.wakeup_remaining -= consumed;
-                    dt -= consumed;
-                }
-                if dt > 0.0 {
-                    let spec = &st.trace[r.idx];
-                    let total = self.service_time(spec, st.current_freq);
-                    if total > 0.0 {
-                        r.progress = (r.progress + dt / total).min(1.0);
-                    } else {
-                        r.progress = 1.0;
-                    }
-                }
-            }
-        }
-        st.now = t;
-    }
-
-    fn handle_events(&self, st: &mut SimState<'_>, policy: &mut dyn DvfsPolicy) {
-        // 1. Apply a V/F transition that has become effective.
-        if let Some((f, t)) = st.pending_transition {
-            if t <= st.now + TIME_EPS {
-                st.current_freq = f;
-                st.pending_transition = None;
-            }
-        }
-
-        // 2. Completion of the running request.
-        if let Some(t) = self.completion_time(st) {
-            if t <= st.now + TIME_EPS {
-                self.complete_running(st, policy);
-            }
-        }
-
-        // 3. Arrivals.
-        while st
-            .trace
-            .get(st.next_arrival)
-            .is_some_and(|r| r.arrival <= st.now + TIME_EPS)
-        {
-            self.handle_arrival(st, policy);
-        }
-
-        // 4. Periodic tick.
-        if st.next_tick <= st.now + TIME_EPS {
-            st.next_tick += self.config.tick_interval;
-            let decision = policy.on_tick(st.snapshot());
-            self.apply_decision(st, decision);
-        }
-    }
-
-    fn complete_running(&self, st: &mut SimState<'_>, policy: &mut dyn DvfsPolicy) {
-        let running = st
-            .running
-            .take()
-            .expect("completion without a running request");
-        let spec = st.trace[running.idx];
-        let record = RequestRecord {
-            id: spec.id,
-            arrival: spec.arrival,
-            start: running.start,
-            completion: st.now,
-            compute_cycles: spec.compute_cycles,
-            membound_time: spec.membound_time,
-            queue_len_at_arrival: running.queue_len_at_arrival,
-            class: spec.class,
-        };
-        st.records.push(record);
-
-        // Start the next queued request, if any.
-        if let Some((idx, qlen)) = st.queue.pop_front() {
-            st.running = Some(Running {
-                idx,
-                start: st.now,
-                progress: 0.0,
-                wakeup_remaining: 0.0,
-                queue_len_at_arrival: qlen,
-            });
-        } else if matches!(self.config.idle_mode, IdleMode::Sleep { .. }) {
-            st.asleep = true;
-        }
-
-        let decision = policy.on_completion(st.snapshot(), &record);
-        self.apply_decision(st, decision);
-    }
-
-    fn handle_arrival(&self, st: &mut SimState<'_>, policy: &mut dyn DvfsPolicy) {
-        let idx = st.next_arrival;
-        st.next_arrival += 1;
-        let pending_before = st.queue.len() + usize::from(st.running.is_some());
-
-        if st.running.is_none() {
-            let wakeup = match (st.asleep, self.config.idle_mode) {
-                (true, IdleMode::Sleep { wakeup_latency }) => wakeup_latency,
-                _ => 0.0,
-            };
-            st.asleep = false;
-            st.running = Some(Running {
-                idx,
-                start: st.now,
-                progress: 0.0,
-                wakeup_remaining: wakeup,
-                queue_len_at_arrival: pending_before,
-            });
-        } else {
-            st.queue.push_back((idx, pending_before));
-        }
-
-        let decision = policy.on_arrival(st.snapshot());
-        self.apply_decision(st, decision);
-    }
-
-    fn apply_decision(&self, st: &mut SimState<'_>, decision: PolicyDecision) {
-        let f = match decision {
-            PolicyDecision::Keep => return,
-            PolicyDecision::SetFrequency(f) => f,
-        };
-        assert!(
-            self.config.dvfs.is_level(f),
-            "policy requested {f}, which is not an available DVFS level"
-        );
-        if f == st.target_freq {
-            return;
-        }
-        st.target_freq = f;
-        let latency = self.config.dvfs.transition_latency();
-        if latency <= 0.0 {
-            st.current_freq = f;
-            st.pending_transition = None;
-        } else {
-            st.pending_transition = Some((f, st.now + latency));
-        }
+        let mut sim = ServerSim::new(self.config.clone(), policy);
+        sim.offer_all(trace.requests().iter().copied());
+        sim.close();
+        sim.run_to_completion();
+        sim.finish()
     }
 }
 
@@ -666,5 +1007,157 @@ mod tests {
         let trace = Trace::new(vec![RequestSpec::new(0, 0.0, 1e6, 0.0)]);
         let server = Server::new(cfg());
         let _ = server.run(&trace, &mut BadPolicy);
+    }
+
+    // ----- ServerSim stepping-surface tests -------------------------------
+
+    #[test]
+    fn step_yields_events_in_round_order() {
+        // One request at t=0 at nominal: arrival, completion (1 ms later),
+        // then ticks would follow only while open; close and observe the end.
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+        sim.close();
+
+        assert_eq!(sim.next_event_time(), Some(0.0));
+        assert!(matches!(sim.step(), Some(SimEvent::Arrival { id: 0 })));
+        assert_eq!(sim.pending_requests(), 1);
+
+        let next = sim.next_event_time().unwrap();
+        assert!((next - 1e-3).abs() < 1e-9);
+        match sim.step() {
+            Some(SimEvent::Completion(record)) => {
+                assert_eq!(record.id, 0);
+                assert!((record.latency() - 1e-3).abs() < 1e-9);
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        assert!(sim.step().is_none(), "closed idle sim has no more events");
+        let result = sim.finish();
+        assert_eq!(result.records().len(), 1);
+    }
+
+    #[test]
+    fn open_sim_keeps_ticking_while_idle() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        // No work at all: the next events are the periodic ticks.
+        assert_eq!(sim.next_event_time(), Some(0.1));
+        assert_eq!(sim.step(), Some(SimEvent::Tick));
+        assert_eq!(sim.step(), Some(SimEvent::Tick));
+        assert!((sim.now() - 0.2).abs() < 1e-12);
+        // Closing with no admitted work ends the stream immediately.
+        sim.close();
+        assert_eq!(sim.next_event_time(), None);
+        assert!(sim.step().is_none());
+    }
+
+    #[test]
+    fn drain_until_is_inclusive_and_counts_events() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.05, 2.4e6, 0.0));
+        // Up to t=0.05 inclusive: the arrival is admitted, the completion at
+        // 0.051 is not yet due, and no tick has fired (first tick at 0.1).
+        let n = sim.drain_until(0.05);
+        assert_eq!(n, 1);
+        assert_eq!(sim.pending_requests(), 1);
+        assert!((sim.now() - 0.05).abs() < 1e-12);
+        // Draining further picks up the completion.
+        let n = sim.drain_until(0.06);
+        assert_eq!(n, 1);
+        assert_eq!(sim.records().len(), 1);
+    }
+
+    #[test]
+    fn in_flight_counts_offered_requests_before_admission() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.02, 2.4e6, 0.0));
+        sim.offer(RequestSpec::new(1, 0.03, 2.4e6, 0.0));
+        assert_eq!(sim.in_flight(), 2);
+        assert_eq!(sim.pending_requests(), 0);
+        assert!(sim.is_idle());
+        sim.drain_until(0.02);
+        assert_eq!(sim.in_flight(), 2); // one admitted, one still offered
+        assert_eq!(sim.pending_requests(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "closed ServerSim")]
+    fn offer_after_close_panics() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.close();
+        sim.offer(RequestSpec::new(0, 0.0, 1e6, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn offer_in_the_past_panics() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.step(); // first tick moves the clock to 0.1
+        sim.offer(RequestSpec::new(0, 0.05, 1e6, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_offers_panic() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.05, 1e6, 0.0));
+        sim.offer(RequestSpec::new(1, 0.04, 1e6, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "close() the arrival stream")]
+    fn run_to_completion_requires_closed_stream() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn coast_extends_the_idle_timeline_without_events() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+        sim.close();
+        sim.run_to_completion();
+        assert!((sim.now() - 1e-3).abs() < 1e-9);
+        sim.coast_to(0.05);
+        assert!((sim.now() - 0.05).abs() < 1e-12);
+        // Coasting into the past is a no-op.
+        sim.coast_to(0.01);
+        assert!((sim.now() - 0.05).abs() < 1e-12);
+        let result = sim.finish();
+        let res = result.freq_residency();
+        assert!((res.idle_time() - (0.05 - 1e-3)).abs() < 1e-9);
+        assert!((result.end_time() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot coast past a pending event")]
+    fn coast_cannot_skip_pending_events() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.02, 2.4e6, 0.0));
+        sim.coast_to(0.03);
+    }
+
+    #[test]
+    fn event_stream_matches_run_records() {
+        // The SimEvent stream must carry exactly the records the RunResult
+        // reports, in the same order.
+        let trace: Trace = (0..40)
+            .map(|i| RequestSpec::new(i, i as f64 * 7e-4, 1.5e6, 1e-5))
+            .collect();
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer_all(trace.requests().iter().copied());
+        sim.close();
+        let mut completions = Vec::new();
+        let mut arrivals = Vec::new();
+        while let Some(event) = sim.step() {
+            match event {
+                SimEvent::Completion(r) => completions.push(r),
+                SimEvent::Arrival { id } => arrivals.push(id),
+                _ => {}
+            }
+        }
+        let result = sim.finish();
+        assert_eq!(arrivals.len(), 40);
+        assert_eq!(completions, result.records());
     }
 }

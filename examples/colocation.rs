@@ -10,6 +10,7 @@
 //! cargo run --release --example colocation
 //! ```
 
+use rubik::coloc::ColocRunSpec;
 use rubik::{
     AppProfile, BatchMix, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig,
 };
@@ -33,7 +34,12 @@ fn main() {
         "scheme", "normalized tail", "batch work/s", "avg core power (W)"
     );
     for scheme in ColocScheme::all() {
-        let outcome = core.run(scheme, &profile, 0.6, &mix, bound, requests, 21);
+        let outcome = core.run(
+            &ColocRunSpec::new(scheme, &profile, &mix, bound)
+                .with_load(0.6)
+                .with_requests(requests)
+                .with_seed(21),
+        );
         println!(
             "{:<12} {:>18.2} {:>18.2} {:>20.2}",
             scheme.name(),

@@ -3,6 +3,7 @@
 //! colocation schemes degrade it, and the colocated datacenter uses less
 //! power and fewer servers than the segregated one.
 
+use rubik::coloc::ColocRunSpec;
 use rubik::{
     AppProfile, BatchMix, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig,
 };
@@ -17,7 +18,12 @@ fn rubikcoloc_is_the_only_scheme_that_reliably_holds_the_tail() {
 
     let mut tails = std::collections::BTreeMap::new();
     for scheme in ColocScheme::all() {
-        let outcome = core.run(scheme, &profile, 0.6, &mix, bound, requests, 5);
+        let outcome = core.run(
+            &ColocRunSpec::new(scheme, &profile, &mix, bound)
+                .with_load(0.6)
+                .with_requests(requests)
+                .with_seed(5),
+        );
         tails.insert(scheme.name(), outcome.normalized_tail);
     }
 
@@ -43,13 +49,10 @@ fn colocation_achieves_full_core_utilization() {
     let mix = BatchMix::paper_mixes(23)[0].clone();
     let bound = core.latency_bound(&profile, 1200, 9);
     let outcome = core.run(
-        ColocScheme::RubikColoc,
-        &profile,
-        0.3,
-        &mix,
-        bound,
-        1200,
-        13,
+        &ColocRunSpec::new(ColocScheme::RubikColoc, &profile, &mix, bound)
+            .with_load(0.3)
+            .with_requests(1200)
+            .with_seed(13),
     );
     // The LC side only uses ~30% of the core...
     assert!(outcome.lc_utilization < 0.6);
