@@ -10,8 +10,10 @@
 //! the same per-server load.
 //!
 //! Results merge into `BENCH_controller.json` like the other controller
-//! benches, and a `BENCH_cluster.json` summary (per-fleet-size median wall
-//! time and requests/s) is written for later PRs to regress against.
+//! benches, and a summary (per-fleet-size median wall time and requests/s)
+//! is merged into the `"cluster_throughput"` section of
+//! `BENCH_cluster.json` (shared with the `fleet_cap` bench) for later PRs
+//! to regress against.
 //!
 //! Env knobs: `RUBIK_CLUSTER_BENCH_REQUESTS` (default 30) sets requests per
 //! server; `RUBIK_BENCH_SAMPLE_MS` / `RUBIK_BENCH_SAMPLES` are the usual
@@ -72,8 +74,9 @@ fn bench_cluster_throughput(c: &mut Criterion) {
     write_cluster_summary(c, per_server);
 }
 
-/// Distills the group's results into `BENCH_cluster.json`: per-fleet-size
-/// median wall time and request throughput.
+/// Distills the group's results into the `"cluster_throughput"` section of
+/// `BENCH_cluster.json`: per-fleet-size median wall time and request
+/// throughput.
 fn write_cluster_summary(c: &Criterion, per_server: usize) {
     let mut entries = Vec::new();
     for fleet in FLEETS {
@@ -82,7 +85,7 @@ fn write_cluster_summary(c: &Criterion, per_server: usize) {
             let requests = per_server * fleet;
             let rps = requests as f64 / (r.median_ns * 1e-9);
             entries.push(format!(
-                "    {{\"servers\": {fleet}, \"requests\": {requests}, \
+                "      {{\"servers\": {fleet}, \"requests\": {requests}, \
                  \"median_ns\": {:.1}, \"requests_per_sec\": {rps:.1}}}",
                 r.median_ns
             ));
@@ -91,16 +94,16 @@ fn write_cluster_summary(c: &Criterion, per_server: usize) {
     if entries.is_empty() {
         return;
     }
-    let json = format!(
-        "{{\n  \"load_per_server\": {LOAD},\n  \"requests_per_server\": {per_server},\n  \
-         \"router\": \"power-aware\",\n  \"policy\": \"rubik-per-server\",\n  \
-         \"fleets\": [\n{}\n  ]\n}}\n",
+    let section = format!(
+        "{{\n    \"load_per_server\": {LOAD},\n    \"requests_per_server\": {per_server},\n    \
+         \"router\": \"power-aware\",\n    \"policy\": \"rubik-per-server\",\n    \
+         \"fleets\": [\n{}\n    ]\n  }}",
         entries.join(",\n")
     );
-    if let Err(e) = std::fs::write(CLUSTER_JSON, &json) {
+    if let Err(e) = rubik_bench::merge_bench_section(CLUSTER_JSON, "cluster_throughput", &section) {
         eprintln!("cluster_throughput: could not write {CLUSTER_JSON}: {e}");
     } else {
-        println!("cluster_throughput: wrote {CLUSTER_JSON}");
+        println!("cluster_throughput: merged into {CLUSTER_JSON}");
     }
 }
 

@@ -20,7 +20,10 @@
 //! colocation grid on `rubik-sweep`, merged into the same file plus a
 //! `BENCH_sweep.json` summary. `benches/cluster_throughput.rs` tracks the
 //! multi-server event loop (10/100/1000-server fleets, Rubik per server)
-//! and writes a `BENCH_cluster.json` summary.
+//! and `benches/fleet_cap.rs` the fleet-management acceptance experiment
+//! (100 big/little servers under a global power budget, with and without
+//! queue migration); both merge their summaries into named sections of
+//! `BENCH_cluster.json` via [`merge_bench_section`].
 
 use rubik::core::{replay, replay_energy, replay_tail};
 use rubik::{
@@ -136,6 +139,140 @@ impl BenchArgs {
 /// (Table 3) are used where runtime allows; this default keeps the full
 /// harness runnable in minutes.
 pub const DEFAULT_REQUESTS: usize = 4000;
+
+/// The largest fleet power (W) over any epoch-aligned window of a cluster
+/// run, integrated from the per-server timelines — the number a power cap
+/// is judged by. The trailing partial window is measured over its actual
+/// duration. Shared by the `fleet_cap` bench and the `fig_fleet` binary so
+/// the recorded cap numbers and the figure always use the same accounting.
+///
+/// One forward cursor per server makes the whole computation a single
+/// linear pass over the timelines (a per-window rescan would be quadratic
+/// in the run length).
+pub fn max_epoch_power(
+    results: &[RunResult],
+    duration: f64,
+    epoch: f64,
+    power: &CorePowerModel,
+) -> f64 {
+    use rubik::sim::CoreActivity;
+    assert!(epoch > 0.0, "epoch must be positive");
+    let span_power = |s: &rubik::sim::Segment| match s.activity {
+        CoreActivity::Busy => power.active_power(s.freq),
+        CoreActivity::Idle => power.idle_power(s.freq),
+        CoreActivity::Sleep => power.sleep_power(),
+    };
+    let mut cursors = vec![0usize; results.len()];
+    let mut max = 0.0f64;
+    let mut from = 0.0;
+    while from < duration {
+        let to = (from + epoch).min(duration);
+        let mut energy = 0.0;
+        for (r, cursor) in results.iter().zip(&mut cursors) {
+            let segments = r.segments();
+            let mut i = *cursor;
+            while i < segments.len() {
+                let s = &segments[i];
+                if s.start >= to {
+                    break;
+                }
+                let start = s.start.max(from);
+                let end = s.end.min(to);
+                if end > start {
+                    energy += span_power(s) * (end - start);
+                }
+                if s.end <= to {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            *cursor = i;
+        }
+        max = max.max(energy / (to - from));
+        from = to;
+    }
+    max
+}
+
+/// Merges one named top-level section into a bench-summary JSON file
+/// (`BENCH_cluster.json`): the file holds an object of `"section": value`
+/// pairs, and each bench overwrites only its own section so independent
+/// benches (`cluster_throughput`, `fleet_cap`) can share the file. `body`
+/// must be a complete JSON value. Sections are written in name order, so
+/// the output is deterministic regardless of which bench ran last.
+///
+/// The file is rewritten from the sections that could be recovered; a file
+/// in an unrecognized format is replaced by the new section alone.
+pub fn merge_bench_section(path: &str, section: &str, body: &str) -> std::io::Result<()> {
+    let mut sections = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| parse_top_level_sections(&text))
+        .unwrap_or_default();
+    match sections.iter_mut().find(|(name, _)| name == section) {
+        Some((_, value)) => *value = body.to_string(),
+        None => sections.push((section.to_string(), body.to_string())),
+    }
+    sections.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut out = String::from("{\n");
+    for (i, (name, value)) in sections.iter().enumerate() {
+        out.push_str(&format!("  \"{name}\": {}", value.trim()));
+        out.push_str(if i + 1 < sections.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+/// Splits a JSON object's source text into its top-level `(key, raw value)`
+/// pairs. Handles nested objects/arrays and strings; returns `None` if the
+/// text is not a JSON object of string keys (e.g. a legacy flat file from
+/// before sections existed, which callers then simply replace).
+pub fn parse_top_level_sections(text: &str) -> Option<Vec<(String, String)>> {
+    let body = text.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut sections = Vec::new();
+    let mut rest = body.trim_start();
+    while !rest.is_empty() {
+        rest = rest.strip_prefix('"')?;
+        let key_end = rest.find('"')?;
+        let key = rest[..key_end].to_string();
+        if key.contains('\\') {
+            return None; // escaped keys are out of scope for bench files
+        }
+        rest = rest[key_end + 1..].trim_start().strip_prefix(':')?;
+        // Scan one balanced JSON value.
+        let mut depth = 0usize;
+        let mut in_string = false;
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' if in_string => escaped = true,
+                '"' => in_string = !in_string,
+                '{' | '[' if !in_string => depth += 1,
+                '}' | ']' if !in_string => depth = depth.checked_sub(1)?,
+                ',' if !in_string && depth == 0 => {
+                    end = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let (value, tail) = match end {
+            Some(i) => (&rest[..i], &rest[i + 1..]),
+            None => (rest, ""),
+        };
+        if value.trim().is_empty() {
+            return None;
+        }
+        sections.push((key, value.trim().to_string()));
+        rest = tail.trim_start();
+    }
+    Some(sections)
+}
 
 /// The experiment context shared by the figure binaries.
 #[derive(Debug, Clone)]
@@ -396,5 +533,112 @@ mod tests {
         assert!(static_oracle.tail_latency <= bound * 1.001);
         assert!(freq <= h.sim.dvfs.nominal());
         assert!(Harness::savings_percent(&fixed, &rubik) > 0.0);
+    }
+
+    #[test]
+    fn max_epoch_power_matches_the_per_window_residency_computation() {
+        use rubik::sim::{CoreActivity, Segment};
+        let power = CorePowerModel::haswell_like();
+        let seg = |start: f64, end: f64, mhz: u32, activity: CoreActivity| Segment {
+            start,
+            end,
+            freq: Freq::from_mhz(mhz),
+            activity,
+        };
+        // Two servers whose segments straddle the window boundaries.
+        let a = RunResult::new(
+            vec![],
+            vec![
+                seg(0.0, 0.35, 2400, CoreActivity::Busy),
+                seg(0.35, 0.8, 800, CoreActivity::Idle),
+                seg(0.8, 1.1, 3400, CoreActivity::Busy),
+            ],
+            1.1,
+        );
+        let b = RunResult::new(
+            vec![],
+            vec![
+                seg(0.0, 0.5, 1600, CoreActivity::Sleep),
+                seg(0.5, 1.1, 2000, CoreActivity::Busy),
+            ],
+            1.1,
+        );
+        let results = [a, b];
+        let duration = 1.1;
+        let epoch = 0.25;
+        // Reference: the straightforward per-window residency rescans.
+        let mut expected = 0.0f64;
+        let mut from = 0.0f64;
+        while from < duration {
+            let to = (from + epoch).min(duration);
+            let energy: f64 = results
+                .iter()
+                .map(|r| power.energy(&r.freq_residency_between(from, to)).total())
+                .sum();
+            expected = expected.max(energy / (to - from));
+            from = to;
+        }
+        let got = max_epoch_power(&results, duration, epoch, &power);
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "cursor pass {got} vs per-window reference {expected}"
+        );
+        assert!(got > 0.0);
+        assert_eq!(max_epoch_power(&results, 0.0, epoch, &power), 0.0);
+    }
+
+    #[test]
+    fn top_level_sections_roundtrip_nested_values() {
+        let text = "{\n  \"a\": {\"x\": [1, 2], \"s\": \"b}r,ace\"},\n  \"b\": 3.5\n}\n";
+        let sections = parse_top_level_sections(text).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0].0, "a");
+        assert_eq!(sections[0].1, "{\"x\": [1, 2], \"s\": \"b}r,ace\"}");
+        assert_eq!(sections[1], ("b".to_string(), "3.5".to_string()));
+        assert!(parse_top_level_sections("[1, 2]").is_none());
+        assert!(parse_top_level_sections("{\"k\": }").is_none());
+    }
+
+    #[test]
+    fn merge_bench_section_preserves_sibling_sections() {
+        let dir = std::env::temp_dir().join("rubik_bench_merge_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_merge.json");
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        merge_bench_section(path, "fleet_cap", "{\"budget\": 450}").unwrap();
+        merge_bench_section(path, "cluster_throughput", "{\"fleets\": [1, 2]}").unwrap();
+        // Overwriting one section leaves the other alone, and section order
+        // is name-sorted regardless of write order.
+        merge_bench_section(path, "fleet_cap", "{\"budget\": 500}").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let sections = parse_top_level_sections(&text).unwrap();
+        assert_eq!(
+            sections,
+            vec![
+                (
+                    "cluster_throughput".to_string(),
+                    "{\"fleets\": [1, 2]}".to_string()
+                ),
+                ("fleet_cap".to_string(), "{\"budget\": 500}".to_string()),
+            ]
+        );
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn merge_bench_section_replaces_unrecognized_files() {
+        let dir = std::env::temp_dir().join("rubik_bench_merge_test_legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_legacy.json");
+        let path = path.to_str().unwrap();
+        std::fs::write(path, "not json at all").unwrap();
+        merge_bench_section(path, "fleet_cap", "{\"budget\": 1}").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        let sections = parse_top_level_sections(&text).unwrap();
+        assert_eq!(sections.len(), 1);
+        assert_eq!(sections[0].0, "fleet_cap");
+        let _ = std::fs::remove_file(path);
     }
 }

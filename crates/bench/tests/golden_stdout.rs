@@ -15,6 +15,7 @@
 //! target/release/fig06_power_savings --requests 80 --seed 3 > crates/bench/tests/golden/fig06_power_savings.txt
 //! target/release/fig15_coloc_tail    --requests 80 --seed 3 > crates/bench/tests/golden/fig15_coloc_tail.txt
 //! target/release/fig09_load_sweep    --requests 60 --seed 5 > crates/bench/tests/golden/fig09_load_sweep.txt
+//! target/release/fig_fleet           --requests 60 --seed 7 > crates/bench/tests/golden/fig_fleet.txt
 //! ```
 
 use std::process::Command;
@@ -65,5 +66,17 @@ fn fig15_stdout_is_byte_identical_to_golden() {
         env!("CARGO_BIN_EXE_fig15_coloc_tail"),
         &["--requests", "80", "--seed", "3"],
         "fig15_coloc_tail.txt",
+    );
+}
+
+#[test]
+fn fig_fleet_stdout_is_byte_identical_to_golden() {
+    // Pins the whole fleet-management stack end to end: budget apportioning
+    // and waterfilling (PegasusFleet), queue migration (ThresholdMigrator),
+    // heterogeneous FleetSpec fleets, and capacity-aware routing.
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_fig_fleet"),
+        &["--requests", "60", "--seed", "7"],
+        "fig_fleet.txt",
     );
 }

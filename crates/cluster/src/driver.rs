@@ -27,8 +27,10 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use rubik_power::CorePowerModel;
-use rubik_sim::{DvfsPolicy, RunResult, ServerSim, SimConfig, Trace};
+use rubik_sim::{DvfsPolicy, RequestSpec, RunResult, ServerSim, SimConfig, Trace};
 
+use crate::fleet::{EpochMeter, FleetCommand, FleetController, FleetSpec, ServerPowerView};
+use crate::migrate::{Migration, Migrator};
 use crate::outcome::ClusterOutcome;
 use crate::router::{Router, ServerView};
 
@@ -80,6 +82,14 @@ pub struct Cluster<P: DvfsPolicy = Box<dyn DvfsPolicy>> {
     router: Box<dyn Router>,
     power: CorePowerModel,
     quantile: f64,
+    /// Per-server capacity weight (1.0 everywhere for homogeneous fleets).
+    capacities: Vec<f64>,
+    /// Per-server core-class index (0 everywhere for homogeneous fleets).
+    classes: Vec<u32>,
+    /// Optional fleet-level power manager, run on its epoch.
+    fleet: Option<Box<dyn FleetController>>,
+    /// Optional queue rebalancer, run on its own interval.
+    migrator: Option<Box<dyn Migrator>>,
 }
 
 impl<P: DvfsPolicy> std::fmt::Debug for Cluster<P> {
@@ -88,6 +98,8 @@ impl<P: DvfsPolicy> std::fmt::Debug for Cluster<P> {
             .field("servers", &self.servers.len())
             .field("router", &self.router.name())
             .field("quantile", &self.quantile)
+            .field("fleet", &self.fleet.as_ref().map(|f| f.name()))
+            .field("migrator", &self.migrator.as_ref().map(|m| m.name()))
             .finish()
     }
 }
@@ -104,22 +116,75 @@ impl<P: DvfsPolicy> Cluster<P> {
     where
         F: FnMut(usize) -> P,
     {
-        assert!(servers > 0, "a cluster needs at least one server");
-        let servers = (0..servers)
-            .map(|i| ServerSim::new(config.clone(), policy(i)))
+        Self::from_spec(
+            &FleetSpec::homogeneous(config, servers),
+            router,
+            |i, config| {
+                let _ = config;
+                policy(i)
+            },
+        )
+    }
+
+    /// Creates a possibly heterogeneous fleet from a [`FleetSpec`]: each
+    /// server gets its class's [`SimConfig`], and the spec's capacity
+    /// weights feed capacity-aware routing
+    /// ([`PowerAware`](crate::PowerAware)) and fleet-budget apportioning
+    /// ([`PegasusFleet`](crate::PegasusFleet)). `policy` is called once per
+    /// server with its index and its class's configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is empty.
+    pub fn from_spec<F>(spec: &FleetSpec, router: Box<dyn Router>, mut policy: F) -> Self
+    where
+        F: FnMut(usize, &SimConfig) -> P,
+    {
+        assert!(!spec.is_empty(), "a cluster needs at least one server");
+        let n = spec.len();
+        let servers = (0..n)
+            .map(|i| {
+                let config = spec.config_of(i);
+                ServerSim::new(config.clone(), policy(i, config))
+            })
             .collect();
         Self {
             servers,
             router,
             power: CorePowerModel::haswell_like(),
             quantile: 0.95,
+            capacities: (0..n).map(|i| spec.capacity_of(i)).collect(),
+            classes: (0..n).map(|i| spec.class_index_of(i)).collect(),
+            fleet: None,
+            migrator: None,
         }
+    }
+
+    /// Attaches a fleet-level power manager, run on its epoch (initially at
+    /// `t = 0`, before any event). See
+    /// [`PegasusFleet`](crate::PegasusFleet).
+    pub fn with_fleet_controller(mut self, fleet: Box<dyn FleetController>) -> Self {
+        assert!(fleet.epoch() > 0.0, "fleet epoch must be positive");
+        self.fleet = Some(fleet);
+        self
+    }
+
+    /// Attaches a queue rebalancer, run on its own periodic interval. See
+    /// [`ThresholdMigrator`](crate::ThresholdMigrator).
+    pub fn with_migrator(mut self, migrator: Box<dyn Migrator>) -> Self {
+        assert!(
+            migrator.interval() > 0.0,
+            "migration interval must be positive"
+        );
+        self.migrator = Some(migrator);
+        self
     }
 
     /// Overrides the core power model used for fleet energy accounting.
     ///
-    /// This does **not** reach into the router: a [`PowerAware`]
-    /// (crate::PowerAware) router carries its own scoring model, so
+    /// This does **not** reach into the router: a
+    /// [`PowerAware`](crate::PowerAware) router carries its own scoring
+    /// model, so
     /// construct it from the same model passed here or its routing
     /// objective will diverge from the reported fleet energy.
     pub fn with_power(mut self, power: CorePowerModel) -> Self {
@@ -166,60 +231,131 @@ impl<P: DvfsPolicy> Cluster<P> {
     /// Like [`Cluster::run`], but also returns each server's raw
     /// [`RunResult`] (used by the equivalence suites and for per-server
     /// timelines).
+    ///
+    /// # Hook ordering
+    ///
+    /// The attached [`Migrator`] and [`FleetController`] run on their own
+    /// periodic clocks, interleaved with the event stream: at a boundary
+    /// time `t`, every fleet event strictly before `t` has been processed,
+    /// the migrator (if both fire at `t`) rebalances first, and the fleet
+    /// controller then observes the post-rebalance queues. Boundaries keep
+    /// firing through the post-arrival drain so a trailing backlog is still
+    /// rebalanced and capped. A cluster without hooks takes the exact code
+    /// path (and produces the exact bits) it did before hooks existed.
     pub fn run_with_results(mut self, trace: &Trace) -> (ClusterOutcome, Vec<RunResult>) {
         let n = self.servers.len();
-        let mut heap: BinaryHeap<Reverse<HeapEntry>> = BinaryHeap::with_capacity(2 * n);
-        let mut stamps: Vec<u64> = vec![0; n];
+        let mut loop_state = EventLoop {
+            heap: BinaryHeap::with_capacity(2 * n),
+            stamps: vec![0; n],
+            views: Vec::with_capacity(n),
+            capacities: std::mem::take(&mut self.capacities),
+            classes: std::mem::take(&mut self.classes),
+        };
         // One view per server, maintained incrementally: only a stepped or
         // offered server's view changes, so routing stays O(fleet) in reads
         // but O(events) — not O(arrivals × fleet) — in writes.
-        let mut views: Vec<ServerView> = Vec::with_capacity(n);
         for i in 0..n {
-            views.push(server_view(&self.servers, i));
+            loop_state.views.push(loop_state.view_of(&self.servers, i));
             if let Some(time) = self.servers[i].next_event_time() {
-                heap.push(Reverse(HeapEntry {
+                loop_state.heap.push(Reverse(HeapEntry {
                     time,
                     server: i,
-                    stamp: stamps[i],
+                    stamp: loop_state.stamps[i],
                 }));
             }
         }
 
+        let mut fleet = self.fleet.take();
+        let mut migrator = self.migrator.take();
+        let epoch = fleet
+            .as_deref()
+            .map_or(f64::INFINITY, FleetController::epoch);
+        let rebalance = migrator
+            .as_deref()
+            .map_or(f64::INFINITY, Migrator::interval);
+        let mut hooks = Hooks {
+            meter: EpochMeter::new(n),
+            power: self.power,
+            powers: Vec::with_capacity(n),
+            commands: Vec::new(),
+            moves: Vec::new(),
+            batch: Vec::new(),
+            // The original per-policy latency objectives: `ScaleBound`
+            // commands rescale relative to these, never compounding.
+            base_bounds: self
+                .servers
+                .iter()
+                .map(|s| s.policy().latency_bound())
+                .collect(),
+            migrated: 0,
+        };
+
+        // Initial apportioning before any event, so a finite budget is in
+        // force from the very first request.
+        if let Some(ctl) = fleet.as_deref_mut() {
+            hooks.run_epoch(ctl, 0.0, 0.0, &mut self.servers, &mut loop_state);
+        }
+        let mut next_epoch = epoch;
+        let mut next_rebalance = rebalance;
+
         for &request in trace.requests() {
+            // Run any hook boundaries at or before the arrival instant
+            // (boundary actions happen *between* events; an arrival at
+            // exactly the boundary is routed after the hooks ran).
+            while next_rebalance.min(next_epoch) <= request.arrival {
+                let boundary = next_rebalance.min(next_epoch);
+                loop_state.drain_before(&mut self.servers, boundary);
+                if next_rebalance == boundary {
+                    let m = migrator.as_deref_mut().expect("rebalance implies migrator");
+                    hooks.run_migration(m, boundary, &mut self.servers, &mut loop_state);
+                    next_rebalance += rebalance;
+                }
+                if next_epoch == boundary {
+                    let ctl = fleet.as_deref_mut().expect("epoch implies controller");
+                    hooks.run_epoch(ctl, boundary, epoch, &mut self.servers, &mut loop_state);
+                    next_epoch += epoch;
+                }
+            }
+
             // Process every fleet event strictly before the arrival; events
             // at exactly the arrival instant are left for the destination
             // server's engine to order against the arrival itself.
-            drain_before(
-                &mut heap,
-                &mut stamps,
-                &mut self.servers,
-                &mut views,
-                request.arrival,
-            );
+            loop_state.drain_before(&mut self.servers, request.arrival);
 
-            let target = self.router.route(&request, &views);
+            let target = self.router.route(&request, &loop_state.views);
             assert!(
                 target < n,
                 "router {} chose server {target} of a {n}-server fleet",
                 self.router.name()
             );
             self.servers[target].offer(request);
-            schedule(&mut heap, &mut stamps, &self.servers, &mut views, target);
+            loop_state.schedule(&self.servers, target);
         }
 
         // The stream is exhausted: no more work will ever be offered, so
-        // close every server and let the remaining events drain.
+        // close every server and let the remaining events drain — still
+        // honouring hook boundaries while any event remains.
         for i in 0..n {
             self.servers[i].close();
-            schedule(&mut heap, &mut stamps, &self.servers, &mut views, i);
+            loop_state.schedule(&self.servers, i);
         }
-        drain_before(
-            &mut heap,
-            &mut stamps,
-            &mut self.servers,
-            &mut views,
-            f64::INFINITY,
-        );
+        loop {
+            let boundary = next_rebalance.min(next_epoch);
+            loop_state.drain_before(&mut self.servers, boundary);
+            if !self.servers.iter().any(|s| s.next_event_time().is_some()) {
+                break;
+            }
+            if next_rebalance == boundary {
+                let m = migrator.as_deref_mut().expect("rebalance implies migrator");
+                hooks.run_migration(m, boundary, &mut self.servers, &mut loop_state);
+                next_rebalance += rebalance;
+            }
+            if next_epoch == boundary {
+                let ctl = fleet.as_deref_mut().expect("epoch implies controller");
+                hooks.run_epoch(ctl, boundary, epoch, &mut self.servers, &mut loop_state);
+                next_epoch += epoch;
+            }
+        }
 
         // Align every server's timeline with the fleet's end so idle/sleep
         // power is charged through the whole run: without this, a server
@@ -231,64 +367,184 @@ impl<P: DvfsPolicy> Cluster<P> {
         }
 
         let results: Vec<RunResult> = self.servers.into_iter().map(ServerSim::finish).collect();
-        let outcome = ClusterOutcome::aggregate(&results, &self.power, self.quantile);
+        let mut outcome = ClusterOutcome::aggregate_classed(
+            &results,
+            Some(&loop_state.classes),
+            &self.power,
+            self.quantile,
+        );
+        outcome.migrated_requests = hooks.migrated;
         (outcome, results)
     }
 }
 
-fn server_view<P: DvfsPolicy>(servers: &[ServerSim<P>], i: usize) -> ServerView {
-    let s = &servers[i];
-    ServerView {
-        index: i,
-        in_flight: s.in_flight(),
-        admitted: s.pending_requests(),
-        current_freq: s.current_freq(),
-        target_freq: s.target_freq(),
-        busy: !s.is_idle(),
+/// The driver's event-loop state: the stamped heap, the incrementally
+/// maintained router views, and the static per-server labels the views
+/// carry.
+struct EventLoop {
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    stamps: Vec<u64>,
+    views: Vec<ServerView>,
+    capacities: Vec<f64>,
+    classes: Vec<u32>,
+}
+
+impl EventLoop {
+    fn view_of<P: DvfsPolicy>(&self, servers: &[ServerSim<P>], i: usize) -> ServerView {
+        let s = &servers[i];
+        ServerView {
+            index: i,
+            in_flight: s.in_flight(),
+            admitted: s.pending_requests(),
+            queued: s.queued_len(),
+            current_freq: s.current_freq(),
+            target_freq: s.target_freq(),
+            busy: !s.is_idle(),
+            capacity: self.capacities[i],
+            class: self.classes[i],
+        }
+    }
+
+    /// Re-registers server `i` after its state changed: refreshes its router
+    /// view, advances its stamp (invalidating any entry already in the
+    /// heap), and pushes its current next-event time, if any.
+    fn schedule<P: DvfsPolicy>(&mut self, servers: &[ServerSim<P>], i: usize) {
+        self.views[i] = self.view_of(servers, i);
+        self.stamps[i] += 1;
+        if let Some(time) = servers[i].next_event_time() {
+            self.heap.push(Reverse(HeapEntry {
+                time,
+                server: i,
+                stamp: self.stamps[i],
+            }));
+        }
+    }
+
+    /// Steps fleet events in `(time, server)` order while they lie strictly
+    /// before `limit`.
+    fn drain_before<P: DvfsPolicy>(&mut self, servers: &mut [ServerSim<P>], limit: f64) {
+        while let Some(&Reverse(entry)) = self.heap.peek() {
+            if entry.time >= limit {
+                break;
+            }
+            self.heap.pop();
+            if entry.stamp != self.stamps[entry.server] {
+                continue; // stale: the server was stepped or offered work since
+            }
+            let stepped = servers[entry.server].step();
+            debug_assert!(stepped.is_some(), "a scheduled event must fire");
+            self.schedule(servers, entry.server);
+        }
     }
 }
 
-/// Re-registers server `i` after its state changed: refreshes its router
-/// view, advances its stamp (invalidating any entry already in the heap),
-/// and pushes its current next-event time, if any.
-fn schedule<P: DvfsPolicy>(
-    heap: &mut BinaryHeap<Reverse<HeapEntry>>,
-    stamps: &mut [u64],
-    servers: &[ServerSim<P>],
-    views: &mut [ServerView],
-    i: usize,
-) {
-    views[i] = server_view(servers, i);
-    stamps[i] += 1;
-    if let Some(time) = servers[i].next_event_time() {
-        heap.push(Reverse(HeapEntry {
-            time,
-            server: i,
-            stamp: stamps[i],
-        }));
-    }
+/// Scratch state for the migration and power-capping hooks.
+struct Hooks {
+    meter: EpochMeter,
+    power: CorePowerModel,
+    powers: Vec<f64>,
+    commands: Vec<FleetCommand>,
+    moves: Vec<Migration>,
+    batch: Vec<RequestSpec>,
+    base_bounds: Vec<Option<f64>>,
+    migrated: usize,
 }
 
-/// Steps fleet events in `(time, server)` order while they lie strictly
-/// before `limit`.
-fn drain_before<P: DvfsPolicy>(
-    heap: &mut BinaryHeap<Reverse<HeapEntry>>,
-    stamps: &mut [u64],
-    servers: &mut [ServerSim<P>],
-    views: &mut [ServerView],
-    limit: f64,
-) {
-    while let Some(&Reverse(entry)) = heap.peek() {
-        if entry.time >= limit {
-            break;
+impl Hooks {
+    /// Runs one migration boundary: plan against the live views, then move
+    /// each planned batch donor-tail → receiver, preserving arrival order
+    /// within the batch.
+    fn run_migration<P: DvfsPolicy>(
+        &mut self,
+        migrator: &mut dyn Migrator,
+        now: f64,
+        servers: &mut [ServerSim<P>],
+        loop_state: &mut EventLoop,
+    ) {
+        self.moves.clear();
+        migrator.plan(now, &loop_state.views, &mut self.moves);
+        for k in 0..self.moves.len() {
+            let m = self.moves[k];
+            assert!(
+                m.from < servers.len() && m.to < servers.len() && m.from != m.to,
+                "migrator {} planned an invalid move {m:?}",
+                migrator.name()
+            );
+            self.batch.clear();
+            for _ in 0..m.count {
+                match servers[m.from].steal_queued() {
+                    Some(spec) => self.batch.push(spec),
+                    None => break, // queue shorter than planned: move less
+                }
+            }
+            if self.batch.is_empty() {
+                continue;
+            }
+            self.migrated += self.batch.len();
+            // Stealing pops the donor's FIFO tail back-to-front; injecting
+            // in reverse restores arrival order on the receiver. Injection
+            // happens at the boundary instant, advancing the receiver's
+            // clock to `now` first.
+            for spec in self.batch.drain(..).rev() {
+                servers[m.to].inject(now, spec);
+            }
+            loop_state.schedule(servers, m.from);
+            loop_state.schedule(servers, m.to);
         }
-        heap.pop();
-        if entry.stamp != stamps[entry.server] {
-            continue; // stale: the server was stepped or offered work since
+    }
+
+    /// Runs one fleet-controller epoch: measure per-server power over the
+    /// closing window, let the controller command, and apply the commands.
+    fn run_epoch<P: DvfsPolicy>(
+        &mut self,
+        ctl: &mut dyn FleetController,
+        now: f64,
+        elapsed: f64,
+        servers: &mut [ServerSim<P>],
+        loop_state: &mut EventLoop,
+    ) {
+        if elapsed > 0.0 {
+            self.meter
+                .measure(servers, &self.power, now, &mut self.powers);
+        } else {
+            self.powers.clear();
+            self.powers.resize(servers.len(), 0.0);
         }
-        let stepped = servers[entry.server].step();
-        debug_assert!(stepped.is_some(), "a scheduled event must fire");
-        schedule(heap, stamps, servers, views, entry.server);
+        let power_views: Vec<ServerPowerView<'_>> = loop_state
+            .views
+            .iter()
+            .zip(servers.iter())
+            .zip(&self.powers)
+            .map(|((&view, server), &measured_power)| ServerPowerView {
+                view,
+                dvfs: &server.config().dvfs,
+                measured_power,
+            })
+            .collect();
+        self.commands.clear();
+        ctl.on_epoch(now, elapsed, &power_views, &mut self.commands);
+        drop(power_views);
+        for k in 0..self.commands.len() {
+            match self.commands[k] {
+                FleetCommand::SetCeiling { server, ceiling } => {
+                    assert!(server < servers.len(), "ceiling for unknown server");
+                    servers[server].retarget(ceiling);
+                    // A retarget can start a V/F transition, changing the
+                    // server's next event time.
+                    loop_state.schedule(servers, server);
+                }
+                FleetCommand::ScaleBound { server, scale } => {
+                    assert!(server < servers.len(), "bound scale for unknown server");
+                    assert!(
+                        scale > 0.0 && scale.is_finite(),
+                        "bound scale must be positive and finite"
+                    );
+                    if let Some(base) = self.base_bounds[server] {
+                        servers[server].policy_mut().set_latency_bound(base * scale);
+                    }
+                }
+            }
+        }
     }
 }
 

@@ -17,14 +17,26 @@
 //!   residency),
 //! * [`Router`] — the load-balancing policy, with [`RoundRobin`],
 //!   [`JoinShortestQueue`], and [`PowerAware`] (routes on each server's
-//!   live occupancy and DVFS operating point) implementations, plus the
-//!   [`Passthrough`] identity router,
+//!   live occupancy, capacity weight, and DVFS operating point)
+//!   implementations, plus the [`Passthrough`] identity router,
+//! * [`FleetSpec`] — heterogeneous fleets: named core classes (big/little),
+//!   each with its own `SimConfig` and a capacity weight,
+//! * [`FleetController`] / [`PegasusFleet`] — fleet-level power capping on a
+//!   coarse epoch: FastCap-style weighted apportioning of a global watt
+//!   budget into per-server frequency ceilings, waterfilling slack from
+//!   idle servers into backlogged ones,
+//! * [`Migrator`] / [`ThresholdMigrator`] — queue migration between events:
+//!   queued (not yet in service) requests move off a backlogged server with
+//!   their arrival times preserved, triggered on queue imbalance with
+//!   hysteresis,
 //! * [`fleet_trace`] — scales an application's arrival process to a fleet.
 //!
 //! A 1-server cluster behind [`Passthrough`] reproduces the standalone
 //! simulator **bitwise** (pinned in `tests/cluster_equivalence.rs`), so
 //! cluster results compose with every single-server number in this
-//! repository.
+//! repository; an uncapped, migration-free cluster is likewise bitwise
+//! identical to one with the hooks attached but idle
+//! (`tests/fleet_properties.rs`).
 //!
 //! # Example: a small Rubik fleet behind JSQ
 //!
@@ -58,16 +70,71 @@
 //! instance per server, seeded from the head of the trace) gives each
 //! server the paper's controller; the cluster driver never looks inside a
 //! policy, so every scheme in `rubik-core` works unchanged.
+//!
+//! # Example: a capped heterogeneous fleet with migration
+//!
+//! Four big cores and four low-frequency little cores serve one stream
+//! behind the capacity-aware router, under a 28 W global budget enforced by
+//! [`PegasusFleet`], with [`ThresholdMigrator`] rebalancing queue spikes:
+//!
+//! ```
+//! use rubik_cluster::{
+//!     fleet_trace, Cluster, FleetSpec, PegasusFleet, PowerAware, ThresholdMigrator,
+//! };
+//! use rubik_power::CorePowerModel;
+//! use rubik_sim::{DvfsConfig, FixedFrequencyPolicy, Freq, SimConfig};
+//! use rubik_workloads::AppProfile;
+//!
+//! let big = SimConfig::paper_simulated();
+//! let little = big.clone().with_dvfs(DvfsConfig::new(
+//!     Freq::from_mhz(800),
+//!     Freq::from_mhz(1800),
+//!     200,
+//!     Freq::from_mhz(1200),
+//!     4e-6,
+//! ));
+//! let spec = FleetSpec::new()
+//!     .class("big", big, 1.0, 4)
+//!     .class("little", little, 0.5, 4);
+//!
+//! let power = CorePowerModel::haswell_like();
+//! let trace = fleet_trace(&AppProfile::masstree(), 0.3, spec.len(), 600, 7);
+//! let cluster = Cluster::from_spec(&spec, Box::new(PowerAware::new(power)), |_i, config| {
+//!     FixedFrequencyPolicy::new(config.dvfs.nominal())
+//! })
+//! .with_power(power)
+//! .with_fleet_controller(Box::new(PegasusFleet::new(28.0, power)))
+//! .with_migrator(Box::new(ThresholdMigrator::default()));
+//!
+//! let outcome = cluster.run(&trace);
+//! assert_eq!(outcome.requests, 600);
+//! // The cap binds: average fleet power stays under the 28 W budget.
+//! assert!(outcome.fleet_power <= 28.0);
+//! // Class totals split the outcome between big and little cores. At this
+//! // light load most routing decisions are idle-vs-idle ties, and the
+//! // power tie-break sends those to the cheaper little cores; big cores
+//! // still serve a substantial share whenever queues differ.
+//! let totals = outcome.class_totals();
+//! assert_eq!(totals.len(), 2);
+//! assert!(totals[0].requests > 0 && totals[1].requests > 0);
+//! assert_eq!(totals[0].requests + totals[1].requests, 600);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod driver;
+mod fleet;
+mod migrate;
 mod outcome;
 mod router;
 
 pub use driver::Cluster;
-pub use outcome::{ClusterOutcome, ServerOutcome};
+pub use fleet::{
+    CoreClass, FleetCommand, FleetController, FleetSpec, PegasusFleet, ServerPowerView,
+};
+pub use migrate::{Migration, Migrator, ThresholdMigrator};
+pub use outcome::{ClassTotals, ClusterOutcome, ServerOutcome};
 pub use router::{JoinShortestQueue, Passthrough, PowerAware, RoundRobin, Router, ServerView};
 
 use rubik_sim::Trace;

@@ -8,6 +8,9 @@ use serde::{Deserialize, Serialize};
 /// Per-server summary inside a [`ClusterOutcome`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServerOutcome {
+    /// Core-class index of the server (see
+    /// [`FleetSpec`](crate::FleetSpec); 0 for homogeneous fleets).
+    pub class: u32,
     /// Requests this server completed.
     pub requests: usize,
     /// This server's own tail latency (0 if it served nothing).
@@ -39,6 +42,26 @@ impl ServerOutcome {
     }
 }
 
+/// Aggregated totals for one core class of a heterogeneous fleet (see
+/// [`ClusterOutcome::class_totals`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassTotals {
+    /// Core-class index.
+    pub class: u32,
+    /// Number of servers of this class.
+    pub servers: usize,
+    /// Requests completed by this class.
+    pub requests: usize,
+    /// Core energy (J) consumed by this class.
+    pub energy: f64,
+    /// Seconds spent executing requests, summed across the class.
+    pub busy_time: f64,
+    /// Seconds spent idle, summed across the class.
+    pub idle_time: f64,
+    /// Seconds spent in deep sleep, summed across the class.
+    pub sleep_time: f64,
+}
+
 /// The aggregated result of one cluster run: global latency statistics,
 /// fleet energy/power, and the per-server residency breakdown.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,6 +78,9 @@ pub struct ClusterOutcome {
     pub fleet_power: f64,
     /// Wall-clock duration of the run (the latest server end time).
     pub duration: f64,
+    /// Requests moved between servers by the cluster's
+    /// [`Migrator`](crate::Migrator) (0 when no migrator is attached).
+    pub migrated_requests: usize,
     /// Per-server summaries, in server index order.
     pub per_server: Vec<ServerOutcome>,
 }
@@ -65,6 +91,29 @@ impl ClusterOutcome {
     /// the number a fleet operator's SLO is written against — not a mean of
     /// per-server tails.
     pub fn aggregate(results: &[RunResult], power: &CorePowerModel, quantile: f64) -> Self {
+        Self::aggregate_classed(results, None, power, quantile)
+    }
+
+    /// Like [`ClusterOutcome::aggregate`], labelling each server with its
+    /// core-class index (`None` = homogeneous, every server class 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is given with a length other than
+    /// `results.len()`.
+    pub fn aggregate_classed(
+        results: &[RunResult],
+        classes: Option<&[u32]>,
+        power: &CorePowerModel,
+        quantile: f64,
+    ) -> Self {
+        if let Some(classes) = classes {
+            assert_eq!(
+                classes.len(),
+                results.len(),
+                "one class label per server result"
+            );
+        }
         let latencies: Vec<f64> = results
             .iter()
             .flat_map(|r| r.records().iter().map(|rec| rec.latency()))
@@ -80,9 +129,11 @@ impl ClusterOutcome {
 
         let per_server: Vec<ServerOutcome> = results
             .iter()
-            .map(|r| {
+            .enumerate()
+            .map(|(i, r)| {
                 let res = r.freq_residency();
                 ServerOutcome {
+                    class: classes.map_or(0, |c| c[i]),
                     requests: r.records().len(),
                     tail_latency: r.tail_latency(quantile).unwrap_or(0.0),
                     energy: power.energy(&res).total(),
@@ -108,6 +159,7 @@ impl ClusterOutcome {
             fleet_energy,
             fleet_power,
             duration,
+            migrated_requests: 0,
             per_server,
         }
     }
@@ -136,10 +188,12 @@ impl ClusterOutcome {
 
     /// The spread of load across the fleet: the largest per-server request
     /// count divided by the ideal (uniform) share. 1.0 means perfectly
-    /// balanced; round-robin sits near 1, a broken router far above.
+    /// balanced; round-robin sits near 1, a broken router far above. An
+    /// all-idle fleet (no requests, so no spread to measure — the division
+    /// by the mean share would otherwise be 0/0) reports 0.0.
     pub fn load_imbalance(&self) -> f64 {
         if self.requests == 0 || self.per_server.is_empty() {
-            return 1.0;
+            return 0.0;
         }
         let max = self
             .per_server
@@ -148,11 +202,34 @@ impl ClusterOutcome {
             .max()
             .unwrap_or(0) as f64;
         let ideal = self.requests as f64 / self.per_server.len() as f64;
-        if ideal <= 0.0 {
-            1.0
-        } else {
-            max / ideal
+        max / ideal
+    }
+
+    /// Aggregated totals per core class (sorted by class index): completed
+    /// requests, energy, and busy/idle/sleep residency. Heterogeneous-fleet
+    /// experiments report these per big/little class.
+    pub fn class_totals(&self) -> Vec<ClassTotals> {
+        let mut totals: Vec<ClassTotals> = Vec::new();
+        for s in &self.per_server {
+            let slot = match totals.iter_mut().find(|t| t.class == s.class) {
+                Some(slot) => slot,
+                None => {
+                    totals.push(ClassTotals {
+                        class: s.class,
+                        ..ClassTotals::default()
+                    });
+                    totals.last_mut().expect("just pushed")
+                }
+            };
+            slot.servers += 1;
+            slot.requests += s.requests;
+            slot.energy += s.energy;
+            slot.busy_time += s.busy_time;
+            slot.idle_time += s.idle_time;
+            slot.sleep_time += s.sleep_time;
         }
+        totals.sort_by_key(|t| t.class);
+        totals
     }
 }
 
@@ -219,7 +296,47 @@ mod tests {
         assert_eq!(o.requests, 0);
         assert_eq!(o.tail_latency, 0.0);
         assert_eq!(o.fleet_power, 0.0);
-        assert_eq!(o.load_imbalance(), 1.0);
+        assert_eq!(o.migrated_requests, 0);
+        assert_eq!(o.load_imbalance(), 0.0);
+    }
+
+    #[test]
+    fn all_idle_fleet_load_imbalance_is_zero_not_nan() {
+        // Regression: an empty trace through a real fleet used to hit the
+        // division by the (zero) mean share. The guard must return 0.0 — a
+        // finite, "no spread" answer — never NaN.
+        let power = CorePowerModel::haswell_like();
+        // Three servers that each served nothing but idled for a second.
+        let idle = |_: usize| result(vec![], 0.0, 1.0);
+        let results: Vec<RunResult> = (0..3).map(idle).collect();
+        let o = ClusterOutcome::aggregate(&results, &power, 0.95);
+        assert_eq!(o.requests, 0);
+        let imbalance = o.load_imbalance();
+        assert!(!imbalance.is_nan(), "all-idle imbalance must not be NaN");
+        assert_eq!(imbalance, 0.0);
+    }
+
+    #[test]
+    fn class_totals_aggregate_per_core_class() {
+        let power = CorePowerModel::haswell_like();
+        let a = result((0..30).map(|i| record(i, 0.0, 1e-3)).collect(), 0.9, 0.1);
+        let b = result((30..40).map(|i| record(i, 0.0, 1e-3)).collect(), 0.3, 0.7);
+        let c = result((40..45).map(|i| record(i, 0.0, 1e-3)).collect(), 0.2, 0.8);
+        let o = ClusterOutcome::aggregate_classed(&[a, b, c], Some(&[0, 1, 1]), &power, 0.95);
+        assert_eq!(o.per_server[0].class, 0);
+        assert_eq!(o.per_server[2].class, 1);
+        let totals = o.class_totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].class, 0);
+        assert_eq!(totals[0].servers, 1);
+        assert_eq!(totals[0].requests, 30);
+        assert_eq!(totals[1].class, 1);
+        assert_eq!(totals[1].servers, 2);
+        assert_eq!(totals[1].requests, 15);
+        assert!((totals[1].busy_time - 0.5).abs() < 1e-12);
+        assert!((totals[1].idle_time - 1.5).abs() < 1e-12);
+        let energy: f64 = totals.iter().map(|t| t.energy).sum();
+        assert!((energy - o.fleet_energy).abs() < 1e-9);
     }
 
     #[test]

@@ -11,13 +11,14 @@
 use rubik_power::CorePowerModel;
 use rubik_sim::{Freq, RequestSpec};
 
-/// A per-server summary handed to [`Router::route`].
+/// A per-server summary handed to [`Router::route`] (and to the fleet
+/// controller and migrator hooks).
 ///
 /// `in_flight` counts every request committed to the server — queued, in
 /// service, and offered-but-not-yet-admitted — which is what a load balancer
 /// observes: a request routed a microsecond ago occupies a slot even if the
 /// server has not processed its arrival event yet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServerView {
     /// Index of the server in the cluster.
     pub index: usize,
@@ -25,12 +26,36 @@ pub struct ServerView {
     pub in_flight: usize,
     /// Requests admitted into the server (queued + in service).
     pub admitted: usize,
+    /// Requests waiting in the FIFO queue (admitted minus in service) — the
+    /// depth a [`Migrator`](crate::Migrator) can steal from.
+    pub queued: usize,
     /// Frequency currently in effect on the server's core.
     pub current_freq: Freq,
     /// Frequency the server's policy most recently requested.
     pub target_freq: Freq,
     /// Whether the core is serving or has queued work.
     pub busy: bool,
+    /// Capacity weight of the server's core class (1.0 for every server of a
+    /// homogeneous fleet; see [`FleetSpec`](crate::FleetSpec)). Zero means
+    /// "route nothing here".
+    pub capacity: f64,
+    /// Core-class index of the server within its
+    /// [`FleetSpec`](crate::FleetSpec) (0 for homogeneous fleets).
+    pub class: u32,
+}
+
+impl ServerView {
+    /// Occupancy normalized by the server's capacity weight: the load metric
+    /// capacity-aware policies compare. Zero-capacity servers report
+    /// infinite load, so they lose every comparison against a server that
+    /// can actually serve.
+    pub fn effective_load(&self) -> f64 {
+        if self.capacity > 0.0 {
+            self.in_flight as f64 / self.capacity
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 /// A load-balancing policy for a [`Cluster`](crate::Cluster).
@@ -113,9 +138,10 @@ impl Router for JoinShortestQueue {
     }
 }
 
-/// Queue-aware routing with a power tie-break: among the servers with the
-/// fewest in-flight requests, picks the one whose core currently burns the
-/// least active power.
+/// Capacity- and queue-aware routing with a power tie-break: among the
+/// servers with the lowest capacity-normalized occupancy
+/// ([`ServerView::effective_load`]), picks the one whose core currently
+/// burns the least active power.
 ///
 /// Per-server DVFS controllers (Rubik) leave each core at a different
 /// operating point — a lightly loaded server that just finished a burst may
@@ -123,6 +149,14 @@ impl Router for JoinShortestQueue {
 /// the minimum level. JSQ is blind to that difference; `PowerAware` routes
 /// the marginal request to the cheaper core, nudging the fleet toward its
 /// low-power operating points without sacrificing queue balance.
+///
+/// In a heterogeneous [`FleetSpec`](crate::FleetSpec) fleet the capacity
+/// weighting makes the router send proportionally more work to "big" cores
+/// (a big server at 2 in flight with capacity 2.0 looks as loaded as a
+/// little server at 1 with capacity 1.0), and a zero-capacity class is
+/// never routed to while any positive-capacity server exists. For a
+/// homogeneous fleet every capacity is 1.0 and the policy degenerates to
+/// exactly the JSQ-plus-power-tie-break it was before.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerAware {
     power: CorePowerModel,
@@ -150,7 +184,7 @@ impl Router for PowerAware {
         servers
             .iter()
             .min_by(|a, b| {
-                (a.in_flight.cmp(&b.in_flight))
+                (a.effective_load().total_cmp(&b.effective_load()))
                     .then_with(|| {
                         self.power
                             .active_power(a.current_freq)
@@ -168,13 +202,20 @@ mod tests {
     use super::*;
 
     fn view(index: usize, in_flight: usize, mhz: u32) -> ServerView {
+        view_with_capacity(index, in_flight, mhz, 1.0)
+    }
+
+    fn view_with_capacity(index: usize, in_flight: usize, mhz: u32, capacity: f64) -> ServerView {
         ServerView {
             index,
             in_flight,
             admitted: in_flight,
+            queued: in_flight.saturating_sub(1),
             current_freq: Freq::from_mhz(mhz),
             target_freq: Freq::from_mhz(mhz),
             busy: in_flight > 0,
+            capacity,
+            class: 0,
         }
     }
 
@@ -216,5 +257,36 @@ mod tests {
         // Queue balance still dominates.
         let views = [view(0, 0, 3400), view(1, 1, 800)];
         assert_eq!(r.route(&req(), &views), 0);
+    }
+
+    #[test]
+    fn power_aware_weights_occupancy_by_capacity() {
+        let mut r = PowerAware::default();
+        // A big core (capacity 2) at 2 in flight ties a little core
+        // (capacity 1) at 1 in flight; the cheaper little core wins the tie.
+        let views = [
+            view_with_capacity(0, 2, 2400, 2.0),
+            view_with_capacity(1, 1, 800, 1.0),
+        ];
+        assert_eq!(r.route(&req(), &views), 1);
+        // At 3-vs-1 the big core's normalized load (1.5) loses to 1.0.
+        let views = [
+            view_with_capacity(0, 3, 800, 2.0),
+            view_with_capacity(1, 1, 3400, 1.0),
+        ];
+        assert_eq!(r.route(&req(), &views), 1);
+    }
+
+    #[test]
+    fn power_aware_never_routes_to_zero_capacity_servers() {
+        let mut r = PowerAware::default();
+        // The idle zero-capacity server reports infinite load, so the busy
+        // full-capacity one still wins.
+        let views = [
+            view_with_capacity(0, 0, 800, 0.0),
+            view_with_capacity(1, 7, 3400, 1.0),
+        ];
+        assert_eq!(r.route(&req(), &views), 1);
+        assert!(views[0].effective_load().is_infinite());
     }
 }

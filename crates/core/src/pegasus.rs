@@ -77,6 +77,22 @@ impl PegasusPolicy {
         self.current
     }
 
+    /// The tail-latency bound currently in force.
+    pub fn latency_bound(&self) -> f64 {
+        self.config.latency_bound
+    }
+
+    /// Retargets the tail-latency bound mid-run (fleet-level retargeting).
+    /// The next adjustment compares the measured tail against the new bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound <= 0`.
+    pub fn set_latency_bound(&mut self, bound: f64) {
+        assert!(bound > 0.0, "latency bound must be positive");
+        self.config.latency_bound = bound;
+    }
+
     fn adjust(&mut self, now: f64) {
         if now - self.last_adjustment < self.config.adjustment_interval {
             return;
@@ -127,6 +143,15 @@ impl DvfsPolicy for PegasusPolicy {
 
     fn idle_frequency(&self) -> Option<Freq> {
         Some(self.current)
+    }
+
+    fn latency_bound(&self) -> Option<f64> {
+        Some(self.config.latency_bound)
+    }
+
+    fn set_latency_bound(&mut self, bound: f64) -> bool {
+        PegasusPolicy::set_latency_bound(self, bound);
+        true
     }
 }
 
@@ -191,6 +216,23 @@ mod tests {
         // Immediately after, another call does nothing.
         p.adjust(1.6);
         assert_eq!(p.current_freq(), Freq::from_mhz(2200));
+    }
+
+    #[test]
+    fn retargeting_the_bound_redirects_the_feedback_loop() {
+        use rubik_sim::DvfsPolicy;
+        let mut p = PegasusPolicy::new(PegasusConfig::new(1e-3), DvfsConfig::haswell_like());
+        assert_eq!(DvfsPolicy::latency_bound(&p), Some(1e-3));
+        // Tail sits comfortably under the original bound...
+        for i in 0..100 {
+            p.tracker.record(1.0 + i as f64 * 1e-3, 5e-4);
+        }
+        // ...but a fleet retarget tightens it below the measured tail, so the
+        // next adjustment steps *up* instead of creeping down.
+        assert!(DvfsPolicy::set_latency_bound(&mut p, 2e-4));
+        assert_eq!(p.latency_bound(), 2e-4);
+        p.adjust(1.5);
+        assert_eq!(p.current_freq(), Freq::from_mhz(2800));
     }
 
     #[test]

@@ -253,6 +253,24 @@ impl RubikController {
         self.tables.as_ref()
     }
 
+    /// The external tail-latency bound `L` currently in force.
+    pub fn latency_bound(&self) -> f64 {
+        self.config.latency_bound
+    }
+
+    /// Retargets the external tail-latency bound mid-run (fleet-level power
+    /// capping scales per-server bounds each epoch). Takes effect from the
+    /// next decision; the precomputed tail tables are bound-independent (the
+    /// bound enters Eq. 2 as the slack term), so no rebuild is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound <= 0`.
+    pub fn set_latency_bound(&mut self, bound: f64) {
+        assert!(bound > 0.0, "latency bound must be positive");
+        self.config.latency_bound = bound;
+    }
+
     /// The internal latency target currently in use (external bound scaled by
     /// the feedback controller).
     pub fn internal_target(&self) -> f64 {
@@ -405,6 +423,15 @@ impl DvfsPolicy for RubikController {
 
     fn idle_frequency(&self) -> Option<Freq> {
         Some(self.dvfs.min())
+    }
+
+    fn latency_bound(&self) -> Option<f64> {
+        Some(self.config.latency_bound)
+    }
+
+    fn set_latency_bound(&mut self, bound: f64) -> bool {
+        RubikController::set_latency_bound(self, bound);
+        true
     }
 }
 
@@ -586,6 +613,52 @@ mod tests {
             long > short,
             "queue of 8 chose {long}, empty queue chose {short}"
         );
+    }
+
+    #[test]
+    fn retargeting_the_bound_changes_decisions_immediately() {
+        let dvfs = DvfsConfig::haswell_like();
+        let mut rubik =
+            RubikController::new(RubikConfig::new(2e-3).without_feedback(), dvfs.clone());
+        rubik.seed_profile((0..500).map(|i| (5e5 + (i % 13) as f64 * 1e4, 0.0)));
+
+        let state = ServerState {
+            now: 1e-4,
+            current_freq: dvfs.min(),
+            target_freq: dvfs.min(),
+            in_service: Some(rubik_sim::InServiceView {
+                id: 0,
+                arrival: 0.0,
+                elapsed_compute_cycles: 0.0,
+                elapsed_membound_time: 0.0,
+                oracle_compute_cycles: 5e5,
+                oracle_membound_time: 0.0,
+                class: 0,
+            }),
+            queued: vec![],
+        };
+        let freq_of = |d: PolicyDecision| match d {
+            PolicyDecision::SetFrequency(f) => f,
+            PolicyDecision::Keep => panic!("expected a frequency"),
+        };
+        let relaxed = freq_of(rubik.on_arrival(&state));
+        // Through the trait surface the fleet controller uses.
+        assert_eq!(DvfsPolicy::latency_bound(&rubik), Some(2e-3));
+        assert!(DvfsPolicy::set_latency_bound(&mut rubik, 4e-4));
+        assert_eq!(rubik.latency_bound(), 4e-4);
+        let tightened = freq_of(rubik.on_arrival(&state));
+        assert!(
+            tightened > relaxed,
+            "tightening the bound must demand a higher frequency \
+             ({tightened} vs {relaxed})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn retargeting_rejects_nonpositive_bounds() {
+        let mut rubik = RubikController::new(RubikConfig::new(1e-3), DvfsConfig::haswell_like());
+        rubik.set_latency_bound(0.0);
     }
 
     #[test]

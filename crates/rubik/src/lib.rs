@@ -14,7 +14,9 @@
 //!   Pegasus-style feedback),
 //! * [`coloc`] — RubikColoc: colocation of batch and latency-critical work,
 //! * [`cluster`] — multi-server serving: fleets of stepped [`sim`] servers
-//!   behind a routing policy, with per-server Rubik controllers.
+//!   (heterogeneous via [`FleetSpec`]) behind a routing policy, with
+//!   per-server Rubik controllers, fleet-level power capping
+//!   ([`PegasusFleet`]), and queue migration ([`ThresholdMigrator`]).
 //!
 //! The most common types are also re-exported at the crate root.
 //!
@@ -51,8 +53,9 @@ pub use rubik_sweep as sweep;
 pub use rubik_workloads as workloads;
 
 pub use rubik_cluster::{
-    Cluster, ClusterOutcome, JoinShortestQueue, Passthrough, PowerAware, RoundRobin, Router,
-    ServerView,
+    ClassTotals, Cluster, ClusterOutcome, CoreClass, FleetCommand, FleetController, FleetSpec,
+    JoinShortestQueue, Migration, Migrator, Passthrough, PegasusFleet, PowerAware, RoundRobin,
+    Router, ServerPowerView, ServerView, ThresholdMigrator,
 };
 pub use rubik_coloc::{
     ColocOutcome, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig,

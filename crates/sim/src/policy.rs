@@ -145,6 +145,25 @@ pub trait DvfsPolicy {
     fn idle_frequency(&self) -> Option<Freq> {
         None
     }
+
+    /// The policy's tail-latency objective in seconds, if it has one.
+    ///
+    /// Fleet-level controllers (`rubik-cluster`) read this once at run start
+    /// so mid-run retargeting can scale *relative to the original* objective
+    /// instead of compounding scale factors. Default: `None` (the policy has
+    /// no latency objective, e.g. a fixed-frequency baseline).
+    fn latency_bound(&self) -> Option<f64> {
+        None
+    }
+
+    /// Retargets the policy's tail-latency objective mid-run. Returns `true`
+    /// if the policy applied the new bound, `false` if it has no bound to
+    /// mutate (the default). Implementations take effect from the next
+    /// decision; already-issued frequency requests are not revisited.
+    fn set_latency_bound(&mut self, bound: f64) -> bool {
+        let _ = bound;
+        false
+    }
 }
 
 impl<P: DvfsPolicy + ?Sized> DvfsPolicy for &mut P {
@@ -167,6 +186,14 @@ impl<P: DvfsPolicy + ?Sized> DvfsPolicy for &mut P {
     fn idle_frequency(&self) -> Option<Freq> {
         (**self).idle_frequency()
     }
+
+    fn latency_bound(&self) -> Option<f64> {
+        (**self).latency_bound()
+    }
+
+    fn set_latency_bound(&mut self, bound: f64) -> bool {
+        (**self).set_latency_bound(bound)
+    }
 }
 
 impl<P: DvfsPolicy + ?Sized> DvfsPolicy for Box<P> {
@@ -188,6 +215,14 @@ impl<P: DvfsPolicy + ?Sized> DvfsPolicy for Box<P> {
 
     fn idle_frequency(&self) -> Option<Freq> {
         (**self).idle_frequency()
+    }
+
+    fn latency_bound(&self) -> Option<f64> {
+        (**self).latency_bound()
+    }
+
+    fn set_latency_bound(&mut self, bound: f64) -> bool {
+        (**self).set_latency_bound(bound)
     }
 }
 

@@ -168,6 +168,9 @@ pub struct ServerSim<P: DvfsPolicy = Box<dyn DvfsPolicy>> {
     running: Option<Running>,
     current_freq: Freq,
     target_freq: Freq,
+    /// Highest frequency the core may run at, imposed externally via
+    /// [`ServerSim::retarget`] (fleet power capping). `None` = uncapped.
+    freq_ceiling: Option<Freq>,
     pending_transition: Option<(Freq, f64)>,
     next_tick: f64,
     asleep: bool,
@@ -214,6 +217,7 @@ impl<P: DvfsPolicy> ServerSim<P> {
             running: None,
             current_freq: start_freq,
             target_freq: start_freq,
+            freq_ceiling: None,
             pending_transition: None,
             next_tick,
             asleep,
@@ -289,6 +293,111 @@ impl<P: DvfsPolicy> ServerSim<P> {
     /// Records of the requests completed so far, in completion order.
     pub fn records(&self) -> &[RequestRecord] {
         &self.records
+    }
+
+    /// The frequency/activity timeline accumulated so far. Segments cover
+    /// `[0, now()]`; the span since the last processed event is not yet
+    /// materialized — combine with [`ServerSim::current_activity`] and
+    /// [`ServerSim::current_freq`] to account for it (the fleet power meter
+    /// in `rubik-cluster` does exactly this).
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// What the core is doing right now (busy, clock-gated idle, or deep
+    /// sleep) — the activity the timeline will record from [`ServerSim::now`]
+    /// until the next event.
+    pub fn current_activity(&self) -> CoreActivity {
+        if self.running.is_some() {
+            CoreActivity::Busy
+        } else if self.asleep {
+            CoreActivity::Sleep
+        } else {
+            CoreActivity::Idle
+        }
+    }
+
+    /// Number of admitted requests waiting in the FIFO queue (excluding the
+    /// one in service). These are the requests [`ServerSim::steal_queued`]
+    /// can remove.
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The externally imposed frequency ceiling, if any (see
+    /// [`ServerSim::retarget`]).
+    pub fn freq_ceiling(&self) -> Option<Freq> {
+        self.freq_ceiling
+    }
+
+    /// Imposes (or lifts, with `None`) an external frequency ceiling: every
+    /// frequency the policy requests from now on is clamped to the highest
+    /// DVFS level at or below the ceiling, and if the core's current target
+    /// exceeds it a transition down is initiated immediately (subject to the
+    /// usual V/F transition latency). Fleet-level power capping in
+    /// `rubik-cluster` drives this; a simulation that is never retargeted is
+    /// bit-for-bit identical to one without the surface.
+    ///
+    /// The ceiling is snapped down to an available DVFS level (never below
+    /// the domain's minimum).
+    pub fn retarget(&mut self, ceiling: Option<Freq>) {
+        let ceiling = ceiling.map(|c| self.config.dvfs.floor_level(c.hz()));
+        self.freq_ceiling = ceiling;
+        if let Some(c) = ceiling {
+            if self.target_freq > c {
+                self.request_frequency(c);
+            }
+        }
+    }
+
+    /// Removes and returns the most recently queued request (the back of the
+    /// FIFO queue), or `None` if nothing is queued. The request in service is
+    /// never stolen. The policy is not notified; it observes the shorter
+    /// queue at its next callback.
+    ///
+    /// This is one half of queue migration (`rubik-cluster`): a rebalancer
+    /// steals from a backlogged server's queue and [`ServerSim::inject`]s
+    /// into an underloaded one, preserving the request's original arrival
+    /// time so end-to-end latency accounting spans both servers.
+    pub fn steal_queued(&mut self) -> Option<RequestSpec> {
+        self.queue.pop_back().map(|(spec, _)| spec)
+    }
+
+    /// Admits a request at time `at`, bypassing the offered-arrivals stream:
+    /// the clock advances to `at` (extending the timeline, like
+    /// [`coast_to`](ServerSim::coast_to)) and the request starts service if
+    /// the core is free (paying the sleep wake-up if applicable) or joins
+    /// the back of the FIFO queue. The spec's `arrival` is kept verbatim —
+    /// for a migrated request it lies in the past, and the completion
+    /// record's latency charges the time spent queued on the donor server.
+    /// The policy sees a normal arrival callback.
+    ///
+    /// Unlike [`ServerSim::offer`], injection is allowed on a
+    /// [`close`](ServerSim::close)d simulation: migration legitimately
+    /// rebalances the backlog while a fleet drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulation's past, before the request's
+    /// arrival, or would skip over a pending event (the caller — the
+    /// cluster driver — processes every event strictly before `at` first).
+    pub fn inject(&mut self, at: f64, spec: RequestSpec) {
+        assert!(
+            at >= self.now,
+            "injection at {at} is in the past (now = {})",
+            self.now
+        );
+        assert!(
+            spec.arrival <= at,
+            "cannot inject a request before it arrived ({} > {at})",
+            spec.arrival
+        );
+        assert!(
+            self.next_event_time().is_none_or(|te| te >= at),
+            "cannot inject past a pending event"
+        );
+        self.advance_to(at);
+        self.admit(spec);
     }
 
     /// Offers a request to the server: it will arrive (start service or
@@ -612,6 +721,14 @@ impl<P: DvfsPolicy> ServerSim<P> {
             .pop_front()
             .expect("admission without an offered request");
         let id = spec.id;
+        self.admit(spec);
+        id
+    }
+
+    /// Starts or queues `spec` right now and runs the policy's arrival
+    /// callback — shared by the offered-arrival admission path and
+    /// [`ServerSim::inject`].
+    fn admit(&mut self, spec: RequestSpec) {
         let pending_before = self.queue.len() + usize::from(self.running.is_some());
 
         if self.running.is_none() {
@@ -634,7 +751,6 @@ impl<P: DvfsPolicy> ServerSim<P> {
         self.refresh_snapshot();
         let decision = self.policy.on_arrival(&self.scratch);
         self.apply_decision(decision);
-        id
     }
 
     fn apply_decision(&mut self, decision: PolicyDecision) {
@@ -646,6 +762,18 @@ impl<P: DvfsPolicy> ServerSim<P> {
             self.config.dvfs.is_level(f),
             "policy requested {f}, which is not an available DVFS level"
         );
+        // An external frequency ceiling (fleet power capping) silently clamps
+        // whatever the policy asks for.
+        let f = match self.freq_ceiling {
+            Some(c) if f > c => c,
+            _ => f,
+        };
+        self.request_frequency(f);
+    }
+
+    /// Initiates a transition to `f` (already validated/clamped), honouring
+    /// the V/F transition latency.
+    fn request_frequency(&mut self, f: Freq) {
         if f == self.target_freq {
             return;
         }
@@ -1135,6 +1263,161 @@ mod tests {
         let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
         sim.offer(RequestSpec::new(0, 0.02, 2.4e6, 0.0));
         sim.coast_to(0.03);
+    }
+
+    #[test]
+    fn retarget_clamps_policy_requests_and_steps_down_immediately() {
+        // Instant transitions so the clamp is observable directly.
+        let config =
+            SimConfig::default().with_dvfs(DvfsConfig::haswell_like().with_transition_latency(0.0));
+        let mut sim = ServerSim::new(config, FixedFrequencyPolicy::new(Freq::from_mhz(3400)));
+        sim.offer(RequestSpec::new(0, 0.0, 3.4e6, 0.0));
+        sim.step(); // arrival: policy requests 3.4 GHz
+        assert_eq!(sim.current_freq(), Freq::from_mhz(3400));
+
+        // Ceiling below the current target: the core steps down at once, and
+        // the ceiling is snapped down to a level (1.7 GHz -> 1.6 GHz).
+        sim.retarget(Some(Freq::from_mhz(1700)));
+        assert_eq!(sim.freq_ceiling(), Some(Freq::from_mhz(1600)));
+        assert_eq!(sim.current_freq(), Freq::from_mhz(1600));
+
+        // Later policy requests are clamped...
+        sim.offer(RequestSpec::new(1, 1e-3, 1.0e6, 0.0));
+        sim.drain_until(1e-3);
+        assert_eq!(sim.current_freq(), Freq::from_mhz(1600));
+
+        // ...until the ceiling is lifted and the policy re-decides.
+        sim.retarget(None);
+        assert_eq!(sim.freq_ceiling(), None);
+        sim.offer(RequestSpec::new(2, 2e-3, 1.0e6, 0.0));
+        sim.drain_until(2e-3);
+        assert_eq!(sim.current_freq(), Freq::from_mhz(3400));
+    }
+
+    #[test]
+    fn retarget_with_pending_transition_replaces_the_target() {
+        // 4 us transition latency: boost is requested on arrival, then the
+        // ceiling lands while the transition is still in flight.
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(Freq::from_mhz(3000)));
+        sim.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+        sim.step(); // arrival at t=0; transition to 3.0 GHz pending
+        assert_eq!(sim.target_freq(), Freq::from_mhz(3000));
+        sim.retarget(Some(Freq::from_mhz(1200)));
+        assert_eq!(sim.target_freq(), Freq::from_mhz(1200));
+        // The transition event delivers the clamped frequency.
+        match sim.step() {
+            Some(SimEvent::FreqTransition(f)) => assert_eq!(f, Freq::from_mhz(1200)),
+            other => panic!("expected transition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn steal_and_inject_move_a_queued_request_between_servers() {
+        let mut donor = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        let mut receiver = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        // Three simultaneous arrivals on the donor: one runs, two queue.
+        for id in 0..3 {
+            donor.offer(RequestSpec::new(id, 0.0, 2.4e6, 0.0));
+        }
+        donor.drain_until(0.0);
+        assert_eq!(donor.queued_len(), 2);
+        assert!(receiver.is_idle());
+
+        // Steal the back of the queue (the last-arrived request, id 2).
+        let stolen = donor.steal_queued().expect("queue is non-empty");
+        assert_eq!(stolen.id, 2);
+        assert_eq!(donor.queued_len(), 1);
+
+        // Inject at the donor's clock with the original arrival preserved.
+        receiver.inject(donor.now(), stolen);
+        assert_eq!(receiver.pending_requests(), 1);
+        assert!(!receiver.is_idle());
+
+        donor.close();
+        receiver.close();
+        donor.run_to_completion();
+        receiver.run_to_completion();
+        let d = donor.finish();
+        let r = receiver.finish();
+        // Conservation: ids 0,1 complete on the donor, 2 on the receiver,
+        // and the migrated record keeps its original arrival.
+        let mut ids: Vec<u64> = d.records().iter().map(|rec| rec.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(r.records().len(), 1);
+        assert_eq!(r.records()[0].id, 2);
+        assert_eq!(r.records()[0].arrival, 0.0);
+        // The receiver served it immediately: 1 ms at nominal.
+        assert!((r.records()[0].latency() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steal_never_touches_the_request_in_service() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+        sim.drain_until(0.0);
+        assert_eq!(sim.pending_requests(), 1);
+        assert_eq!(sim.queued_len(), 0);
+        assert!(sim.steal_queued().is_none());
+        assert_eq!(sim.pending_requests(), 1);
+    }
+
+    #[test]
+    fn inject_into_a_closed_drained_server_revives_it() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+        sim.close();
+        sim.run_to_completion();
+        assert_eq!(sim.next_event_time(), None);
+        // Migration during the fleet drain phase lands work on a server that
+        // already finished its own stream; the clock advances to the
+        // injection instant.
+        sim.inject(0.05, RequestSpec::new(1, 0.0, 2.4e6, 0.0));
+        assert!((sim.now() - 0.05).abs() < 1e-12);
+        assert!(sim.next_event_time().is_some());
+        sim.run_to_completion();
+        assert_eq!(sim.records().len(), 2);
+        // The injected request's start honours the injection time, so its
+        // latency spans the wait since its original arrival.
+        let rec = sim.records()[1];
+        assert!((rec.start - 0.05).abs() < 1e-12);
+        assert!(rec.start >= rec.arrival);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot inject past a pending event")]
+    fn inject_cannot_skip_pending_events() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.02, 2.4e6, 0.0));
+        sim.inject(0.03, RequestSpec::new(1, 0.01, 2.4e6, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "before it arrived")]
+    fn inject_cannot_predate_the_arrival() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.inject(0.01, RequestSpec::new(0, 0.02, 2.4e6, 0.0));
+    }
+
+    #[test]
+    fn segments_and_current_activity_expose_the_live_timeline() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        assert_eq!(sim.current_activity(), CoreActivity::Idle);
+        sim.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+        sim.drain_until(0.0);
+        assert_eq!(sim.current_activity(), CoreActivity::Busy);
+        // Segments cover [0, now]; the in-service span is not yet recorded.
+        assert!(sim.segments().iter().all(|s| s.end <= sim.now() + TIME_EPS));
+        sim.close();
+        sim.run_to_completion();
+        assert_eq!(sim.current_activity(), CoreActivity::Idle);
+        let busy: f64 = sim
+            .segments()
+            .iter()
+            .filter(|s| s.activity == CoreActivity::Busy)
+            .map(Segment::duration)
+            .sum();
+        assert!((busy - 1e-3).abs() < 1e-9);
     }
 
     #[test]
