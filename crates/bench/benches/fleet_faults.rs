@@ -1,0 +1,241 @@
+//! Serving through failures at scale: a 100-server capped Rubik fleet loses
+//! ten servers in a crash wave and gets them back, under a scripted
+//! [`FaultPlan`].
+//!
+//! This is the acceptance experiment for the failure-aware stack. Three
+//! things must hold, and all three are recorded in the `"fleet_faults"`
+//! section of `BENCH_cluster.json`:
+//!
+//! 1. **The watt cap holds through the wave.** `PegasusFleet` re-apportions
+//!    its budget over the survivors, so no epoch window — before, during,
+//!    or after the outage — exceeds the budget.
+//! 2. **Goodput recovers.** Completions-within-deadline dip while a tenth
+//!    of the fleet is dark and climb back after recovery; the recorded
+//!    recovery curve (per-window goodput fraction) shows the dip and the
+//!    return.
+//! 3. **The rescue stack earns its keep.** Health-aware routing plus
+//!    timeouts and retries strictly cuts deadline violations against a
+//!    failure-blind baseline on the same fault schedule.
+//!
+//! Criterion tracks the wall time of the faulted runs (the fault-layer
+//! overhead) in `BENCH_controller.json`.
+//!
+//! Env knobs: `RUBIK_FLEET_FAULTS_REQUESTS` (default 60) sets requests per
+//! server; `RUBIK_BENCH_SAMPLE_MS` / `RUBIK_BENCH_SAMPLES` are the usual
+//! criterion smoke knobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rubik::cluster::fleet_trace;
+use rubik::{
+    AppProfile, Cluster, ClusterOutcome, CorePowerModel, FaultPlan, HealthAware, JoinShortestQueue,
+    PegasusFleet, RequestPolicy, RubikConfig, RubikController, RunResult, SimConfig, Trace,
+};
+
+const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
+const CLUSTER_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+
+const FLEET: usize = 100;
+const CRASHED: usize = 10;
+const LOAD: f64 = 0.6;
+/// Watts per server: far under the ~6 W a busy core draws at nominal, so
+/// the apportioned ceilings genuinely bind and the re-apportioning over
+/// survivors is observable in the max epoch power.
+const BUDGET_PER_SERVER: f64 = 3.0;
+/// Fleet-controller epoch; short enough that a bench-sized run spans many
+/// epochs and the crash wave straddles several of them.
+const EPOCH: f64 = 0.02;
+
+fn requests_per_server() -> usize {
+    std::env::var("RUBIK_FLEET_FAULTS_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(60)
+}
+
+/// Ten servers crash in a staggered wave a third of the way into the run
+/// and recover, equally staggered, at two thirds.
+fn crash_wave(duration: f64) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    let down = 0.33 * duration;
+    let up = 0.66 * duration;
+    let stagger = 0.002 * duration;
+    for i in 0..CRASHED {
+        plan = plan
+            .crash(i, down + i as f64 * stagger)
+            .recover(i, up + i as f64 * stagger);
+    }
+    plan
+}
+
+/// Deadline and retry schedule shared by the aware runs, derived from the
+/// app's service time.
+fn rescue_policy(mean: f64, deadline: f64) -> RequestPolicy {
+    RequestPolicy::new()
+        .with_deadline(deadline)
+        .with_timeout(6.0 * mean)
+        .with_retries(4, mean, 10.0 * mean)
+        .salvaging_in_flight()
+        .draining_on_crash()
+}
+
+fn run_fleet(
+    trace: &Trace,
+    bound: f64,
+    deadline: f64,
+    budget: f64,
+    aware: bool,
+) -> (ClusterOutcome, Vec<RunResult>) {
+    let config = SimConfig::paper_simulated();
+    let power = CorePowerModel::haswell_like();
+    let profile_mean = bound / 3.0;
+    let router: Box<dyn rubik::Router> = if aware {
+        Box::new(HealthAware::new(JoinShortestQueue::new()))
+    } else {
+        Box::new(JoinShortestQueue::new())
+    };
+    let mut cluster = Cluster::new(config.clone(), FLEET, router, |_| {
+        RubikController::seeded_for_trace(
+            RubikConfig::new(bound).with_profiling_window(1024),
+            config.dvfs.clone(),
+            trace,
+            256,
+        )
+    })
+    .with_power(power)
+    .with_fleet_controller(Box::new(PegasusFleet::new(budget, power).with_epoch(EPOCH)))
+    .with_fault_plan(crash_wave(trace.duration()));
+    cluster = if aware {
+        cluster.with_request_policy(rescue_policy(profile_mean, deadline))
+    } else {
+        // The blind baseline sees the same deadline but never times out,
+        // retries, or routes around the dead servers.
+        cluster.with_request_policy(RequestPolicy::new().with_deadline(deadline))
+    };
+    cluster.run_with_results(trace)
+}
+
+/// Goodput fraction (completions within deadline / arrivals) per
+/// epoch-aligned window: the recovery curve.
+fn recovery_curve(
+    results: &[RunResult],
+    trace: &Trace,
+    deadline: f64,
+    duration: f64,
+    windows: usize,
+) -> Vec<f64> {
+    let window = duration / windows as f64;
+    let mut offered = vec![0usize; windows];
+    for r in trace.requests() {
+        let w = ((r.arrival / window) as usize).min(windows - 1);
+        offered[w] += 1;
+    }
+    let mut good = vec![0usize; windows];
+    for r in results {
+        for rec in r.records() {
+            if rec.completion - rec.arrival <= deadline {
+                let w = ((rec.arrival / window) as usize).min(windows - 1);
+                good[w] += 1;
+            }
+        }
+    }
+    offered
+        .iter()
+        .zip(&good)
+        .map(|(&o, &g)| if o == 0 { 1.0 } else { g as f64 / o as f64 })
+        .collect()
+}
+
+fn bench_fleet_faults(c: &mut Criterion) {
+    let profile = AppProfile::masstree();
+    let mean = profile.mean_service_time();
+    let bound = 3.0 * mean;
+    let deadline = 15.0 * mean;
+    let per_server = requests_per_server();
+    let budget = BUDGET_PER_SERVER * FLEET as f64;
+    let trace = fleet_trace(&profile, LOAD, FLEET, per_server * FLEET, 2015);
+
+    let mut group = c.benchmark_group("fleet_faults");
+    for (label, aware) in [("blind", false), ("health_aware", true)] {
+        group.bench_with_input(BenchmarkId::new("mode", label), &aware, |b, &aware| {
+            b.iter(|| {
+                let (outcome, _) = run_fleet(&trace, bound, deadline, budget, aware);
+                assert_eq!(outcome.availability.offered, trace.len());
+                outcome.fleet_energy // checksum against dead-code elimination
+            })
+        });
+    }
+    group.finish();
+
+    // One measured run per mode for the recorded experiment numbers.
+    let (blind, blind_results) = run_fleet(&trace, bound, deadline, budget, false);
+    let (aware, aware_results) = run_fleet(&trace, bound, deadline, budget, true);
+    let power = CorePowerModel::haswell_like();
+    let max_power = rubik_bench::max_epoch_power(&aware_results, aware.duration, EPOCH, &power);
+    // The blind fleet's curve dips while the wave is down and climbs back
+    // after recovery; the rescue stack's job is to flatten that dip.
+    let blind_curve = recovery_curve(&blind_results, &trace, deadline, blind.duration, 12);
+    let aware_curve = recovery_curve(&aware_results, &trace, deadline, aware.duration, 12);
+    // The wave is down for [0.33, 0.66) of the run: windows 4..8 of 12.
+    let during = blind_curve[4..8]
+        .iter()
+        .fold(f64::INFINITY, |m, &g| m.min(g));
+    let after = blind_curve[10];
+    let aware_during = aware_curve[4..8]
+        .iter()
+        .fold(f64::INFINITY, |m, &g| m.min(g));
+    let b = &blind.availability;
+    let a = &aware.availability;
+
+    let curve_json = |curve: &[f64]| {
+        curve
+            .iter()
+            .map(|g| format!("{g:.4}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let blind_curve_json = curve_json(&blind_curve);
+    let aware_curve_json = curve_json(&aware_curve);
+    let section = format!(
+        "{{\n    \"servers\": {FLEET},\n    \"crashed\": {CRASHED},\n    \
+         \"load_per_server\": {LOAD},\n    \"requests_per_server\": {per_server},\n    \
+         \"policy\": \"rubik-per-server\",\n    \"budget_w\": {budget:.1},\n    \
+         \"epoch_s\": {EPOCH},\n    \"deadline_ms\": {:.3},\n    \
+         \"blind\": {{\"router\": \"jsq\", \"goodput_fraction\": {:.4}, \
+         \"deadline_exceeded\": {}, \"lost\": {}, \
+         \"recovery_curve_goodput\": [{blind_curve_json}]}},\n    \
+         \"health_aware\": {{\"router\": \"health-aware(jsq) + retries\", \
+         \"goodput_fraction\": {:.4}, \"deadline_exceeded\": {}, \"lost\": {}, \
+         \"timeouts\": {}, \"retries\": {}, \"requeued_on_failure\": {}, \
+         \"max_epoch_power_w\": {max_power:.2}, \
+         \"recovery_curve_goodput\": [{aware_curve_json}]}},\n    \
+         \"cap_held_under_failures\": {},\n    \"goodput_recovers\": {},\n    \
+         \"rescue_flattens_the_dip\": {},\n    \
+         \"rescue_cuts_deadline_misses\": {}\n  }}",
+        deadline * 1e3,
+        b.goodput_fraction(),
+        b.deadline_exceeded,
+        b.lost,
+        a.goodput_fraction(),
+        a.deadline_exceeded,
+        a.lost,
+        a.timeouts,
+        a.retries,
+        a.requeued_on_failure,
+        max_power <= budget,
+        after > during,
+        aware_during > during,
+        a.deadline_exceeded < b.deadline_exceeded,
+    );
+    match rubik_bench::merge_bench_section(CLUSTER_JSON, "fleet_faults", &section) {
+        Ok(()) => println!("fleet_faults: merged into {CLUSTER_JSON}"),
+        Err(e) => eprintln!("fleet_faults: could not write {CLUSTER_JSON}: {e}"),
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5).output_json(BENCH_JSON);
+    targets = bench_fleet_faults
+}
+criterion_main!(benches);

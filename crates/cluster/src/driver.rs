@@ -27,12 +27,36 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use rubik_power::CorePowerModel;
-use rubik_sim::{DvfsPolicy, RequestSpec, RunResult, ServerSim, SimConfig, Trace};
+use rubik_sim::{DvfsPolicy, RequestSpec, RunResult, ServerSim, SimConfig, SimEvent, Trace};
 
+use crate::fault::{FaultLayer, FaultPlan, OpKind, RequestPolicy};
 use crate::fleet::{EpochMeter, FleetCommand, FleetController, FleetSpec, ServerPowerView};
 use crate::migrate::{Migration, Migrator};
 use crate::outcome::ClusterOutcome;
-use crate::router::{Router, ServerView};
+use crate::router::{Router, ServerHealth, ServerView};
+
+/// Why a [`Cluster`] could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The fleet has zero servers; a cluster needs at least one.
+    EmptyFleet,
+    /// The attached [`FaultPlan`] is inconsistent with the fleet (server
+    /// out of range, non-finite time, empty straggle window, double crash,
+    /// recovery of a healthy server, …). The message says which event.
+    InvalidFaultPlan(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::EmptyFleet => write!(f, "a cluster needs at least one server"),
+            ClusterError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
 
 /// A heap entry: the next event of one server, stamped for lazy
 /// invalidation.
@@ -90,6 +114,10 @@ pub struct Cluster<P: DvfsPolicy = Box<dyn DvfsPolicy>> {
     fleet: Option<Box<dyn FleetController>>,
     /// Optional queue rebalancer, run on its own interval.
     migrator: Option<Box<dyn Migrator>>,
+    /// Optional scripted fault schedule (validated against the fleet size).
+    faults: Option<FaultPlan>,
+    /// Optional client-side request lifecycle: deadlines, timeouts, retries.
+    request_policy: Option<RequestPolicy>,
 }
 
 impl<P: DvfsPolicy> std::fmt::Debug for Cluster<P> {
@@ -157,7 +185,42 @@ impl<P: DvfsPolicy> Cluster<P> {
             classes: (0..n).map(|i| spec.class_index_of(i)).collect(),
             fleet: None,
             migrator: None,
+            faults: None,
+            request_policy: None,
         }
+    }
+
+    /// Fallible [`Cluster::new`]: returns [`ClusterError::EmptyFleet`]
+    /// instead of panicking on a zero-server fleet.
+    pub fn try_new<F>(
+        config: SimConfig,
+        servers: usize,
+        router: Box<dyn Router>,
+        policy: F,
+    ) -> Result<Self, ClusterError>
+    where
+        F: FnMut(usize) -> P,
+    {
+        if servers == 0 {
+            return Err(ClusterError::EmptyFleet);
+        }
+        Ok(Self::new(config, servers, router, policy))
+    }
+
+    /// Fallible [`Cluster::from_spec`]: returns
+    /// [`ClusterError::EmptyFleet`] instead of panicking on an empty spec.
+    pub fn try_from_spec<F>(
+        spec: &FleetSpec,
+        router: Box<dyn Router>,
+        policy: F,
+    ) -> Result<Self, ClusterError>
+    where
+        F: FnMut(usize, &SimConfig) -> P,
+    {
+        if spec.is_empty() {
+            return Err(ClusterError::EmptyFleet);
+        }
+        Ok(Self::from_spec(spec, router, policy))
     }
 
     /// Attaches a fleet-level power manager, run on its epoch (initially at
@@ -177,6 +240,38 @@ impl<P: DvfsPolicy> Cluster<P> {
             "migration interval must be positive"
         );
         self.migrator = Some(migrator);
+        self
+    }
+
+    /// Attaches a scripted fault schedule, applied deterministically
+    /// between simulation events. An empty plan is **bit-neutral**: the run
+    /// produces exactly the bytes it would without the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`] against this fleet;
+    /// use [`Cluster::try_with_fault_plan`] for the fallible form.
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Self {
+        match self.try_with_fault_plan(plan) {
+            Ok(cluster) => cluster,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Cluster::with_fault_plan`].
+    pub fn try_with_fault_plan(mut self, plan: FaultPlan) -> Result<Self, ClusterError> {
+        plan.validate(self.servers.len())
+            .map_err(ClusterError::InvalidFaultPlan)?;
+        self.faults = Some(plan);
+        Ok(self)
+    }
+
+    /// Attaches the client-side request lifecycle: per-request deadlines,
+    /// per-attempt timeouts, retries with capped exponential backoff and
+    /// deterministic jitter, and crash salvage/drain behaviour. The default
+    /// policy is inert and bit-neutral.
+    pub fn with_request_policy(mut self, policy: RequestPolicy) -> Self {
+        self.request_policy = Some(policy);
         self
     }
 
@@ -250,7 +345,22 @@ impl<P: DvfsPolicy> Cluster<P> {
             views: Vec::with_capacity(n),
             capacities: std::mem::take(&mut self.capacities),
             classes: std::mem::take(&mut self.classes),
+            healths: vec![ServerHealth::Up; n],
         };
+        // The fault/lifecycle layer exists only when something was attached;
+        // without it every drain takes the pre-existing unwatched path. (An
+        // *empty* plan builds a layer whose next boundary is infinite — the
+        // same code path with a no-op observer, which is still bit-neutral.)
+        let mut layer: Option<FaultLayer> =
+            if self.faults.is_some() || self.request_policy.is_some() {
+                Some(FaultLayer::new(
+                    self.faults.as_ref(),
+                    self.request_policy.unwrap_or_default(),
+                    n,
+                ))
+            } else {
+                None
+            };
         // One view per server, maintained incrementally: only a stepped or
         // offered server's view changes, so routing stays O(fleet) in reads
         // but O(events) — not O(arrivals × fleet) — in writes.
@@ -301,10 +411,30 @@ impl<P: DvfsPolicy> Cluster<P> {
         for &request in trace.requests() {
             // Run any hook boundaries at or before the arrival instant
             // (boundary actions happen *between* events; an arrival at
-            // exactly the boundary is routed after the hooks ran).
-            while next_rebalance.min(next_epoch) <= request.arrival {
-                let boundary = next_rebalance.min(next_epoch);
-                loop_state.drain_before(&mut self.servers, boundary);
+            // exactly the boundary is routed after the hooks ran). Fault
+            // work — scripted ops, retry deliveries, attempt timeouts —
+            // shares the boundary mechanism and runs first at equal
+            // instants, so migration and capping observe the post-fault
+            // fleet.
+            loop {
+                let fault_b = layer
+                    .as_ref()
+                    .map_or(f64::INFINITY, FaultLayer::next_boundary);
+                let boundary = next_rebalance.min(next_epoch).min(fault_b);
+                if boundary > request.arrival {
+                    break;
+                }
+                loop_state.drain_before(&mut self.servers, boundary, layer.as_mut());
+                if fault_b <= boundary {
+                    let l = layer.as_mut().expect("fault boundary implies layer");
+                    run_faults(
+                        l,
+                        boundary,
+                        self.router.as_mut(),
+                        &mut self.servers,
+                        &mut loop_state,
+                    );
+                }
                 if next_rebalance == boundary {
                     let m = migrator.as_deref_mut().expect("rebalance implies migrator");
                     hooks.run_migration(m, boundary, &mut self.servers, &mut loop_state);
@@ -320,7 +450,7 @@ impl<P: DvfsPolicy> Cluster<P> {
             // Process every fleet event strictly before the arrival; events
             // at exactly the arrival instant are left for the destination
             // server's engine to order against the arrival itself.
-            loop_state.drain_before(&mut self.servers, request.arrival);
+            loop_state.drain_before(&mut self.servers, request.arrival, layer.as_mut());
 
             let target = self.router.route(&request, &loop_state.views);
             assert!(
@@ -330,20 +460,40 @@ impl<P: DvfsPolicy> Cluster<P> {
             );
             self.servers[target].offer(request);
             loop_state.schedule(&self.servers, target);
+            if let Some(l) = layer.as_mut() {
+                l.on_routed(request.id, target, 1, request.arrival);
+            }
         }
 
         // The stream is exhausted: no more work will ever be offered, so
         // close every server and let the remaining events drain — still
-        // honouring hook boundaries while any event remains.
+        // honouring hook boundaries while any event, retry, timeout, or
+        // scripted op remains (a retried request may be delivered into a
+        // closed server, and a late `Recover` must still be applied so
+        // downtime closes out).
         for i in 0..n {
             self.servers[i].close();
             loop_state.schedule(&self.servers, i);
         }
         loop {
-            let boundary = next_rebalance.min(next_epoch);
-            loop_state.drain_before(&mut self.servers, boundary);
-            if !self.servers.iter().any(|s| s.next_event_time().is_some()) {
+            let fault_b = layer
+                .as_ref()
+                .map_or(f64::INFINITY, FaultLayer::next_boundary);
+            let boundary = next_rebalance.min(next_epoch).min(fault_b);
+            loop_state.drain_before(&mut self.servers, boundary, layer.as_mut());
+            if fault_b.is_infinite() && !self.servers.iter().any(|s| s.next_event_time().is_some())
+            {
                 break;
+            }
+            if fault_b <= boundary {
+                let l = layer.as_mut().expect("fault boundary implies layer");
+                run_faults(
+                    l,
+                    boundary,
+                    self.router.as_mut(),
+                    &mut self.servers,
+                    &mut loop_state,
+                );
             }
             if next_rebalance == boundary {
                 let m = migrator.as_deref_mut().expect("rebalance implies migrator");
@@ -366,6 +516,7 @@ impl<P: DvfsPolicy> Cluster<P> {
             server.coast_to(end);
         }
 
+        let downtimes: Vec<f64> = self.servers.iter().map(|s| s.downtime()).collect();
         let results: Vec<RunResult> = self.servers.into_iter().map(ServerSim::finish).collect();
         let mut outcome = ClusterOutcome::aggregate_classed(
             &results,
@@ -374,6 +525,12 @@ impl<P: DvfsPolicy> Cluster<P> {
             self.quantile,
         );
         outcome.migrated_requests = hooks.migrated;
+        for (server, downtime) in outcome.per_server.iter_mut().zip(&downtimes) {
+            server.downtime = *downtime;
+        }
+        if let Some(mut l) = layer {
+            outcome.availability = l.finalize(trace.len(), self.quantile, &results);
+        }
         (outcome, results)
     }
 }
@@ -387,6 +544,7 @@ struct EventLoop {
     views: Vec<ServerView>,
     capacities: Vec<f64>,
     classes: Vec<u32>,
+    healths: Vec<ServerHealth>,
 }
 
 impl EventLoop {
@@ -402,6 +560,7 @@ impl EventLoop {
             busy: !s.is_idle(),
             capacity: self.capacities[i],
             class: self.classes[i],
+            health: self.healths[i],
         }
     }
 
@@ -421,8 +580,14 @@ impl EventLoop {
     }
 
     /// Steps fleet events in `(time, server)` order while they lie strictly
-    /// before `limit`.
-    fn drain_before<P: DvfsPolicy>(&mut self, servers: &mut [ServerSim<P>], limit: f64) {
+    /// before `limit`. When a fault layer is attached, completions are
+    /// reported to it so pending timeouts are retired.
+    fn drain_before<P: DvfsPolicy>(
+        &mut self,
+        servers: &mut [ServerSim<P>],
+        limit: f64,
+        mut layer: Option<&mut FaultLayer>,
+    ) {
         while let Some(&Reverse(entry)) = self.heap.peek() {
             if entry.time >= limit {
                 break;
@@ -433,7 +598,120 @@ impl EventLoop {
             }
             let stepped = servers[entry.server].step();
             debug_assert!(stepped.is_some(), "a scheduled event must fire");
+            if let (Some(SimEvent::Completion(rec)), Some(l)) = (&stepped, layer.as_deref_mut()) {
+                l.on_completion(rec.id);
+            }
             self.schedule(servers, entry.server);
+        }
+    }
+}
+
+/// Steps one server's events up to and including `t` (reporting completions
+/// to the fault layer), then aligns its clock to exactly `t` so a fault op
+/// applies at its scripted instant — the straggler factor, stuck frequency,
+/// or failure takes effect at `t`, not at the server's last event.
+fn align_server_to<P: DvfsPolicy>(
+    servers: &mut [ServerSim<P>],
+    i: usize,
+    t: f64,
+    layer: &mut FaultLayer,
+) {
+    while servers[i].next_event_time().is_some_and(|te| te <= t) {
+        if let Some(SimEvent::Completion(rec)) = servers[i].step() {
+            layer.on_completion(rec.id);
+        }
+    }
+    servers[i].coast_to(t);
+}
+
+/// Applies every scripted op, retry delivery, and attempt timeout due at
+/// `now`, in that order (ops change health, which retry routing observes;
+/// timeouts run last so a retry delivered at `now` cannot time out at
+/// `now`). All server mutation happens here, against the same views and
+/// scheduling discipline as routing — one deterministic sequence regardless
+/// of sweep threading.
+fn run_faults<P: DvfsPolicy>(
+    layer: &mut FaultLayer,
+    now: f64,
+    router: &mut dyn Router,
+    servers: &mut [ServerSim<P>],
+    loop_state: &mut EventLoop,
+) {
+    while let Some(op) = layer.pop_due_op(now) {
+        align_server_to(servers, op.server, now, layer);
+        let effective = layer.track_op(&op);
+        match op.kind {
+            OpKind::Crash => {
+                let in_flight = servers[op.server].fail(now);
+                loop_state.healths[op.server] = layer.health_of(op.server);
+                if let Some(spec) = in_flight {
+                    if layer.policy().salvage_in_flight {
+                        layer.salvage(spec, now);
+                    } else {
+                        layer.drop_in_flight(spec.id);
+                    }
+                }
+                loop_state.schedule(servers, op.server);
+                if layer.policy().drain_on_crash {
+                    let mut stranded = Vec::new();
+                    while let Some(spec) = servers[op.server].steal_queued() {
+                        stranded.push(spec);
+                    }
+                    loop_state.schedule(servers, op.server);
+                    // Stealing pops the FIFO back-to-front; re-routing in
+                    // reverse preserves arrival order across the receivers.
+                    for spec in stranded.into_iter().rev() {
+                        let target = router.route(&spec, &loop_state.views);
+                        servers[target].inject(now, spec);
+                        layer.requeued(spec.id, target);
+                        loop_state.schedule(servers, target);
+                    }
+                }
+            }
+            OpKind::Recover => {
+                if servers[op.server].is_down() {
+                    servers[op.server].recover(now);
+                }
+                if servers[op.server].stuck_freq().is_some() {
+                    servers[op.server].stick_freq(None);
+                }
+                loop_state.healths[op.server] = layer.health_of(op.server);
+                loop_state.schedule(servers, op.server);
+            }
+            OpKind::StraggleStart { slowdown, .. } => {
+                servers[op.server].set_slowdown(slowdown);
+                loop_state.healths[op.server] = layer.health_of(op.server);
+                loop_state.schedule(servers, op.server);
+            }
+            OpKind::StraggleEnd => {
+                if effective {
+                    servers[op.server].set_slowdown(1.0);
+                }
+                loop_state.healths[op.server] = layer.health_of(op.server);
+                loop_state.schedule(servers, op.server);
+            }
+            OpKind::Stick { level } => {
+                servers[op.server].stick_freq(level);
+                loop_state.schedule(servers, op.server);
+            }
+        }
+    }
+    // Retry deliveries due now, including work salvaged from a crash at
+    // this very instant. The router sees live (post-fault) views; wrap it
+    // in `HealthAware` to keep retries off down or straggling servers.
+    while let Some((spec, attempt)) = layer.pop_due_retry(now) {
+        let target = router.route(&spec, &loop_state.views);
+        servers[target].inject(now, spec);
+        layer.on_routed(spec.id, target, attempt, now);
+        loop_state.schedule(servers, target);
+    }
+    // Attempt timeouts: pull timed-out requests off their queues and hand
+    // them to the retry schedule. Work already in service is never
+    // interrupted — the timeout is recorded and the attempt runs out.
+    while let Some((id, attempt, server)) = layer.pop_due_timeout(now) {
+        if let Some(spec) = servers[server].remove_queued(id) {
+            layer.retry_or_drop(spec, attempt, now);
+            loop_state.schedule(servers, server);
         }
     }
 }

@@ -382,19 +382,47 @@ impl FleetController for PegasusFleet {
         self.ceilings.resize(n, None);
         self.scales.resize(n, 1.0);
 
-        // 1. Weighted fair share. Zero total weight (all-zero capacities)
-        //    falls back to equal shares.
-        let total_weight: f64 = servers.iter().map(|s| s.view.capacity.max(0.0)).sum();
+        // 1. Weighted fair share over the *survivors*: a down server is
+        //    granted nothing — its share waterfalls back into the pool —
+        //    and is pinned at its domain minimum (the analytical worst case
+        //    still charges that minimum, so the cap holds even if it
+        //    recovers mid-epoch). Zero total weight (all-zero capacities)
+        //    falls back to equal shares among survivors. On an all-healthy
+        //    fleet every filter passes and this is bit-identical to the
+        //    health-blind apportioning.
+        let alive = |s: &ServerPowerView<'_>| s.view.health != crate::router::ServerHealth::Down;
+        let alive_count = servers.iter().filter(|s| alive(s)).count();
+        let total_weight: f64 = servers
+            .iter()
+            .filter(|s| alive(s))
+            .map(|s| s.view.capacity.max(0.0))
+            .sum();
+        // Down servers still burn their minimum-level worst case; reserve
+        // it off the top so the survivors' grants plus the dead floors
+        // never exceed the budget. With nobody down this subtracts 0.0 and
+        // the pool is bit-identical to the budget.
+        let reserved: f64 = servers
+            .iter()
+            .filter(|s| !alive(s))
+            .map(|s| self.power.active_power(s.dvfs.min()))
+            .sum();
+        let pool = (self.budget - reserved).max(0.0);
         let share = |s: &ServerPowerView<'_>| {
             if total_weight > 0.0 {
-                self.budget * s.view.capacity.max(0.0) / total_weight
+                pool * s.view.capacity.max(0.0) / total_weight
             } else {
-                self.budget / n as f64
+                pool / alive_count.max(1) as f64
             }
         };
         let mut ceilings: Vec<Freq> = servers
             .iter()
-            .map(|s| self.fitting_level(s.dvfs, share(s)))
+            .map(|s| {
+                if alive(s) {
+                    self.fitting_level(s.dvfs, share(s))
+                } else {
+                    s.dvfs.min()
+                }
+            })
             .collect();
 
         // 2. Reclaim from servers observed idle at this boundary (skipped on
@@ -420,7 +448,11 @@ impl FleetController for PegasusFleet {
         let mut slack = self.budget - worst_case(&ceilings);
         if slack > 0.0 {
             let mut order: Vec<usize> = (0..n)
-                .filter(|&i| servers[i].view.in_flight > 0 && servers[i].view.capacity > 0.0)
+                .filter(|&i| {
+                    servers[i].view.in_flight > 0
+                        && servers[i].view.capacity > 0.0
+                        && alive(&servers[i])
+                })
                 .collect();
             order.sort_by_key(|&i| (std::cmp::Reverse(servers[i].view.in_flight), i));
             loop {
@@ -554,6 +586,7 @@ mod tests {
             busy: in_flight > 0,
             capacity,
             class: 0,
+            health: crate::router::ServerHealth::Up,
         }
     }
 
@@ -742,6 +775,73 @@ mod tests {
                 out[0]
             );
         }
+    }
+
+    #[test]
+    fn dead_servers_shares_waterfall_back_to_survivors_under_the_cap() {
+        use crate::router::ServerHealth;
+        let dvfs = DvfsConfig::haswell_like();
+        let power = CorePowerModel::haswell_like();
+        let budget = 16.0; // 4 W per server: binding for everyone
+        let mut commands = Vec::new();
+
+        // Baseline: four healthy, equally backlogged servers.
+        let healthy = power_views(&dvfs, &[6, 6, 6, 6], &[1.0; 4]);
+        let mut fleet = PegasusFleet::new(budget, power);
+        fleet.on_epoch(1.0, 1.0, &healthy, &mut commands);
+        let baseline = ceilings_of(&commands, 4);
+        commands.clear();
+
+        // Two of them crash: their shares must waterfall to the survivors.
+        let mut faulted = power_views(&dvfs, &[6, 6, 6, 6], &[1.0; 4]);
+        faulted[1].view.health = ServerHealth::Down;
+        faulted[3].view.health = ServerHealth::Down;
+        let mut fleet = PegasusFleet::new(budget, power);
+        fleet.on_epoch(1.0, 1.0, &faulted, &mut commands);
+        let survivors = ceilings_of(&commands, 4);
+
+        // Down servers are pinned at the minimum level...
+        assert_eq!(survivors[1].unwrap(), dvfs.min());
+        assert_eq!(survivors[3].unwrap(), dvfs.min());
+        // ...survivors run strictly faster than under the healthy split...
+        for i in [0usize, 2] {
+            assert!(
+                survivors[i].unwrap() > baseline[i].unwrap(),
+                "survivor {i} did not absorb the dead servers' share \
+                 ({:?} vs baseline {:?})",
+                survivors[i],
+                baseline[i]
+            );
+        }
+        // ...and the analytical worst case still fits the budget, charging
+        // the down servers at their (minimum) ceilings too.
+        let worst: f64 = survivors
+            .iter()
+            .map(|c| power.active_power(c.unwrap()))
+            .sum();
+        assert!(
+            worst <= budget + 1e-9,
+            "worst-case {worst} W over {budget} W"
+        );
+    }
+
+    #[test]
+    fn stragglers_keep_their_budget_share() {
+        // A straggler still serves work, just slowly — starving it of watts
+        // would make the lag worse. Only Down servers lose their share.
+        use crate::router::ServerHealth;
+        let dvfs = DvfsConfig::haswell_like();
+        let power = CorePowerModel::haswell_like();
+        let mut commands = Vec::new();
+        let mut servers = power_views(&dvfs, &[4, 4], &[1.0, 1.0]);
+        servers[1].view.health = ServerHealth::Straggling;
+        let mut fleet = PegasusFleet::new(12.0, power);
+        fleet.on_epoch(1.0, 1.0, &servers, &mut commands);
+        let ceilings = ceilings_of(&commands, 2);
+        assert_eq!(
+            ceilings[0], ceilings[1],
+            "equal weight, equal backlog: the straggler keeps its share"
+        );
     }
 
     #[test]

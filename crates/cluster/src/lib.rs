@@ -29,7 +29,10 @@
 //!   queued (not yet in service) requests move off a backlogged server with
 //!   their arrival times preserved, triggered on queue imbalance with
 //!   hysteresis,
-//! * [`fleet_trace`] — scales an application's arrival process to a fleet.
+//! * [`fleet_trace`] — scales an application's arrival process to a fleet,
+//! * [`FaultPlan`] / [`RequestPolicy`] — deterministic fault injection
+//!   (crashes, stragglers, stuck frequencies) and the client-side request
+//!   lifecycle (deadlines, timeouts, retries with deterministic jitter).
 //!
 //! A 1-server cluster behind [`Passthrough`] reproduces the standalone
 //! simulator **bitwise** (pinned in `tests/cluster_equivalence.rs`), so
@@ -119,23 +122,84 @@
 //! assert!(totals[0].requests > 0 && totals[1].requests > 0);
 //! assert_eq!(totals[0].requests + totals[1].requests, 600);
 //! ```
+//!
+//! # The fault model: crash, recover, and serve through it
+//!
+//! A [`FaultPlan`] scripts failures at absolute times — crashes,
+//! recoveries, straggler windows, stuck frequencies — and the driver
+//! applies them *between* simulation events, so the same plan and trace
+//! give bit-identical results on any machine and any sweep thread count.
+//! An **empty plan is bit-neutral**: attaching it changes nothing (pinned
+//! in `tests/fault_properties.rs`). A [`RequestPolicy`] adds the client's
+//! side — per-attempt timeouts, retries with capped exponential backoff and
+//! deterministic jitter, end-to-end deadlines — and wrapping the router in
+//! [`HealthAware`] keeps new work and retries off servers that are down or
+//! straggling. [`PegasusFleet`] re-apportions its watt budget over the
+//! survivors at its next epoch, so a crash never inflates the cap.
+//!
+//! Here a 4-server fleet loses server 2 mid-run and gets it back; timed-out
+//! work is retried on the survivors, and the outcome's availability block
+//! tells the story:
+//!
+//! ```
+//! use rubik_cluster::{
+//!     fleet_trace, Cluster, FaultPlan, HealthAware, JoinShortestQueue, RequestPolicy,
+//! };
+//! use rubik_sim::{FixedFrequencyPolicy, SimConfig};
+//! use rubik_workloads::AppProfile;
+//!
+//! let config = SimConfig::paper_simulated();
+//! let profile = AppProfile::masstree();
+//! let trace = fleet_trace(&profile, 0.4, 4, 400, 11);
+//! let mid = trace.duration() / 2.0;
+//!
+//! let cluster = Cluster::new(
+//!     config.clone(),
+//!     4,
+//!     Box::new(HealthAware::new(JoinShortestQueue::new())),
+//!     |_server| FixedFrequencyPolicy::new(config.dvfs.nominal()),
+//! )
+//! // Server 2 is down for the middle third of the run.
+//! .with_fault_plan(FaultPlan::new().crash(2, mid).recover(2, mid + mid / 1.5))
+//! // Queued work stranded by the crash is re-routed; anything still
+//! // queued 10 ms after being routed is pulled back and retried.
+//! .with_request_policy(
+//!     RequestPolicy::new()
+//!         .with_timeout(10e-3)
+//!         .with_retries(3, 1e-3, 20e-3)
+//!         .draining_on_crash()
+//!         .salvaging_in_flight(),
+//! );
+//!
+//! let outcome = cluster.run(&trace);
+//! let avail = outcome.availability;
+//! assert_eq!(avail.offered, 400);
+//! assert_eq!(avail.completed, 400, "everything was rescued");
+//! assert!(outcome.per_server[2].downtime > 0.0);
+//! assert_eq!(outcome.per_server.iter().filter(|s| s.downtime > 0.0).count(), 1);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod driver;
+mod fault;
 mod fleet;
 mod migrate;
 mod outcome;
 mod router;
 
-pub use driver::Cluster;
+pub use driver::{Cluster, ClusterError};
+pub use fault::{FaultEvent, FaultPlan, RequestPolicy};
 pub use fleet::{
     CoreClass, FleetCommand, FleetController, FleetSpec, PegasusFleet, ServerPowerView,
 };
 pub use migrate::{Migration, Migrator, ThresholdMigrator};
-pub use outcome::{ClassTotals, ClusterOutcome, ServerOutcome};
-pub use router::{JoinShortestQueue, Passthrough, PowerAware, RoundRobin, Router, ServerView};
+pub use outcome::{AvailabilityStats, ClassTotals, ClusterOutcome, ServerOutcome};
+pub use router::{
+    HealthAware, JoinShortestQueue, Passthrough, PowerAware, RoundRobin, Router, ServerHealth,
+    ServerView,
+};
 
 use rubik_sim::Trace;
 use rubik_workloads::{AppProfile, WorkloadGenerator};

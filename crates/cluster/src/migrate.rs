@@ -147,18 +147,24 @@ impl Migrator for ThresholdMigrator {
         let release = self.release.max(1);
         loop {
             // Extremes with deterministic (lowest-index) tie-breaks. Only
-            // positive-capacity servers may receive migrated work — the
-            // zero-capacity contract ("route nothing here") binds the
-            // migrator too.
-            let (deepest, &maxq) = queues
+            // positive-capacity, healthy servers may receive migrated work —
+            // the zero-capacity contract ("route nothing here") binds the
+            // migrator too, and handing rescued requests to a down or
+            // straggling server would just strand them again. Down servers
+            // may still *donate*: draining a dead queue is the point.
+            let Some((deepest, &maxq)) = queues
                 .iter()
                 .enumerate()
                 .max_by_key(|&(i, &q)| (q, std::cmp::Reverse(i)))
-                .expect("fleet is non-empty");
+            else {
+                return; // degenerate (empty) view set: nothing to plan
+            };
             let Some((shallowest, &minq)) = queues
                 .iter()
                 .enumerate()
-                .filter(|&(i, _)| servers[i].capacity > 0.0 && i != deepest)
+                .filter(|&(i, _)| {
+                    servers[i].capacity > 0.0 && servers[i].health.routable() && i != deepest
+                })
                 .min_by_key(|&(i, &q)| (q, i))
             else {
                 return; // no eligible receiver
@@ -193,6 +199,7 @@ impl Migrator for ThresholdMigrator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::router::ServerHealth;
     use rubik_sim::Freq;
 
     fn views(queues: &[usize]) -> Vec<ServerView> {
@@ -209,6 +216,7 @@ mod tests {
                 busy: true,
                 capacity: 1.0,
                 class: 0,
+                health: ServerHealth::Up,
             })
             .collect()
     }
@@ -319,6 +327,57 @@ mod tests {
         let mut fresh = ThresholdMigrator::new(2, 1);
         fresh.plan(0.0, &servers, &mut moves);
         assert!(moves.is_empty());
+    }
+
+    #[test]
+    fn down_servers_never_receive_but_may_donate() {
+        let mut m = ThresholdMigrator::new(2, 1);
+        let mut moves = Vec::new();
+        // Server 1 is down with the shallowest queue: the planner must send
+        // work to server 2 instead — and may drain server 0's dead backlog.
+        let mut servers = views(&[8, 0, 2]);
+        servers[1].health = ServerHealth::Down;
+        servers[0].health = ServerHealth::Down;
+        m.plan(0.0, &servers, &mut moves);
+        assert!(!moves.is_empty(), "a dead backlog is still drained");
+        for mv in &moves {
+            assert_eq!(mv.to, 2, "only the healthy server receives: {mv:?}");
+        }
+    }
+
+    #[test]
+    fn all_down_fleets_plan_no_moves() {
+        let mut m = ThresholdMigrator::new(2, 1);
+        let mut moves = Vec::new();
+        let mut servers = views(&[9, 0, 3]);
+        for v in &mut servers {
+            v.health = ServerHealth::Down;
+        }
+        m.plan(0.0, &servers, &mut moves);
+        assert!(moves.is_empty(), "no receiver exists: {moves:?}");
+
+        // Same for an all-zero-capacity fleet (the PR-5 rule), combined.
+        let mut servers = views(&[9, 0, 3]);
+        for v in &mut servers {
+            v.capacity = 0.0;
+        }
+        moves.clear();
+        let mut fresh = ThresholdMigrator::new(2, 1);
+        fresh.plan(0.0, &servers, &mut moves);
+        assert!(moves.is_empty());
+    }
+
+    #[test]
+    fn straggling_servers_are_not_receivers() {
+        let mut m = ThresholdMigrator::new(2, 1);
+        let mut moves = Vec::new();
+        let mut servers = views(&[8, 0, 2]);
+        servers[1].health = ServerHealth::Straggling;
+        m.plan(0.0, &servers, &mut moves);
+        assert!(!moves.is_empty());
+        for mv in &moves {
+            assert_ne!(mv.to, 1, "straggler received migrated work: {mv:?}");
+        }
     }
 
     #[test]

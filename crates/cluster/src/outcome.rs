@@ -28,6 +28,10 @@ pub struct ServerOutcome {
     /// [`ClusterOutcome`] this equals the run duration and the server is
     /// charged idle/sleep power through the whole run.
     pub end_time: f64,
+    /// Seconds this server spent down (crashed) during the run — a subset
+    /// of `sleep_time`, since downtime is charged at sleep power. Always
+    /// 0.0 without a [`FaultPlan`](crate::FaultPlan).
+    pub downtime: f64,
 }
 
 impl ServerOutcome {
@@ -38,6 +42,67 @@ impl ServerOutcome {
             0.0
         } else {
             self.busy_time / total
+        }
+    }
+}
+
+/// Availability metrics of a cluster run: what a fleet operator asks first
+/// when servers die, lag, or get stuck.
+///
+/// Without a [`FaultPlan`](crate::FaultPlan) or
+/// [`RequestPolicy`](crate::RequestPolicy) these degenerate to "everything
+/// offered was served in time": `offered == completed == goodput`,
+/// everything else zero, and `tail_latency_ok` equals the plain tail (the
+/// empty-plan bit-neutrality contract).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct AvailabilityStats {
+    /// Requests offered to the cluster (the input trace length).
+    pub offered: usize,
+    /// Requests that completed somewhere, on time or not.
+    pub completed: usize,
+    /// Requests that completed *within their deadline* — the number the
+    /// operator actually gets paid for. With no deadline configured every
+    /// completion is goodput.
+    pub goodput: usize,
+    /// Requests that never completed: lost in a crash with no retry left,
+    /// or still stranded when the run ended.
+    pub lost: usize,
+    /// Requests that missed their deadline: late completions plus losses.
+    pub deadline_exceeded: usize,
+    /// Timeout expirations detected by the request-lifecycle layer (one
+    /// request can time out once per attempt).
+    pub timeouts: usize,
+    /// Retry attempts dispatched (after backoff) by the lifecycle layer.
+    pub retries: usize,
+    /// Queued requests pulled off a crashing server and re-routed by the
+    /// failure drain.
+    pub requeued_on_failure: usize,
+    /// In-service requests salvaged (re-dispatched) from a crashing server
+    /// under [`RequestPolicy::salvage_in_flight`](crate::RequestPolicy).
+    pub salvaged_in_flight: usize,
+    /// Tail latency over *successful* (within-deadline) completions only —
+    /// the p95-of-successes a recovery curve is judged by.
+    pub tail_latency_ok: f64,
+}
+
+impl AvailabilityStats {
+    /// Fraction of offered requests that became goodput (1.0 for an empty
+    /// run — nothing offered, nothing failed).
+    pub fn goodput_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            1.0
+        } else {
+            self.goodput as f64 / self.offered as f64
+        }
+    }
+
+    /// Fraction of offered requests that missed their deadline or were
+    /// lost (0.0 for an empty run).
+    pub fn error_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.deadline_exceeded as f64 / self.offered as f64
         }
     }
 }
@@ -81,6 +146,10 @@ pub struct ClusterOutcome {
     /// Requests moved between servers by the cluster's
     /// [`Migrator`](crate::Migrator) (0 when no migrator is attached).
     pub migrated_requests: usize,
+    /// Availability metrics (goodput, errors, retries, downtime-adjacent
+    /// counters). Degenerate "all served" values without a fault plan or
+    /// request policy.
+    pub availability: AvailabilityStats,
     /// Per-server summaries, in server index order.
     pub per_server: Vec<ServerOutcome>,
 }
@@ -141,6 +210,7 @@ impl ClusterOutcome {
                     idle_time: res.idle_time(),
                     sleep_time: res.sleep,
                     end_time: r.end_time(),
+                    downtime: 0.0,
                 }
             })
             .collect();
@@ -160,6 +230,15 @@ impl ClusterOutcome {
             fleet_power,
             duration,
             migrated_requests: 0,
+            // Neutral fill: everything offered was served in time. The
+            // driver overwrites this when a fault layer is active.
+            availability: AvailabilityStats {
+                offered: requests,
+                completed: requests,
+                goodput: requests,
+                tail_latency_ok: tail_latency,
+                ..AvailabilityStats::default()
+            },
             per_server,
         }
     }
@@ -337,6 +416,41 @@ mod tests {
         assert!((totals[1].idle_time - 1.5).abs() < 1e-12);
         let energy: f64 = totals.iter().map(|t| t.energy).sum();
         assert!((energy - o.fleet_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn neutral_availability_fill_matches_the_plain_outcome() {
+        let power = CorePowerModel::haswell_like();
+        let a = result((0..10).map(|i| record(i, 0.0, 1e-3)).collect(), 0.5, 0.5);
+        let o = ClusterOutcome::aggregate(&[a], &power, 0.95);
+        let av = o.availability;
+        assert_eq!(av.offered, 10);
+        assert_eq!(av.completed, 10);
+        assert_eq!(av.goodput, 10);
+        assert_eq!(av.lost, 0);
+        assert_eq!(av.deadline_exceeded, 0);
+        assert_eq!(av.timeouts + av.retries + av.requeued_on_failure, 0);
+        assert_eq!(av.tail_latency_ok.to_bits(), o.tail_latency.to_bits());
+        assert_eq!(av.goodput_fraction(), 1.0);
+        assert_eq!(av.error_fraction(), 0.0);
+        assert_eq!(o.per_server[0].downtime, 0.0);
+    }
+
+    #[test]
+    fn availability_fractions_handle_empty_runs() {
+        let av = AvailabilityStats::default();
+        assert_eq!(av.goodput_fraction(), 1.0);
+        assert_eq!(av.error_fraction(), 0.0);
+        let av = AvailabilityStats {
+            offered: 10,
+            completed: 8,
+            goodput: 6,
+            lost: 2,
+            deadline_exceeded: 4,
+            ..AvailabilityStats::default()
+        };
+        assert!((av.goodput_fraction() - 0.6).abs() < 1e-12);
+        assert!((av.error_fraction() - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -11,6 +11,29 @@
 use rubik_power::CorePowerModel;
 use rubik_sim::{Freq, RequestSpec};
 
+/// Health of a server as tracked by the fault layer (see
+/// [`crate::FaultPlan`]). Without a fault plan every server is
+/// permanently [`Up`](ServerHealth::Up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerHealth {
+    /// Serving normally.
+    #[default]
+    Up,
+    /// Alive but degraded (straggling): it still completes work, slowly.
+    Straggling,
+    /// Crashed: serves nothing until a `Recover` event.
+    Down,
+}
+
+impl ServerHealth {
+    /// Whether a health-aware router should send *new* work here. Only
+    /// fully healthy servers are routable; stragglers keep serving what
+    /// they already hold but stop receiving more.
+    pub fn routable(self) -> bool {
+        matches!(self, ServerHealth::Up)
+    }
+}
+
 /// A per-server summary handed to [`Router::route`] (and to the fleet
 /// controller and migrator hooks).
 ///
@@ -42,6 +65,10 @@ pub struct ServerView {
     /// Core-class index of the server within its
     /// [`FleetSpec`](crate::FleetSpec) (0 for homogeneous fleets).
     pub class: u32,
+    /// Health as tracked by the fault layer ([`ServerHealth::Up`] when no
+    /// fault plan is attached). Plain routers ignore it; wrap them in
+    /// [`HealthAware`] to eject unhealthy servers from the candidate set.
+    pub health: ServerHealth,
 }
 
 impl ServerView {
@@ -130,11 +157,12 @@ impl Router for JoinShortestQueue {
     }
 
     fn route(&mut self, _request: &RequestSpec, servers: &[ServerView]) -> usize {
+        // `servers` is non-empty (Cluster construction validates the fleet);
+        // fall back to 0 rather than panicking if a caller hands us less.
         servers
             .iter()
             .min_by_key(|v| (v.in_flight, v.index))
-            .expect("a cluster has at least one server")
-            .index
+            .map_or(0, |v| v.index)
     }
 }
 
@@ -192,8 +220,76 @@ impl Router for PowerAware {
                     })
                     .then_with(|| a.index.cmp(&b.index))
             })
-            .expect("a cluster has at least one server")
-            .index
+            .map_or(0, |v| v.index)
+    }
+}
+
+/// Wraps any [`Router`] with health-based candidate filtering: down and
+/// straggling servers are ejected from the view slice the inner router
+/// sees, and readmitted the moment the fault layer marks them
+/// [`Up`](ServerHealth::Up) again.
+///
+/// If **no** server is routable (the whole fleet is down or straggling),
+/// the wrapper degrades to the inner router over the full set — routing
+/// somewhere beats dropping the request on the floor, and timeouts/retries
+/// will rescue it if the destination never recovers.
+///
+/// The inner router sees re-indexed views (`index` runs over the healthy
+/// subset) so index-arithmetic policies like [`RoundRobin`] cycle over the
+/// healthy servers only; the wrapper maps the choice back to the true
+/// server index. On an all-healthy fleet the filtered slice equals the
+/// full slice, and the wrapper is behaviourally identical to the inner
+/// router (pinned in `tests/fault_properties.rs`).
+#[derive(Debug)]
+pub struct HealthAware<R> {
+    inner: R,
+    name: String,
+    /// Re-indexed healthy views handed to the inner router.
+    scratch: Vec<ServerView>,
+    /// Maps positions in `scratch` back to true server indices.
+    map: Vec<usize>,
+}
+
+impl<R: Router> HealthAware<R> {
+    /// Wraps `inner` with health filtering.
+    pub fn new(inner: R) -> Self {
+        let name = format!("health-aware({})", inner.name());
+        Self {
+            inner,
+            name,
+            scratch: Vec::new(),
+            map: Vec::new(),
+        }
+    }
+
+    /// The wrapped router.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+}
+
+impl<R: Router> Router for HealthAware<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn route(&mut self, request: &RequestSpec, servers: &[ServerView]) -> usize {
+        self.scratch.clear();
+        self.map.clear();
+        for view in servers {
+            if view.health.routable() {
+                let mut v = *view;
+                v.index = self.scratch.len();
+                self.scratch.push(v);
+                self.map.push(view.index);
+            }
+        }
+        if self.scratch.is_empty() {
+            // Nothing healthy: degrade to failure-blind routing.
+            return self.inner.route(request, servers);
+        }
+        let choice = self.inner.route(request, &self.scratch);
+        self.map[choice.min(self.map.len() - 1)]
     }
 }
 
@@ -216,6 +312,7 @@ mod tests {
             busy: in_flight > 0,
             capacity,
             class: 0,
+            health: ServerHealth::Up,
         }
     }
 
@@ -288,5 +385,57 @@ mod tests {
         ];
         assert_eq!(r.route(&req(), &views), 1);
         assert!(views[0].effective_load().is_infinite());
+    }
+
+    #[test]
+    fn health_aware_ejects_down_and_straggling_servers() {
+        let mut r = HealthAware::new(JoinShortestQueue::new());
+        let mut views = [view(0, 0, 2400), view(1, 3, 2400), view(2, 5, 2400)];
+        views[0].health = ServerHealth::Down;
+        // JSQ would pick 0 (fewest in flight); health filtering picks 1.
+        assert_eq!(r.route(&req(), &views), 1);
+        views[1].health = ServerHealth::Straggling;
+        assert_eq!(r.route(&req(), &views), 2, "stragglers get no new work");
+        // Recovery readmits immediately.
+        views[0].health = ServerHealth::Up;
+        assert_eq!(r.route(&req(), &views), 0);
+    }
+
+    #[test]
+    fn health_aware_round_robin_cycles_over_the_healthy_subset() {
+        let mut r = HealthAware::new(RoundRobin::new());
+        let mut views = [view(0, 0, 2400), view(1, 0, 2400), view(2, 0, 2400)];
+        views[1].health = ServerHealth::Down;
+        let picks: Vec<usize> = (0..4).map(|_| r.route(&req(), &views)).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2], "cursor runs over healthy servers");
+    }
+
+    #[test]
+    fn health_aware_with_nothing_healthy_degrades_to_the_inner_router() {
+        let mut r = HealthAware::new(JoinShortestQueue::new());
+        let mut views = [view(0, 4, 2400), view(1, 2, 2400)];
+        views[0].health = ServerHealth::Down;
+        views[1].health = ServerHealth::Down;
+        // Better to route somewhere (and let timeouts rescue it) than drop.
+        assert_eq!(r.route(&req(), &views), 1);
+    }
+
+    #[test]
+    fn health_aware_matches_inner_router_on_a_healthy_fleet() {
+        let views = [view(0, 3, 2400), view(1, 1, 800), view(2, 1, 3400)];
+        let mut plain = PowerAware::default();
+        let mut wrapped = HealthAware::new(PowerAware::default());
+        for _ in 0..5 {
+            assert_eq!(plain.route(&req(), &views), wrapped.route(&req(), &views));
+        }
+        assert_eq!(wrapped.name(), "health-aware(power-aware)");
+    }
+
+    #[test]
+    fn routers_fall_back_to_server_zero_on_an_empty_view_slice() {
+        // Cluster construction rejects empty fleets (ClusterError), so this
+        // is unreachable from the driver; the routers still must not panic.
+        assert_eq!(JoinShortestQueue::new().route(&req(), &[]), 0);
+        assert_eq!(PowerAware::default().route(&req(), &[]), 0);
     }
 }

@@ -53,9 +53,10 @@ pub use rubik_sweep as sweep;
 pub use rubik_workloads as workloads;
 
 pub use rubik_cluster::{
-    ClassTotals, Cluster, ClusterOutcome, CoreClass, FleetCommand, FleetController, FleetSpec,
-    JoinShortestQueue, Migration, Migrator, Passthrough, PegasusFleet, PowerAware, RoundRobin,
-    Router, ServerPowerView, ServerView, ThresholdMigrator,
+    AvailabilityStats, ClassTotals, Cluster, ClusterError, ClusterOutcome, CoreClass, FaultEvent,
+    FaultPlan, FleetCommand, FleetController, FleetSpec, HealthAware, JoinShortestQueue, Migration,
+    Migrator, Passthrough, PegasusFleet, PowerAware, RequestPolicy, RoundRobin, Router,
+    ServerHealth, ServerPowerView, ServerView, ThresholdMigrator,
 };
 pub use rubik_coloc::{
     ColocOutcome, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig,

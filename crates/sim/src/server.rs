@@ -174,6 +174,20 @@ pub struct ServerSim<P: DvfsPolicy = Box<dyn DvfsPolicy>> {
     pending_transition: Option<(Freq, f64)>,
     next_tick: f64,
     asleep: bool,
+    /// Whether the server is down ([`ServerSim::fail`]): no service, no
+    /// ticks, no policy callbacks; arrivals still queue and downtime is
+    /// charged at sleep power.
+    down: bool,
+    /// Multiplier applied to every service time (straggler degradation);
+    /// `1.0` is bitwise-neutral.
+    slowdown: f64,
+    /// A frequency the core is pinned at (stuck voltage regulator): policy
+    /// decisions and ceilings are ignored until cleared.
+    stuck_freq: Option<Freq>,
+    /// Accumulated downtime from completed down intervals.
+    downtime: f64,
+    /// Start of the current down interval (meaningful only while `down`).
+    down_since: f64,
     phase: Phase,
     records: Vec<RequestRecord>,
     segments: Vec<Segment>,
@@ -221,6 +235,11 @@ impl<P: DvfsPolicy> ServerSim<P> {
             pending_transition: None,
             next_tick,
             asleep,
+            down: false,
+            slowdown: 1.0,
+            stuck_freq: None,
+            downtime: 0.0,
+            down_since: 0.0,
             phase: Phase::Advance,
             records: Vec::new(),
             segments: Vec::new(),
@@ -308,7 +327,9 @@ impl<P: DvfsPolicy> ServerSim<P> {
     /// sleep) — the activity the timeline will record from [`ServerSim::now`]
     /// until the next event.
     pub fn current_activity(&self) -> CoreActivity {
-        if self.running.is_some() {
+        if self.down {
+            CoreActivity::Sleep
+        } else if self.running.is_some() {
             CoreActivity::Busy
         } else if self.asleep {
             CoreActivity::Sleep
@@ -343,6 +364,11 @@ impl<P: DvfsPolicy> ServerSim<P> {
     pub fn retarget(&mut self, ceiling: Option<Freq>) {
         let ceiling = ceiling.map(|c| self.config.dvfs.floor_level(c.hz()));
         self.freq_ceiling = ceiling;
+        // A stuck regulator ignores the ceiling until it unsticks; the
+        // ceiling is recorded and re-applied by `stick_freq(None)`.
+        if self.stuck_freq.is_some() {
+            return;
+        }
         if let Some(c) = ceiling {
             if self.target_freq > c {
                 self.request_frequency(c);
@@ -361,6 +387,162 @@ impl<P: DvfsPolicy> ServerSim<P> {
     /// time so end-to-end latency accounting spans both servers.
     pub fn steal_queued(&mut self) -> Option<RequestSpec> {
         self.queue.pop_back().map(|(spec, _)| spec)
+    }
+
+    /// Removes a specific queued request by id, or `None` if it is not in
+    /// the FIFO queue (in service, already completed, or never admitted).
+    /// The request in service is never removed. Like
+    /// [`steal_queued`](ServerSim::steal_queued), the policy is not
+    /// notified.
+    ///
+    /// The request-timeout layer in `rubik-cluster` uses this to pull a
+    /// timed-out request out of a backlogged (or down) server so a retry can
+    /// be routed elsewhere.
+    pub fn remove_queued(&mut self, id: u64) -> Option<RequestSpec> {
+        let pos = self.queue.iter().position(|(spec, _)| spec.id == id)?;
+        self.queue.remove(pos).map(|(spec, _)| spec)
+    }
+
+    /// Whether the server is down (see [`ServerSim::fail`]).
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// Total downtime accumulated so far, including the current down
+    /// interval (up to [`now`](ServerSim::now)) if the server is still down.
+    pub fn downtime(&self) -> f64 {
+        self.downtime
+            + if self.down {
+                self.now - self.down_since
+            } else {
+                0.0
+            }
+    }
+
+    /// Crashes the server at time `at`: the clock advances to `at`, the
+    /// in-service request (if any) is **returned to the caller** — lost or
+    /// salvaged per the caller's policy — and the server enters the down
+    /// state. While down the core serves nothing, the periodic policy tick
+    /// is suppressed, and the timeline records deep sleep (downtime is
+    /// charged at sleep power). Arrivals are still admitted into the FIFO
+    /// queue — a failure-blind router keeps routing work here, which is
+    /// exactly the pathology timeouts and health-aware routing repair — and
+    /// queued work can be drained via [`steal_queued`](ServerSim::steal_queued)
+    /// or [`remove_queued`](ServerSim::remove_queued). A pending V/F
+    /// transition still takes effect (the regulator finishes its ramp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is already down, if `at` is in the past, or if
+    /// an event is pending strictly before `at`.
+    pub fn fail(&mut self, at: f64) -> Option<RequestSpec> {
+        assert!(!self.down, "fail() on a server that is already down");
+        assert!(
+            at >= self.now,
+            "failure at {at} is in the past (now = {})",
+            self.now
+        );
+        assert!(
+            self.next_event_time().is_none_or(|te| te >= at),
+            "cannot fail past a pending event"
+        );
+        self.advance_to(at);
+        self.down = true;
+        self.down_since = at;
+        self.asleep = false;
+        self.running.take().map(|r| r.spec)
+    }
+
+    /// Brings a down server back at time `at`: downtime accounting for the
+    /// interval is closed out, the periodic tick is realigned to the next
+    /// multiple after `at`, and the head of the FIFO queue (work that
+    /// accumulated or survived the outage) starts service immediately — a
+    /// rebooted core pays no sleep wake-up. The policy is not invoked; it
+    /// observes the post-recovery state at its next callback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the server is not down, if `at` is in the past, or if an
+    /// event is pending strictly before `at`.
+    pub fn recover(&mut self, at: f64) {
+        assert!(self.down, "recover() on a server that is not down");
+        assert!(
+            at >= self.now,
+            "recovery at {at} is in the past (now = {})",
+            self.now
+        );
+        assert!(
+            self.next_event_time().is_none_or(|te| te >= at),
+            "cannot recover past a pending event"
+        );
+        self.advance_to(at);
+        self.down = false;
+        self.downtime += at - self.down_since;
+        while self.next_tick <= self.now + TIME_EPS {
+            self.next_tick += self.config.tick_interval;
+        }
+        if let Some((spec, qlen)) = self.queue.pop_front() {
+            self.running = Some(Running {
+                spec,
+                start: self.now,
+                progress: 0.0,
+                wakeup_remaining: 0.0,
+                queue_len_at_arrival: qlen,
+            });
+        } else if matches!(self.config.idle_mode, IdleMode::Sleep { .. }) {
+            self.asleep = true;
+        }
+    }
+
+    /// The straggler factor currently applied to service times.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Sets the straggler factor: every service time is multiplied by
+    /// `factor` from now on (`1.0` restores full speed and is bitwise
+    /// neutral). A request in the middle of service is affected
+    /// proportionally via the progress-fraction model, exactly like a
+    /// mid-request frequency change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "slowdown factor must be finite and positive, got {factor}"
+        );
+        self.slowdown = factor;
+    }
+
+    /// The frequency the core is pinned at, if any (see
+    /// [`ServerSim::stick_freq`]).
+    pub fn stuck_freq(&self) -> Option<Freq> {
+        self.stuck_freq
+    }
+
+    /// Pins the core at a DVFS level (a stuck voltage regulator): the core
+    /// transitions to `level` (snapped down to an available level, subject
+    /// to the usual V/F latency) and ignores every subsequent policy
+    /// decision and external ceiling until `stick_freq(None)` clears the
+    /// pin, at which point the recorded ceiling — if any — is re-applied.
+    pub fn stick_freq(&mut self, level: Option<Freq>) {
+        match level {
+            Some(f) => {
+                let f = self.config.dvfs.floor_level(f.hz());
+                self.stuck_freq = Some(f);
+                self.request_frequency(f);
+            }
+            None => {
+                self.stuck_freq = None;
+                if let Some(c) = self.freq_ceiling {
+                    if self.target_freq > c {
+                        self.request_frequency(c);
+                    }
+                }
+            }
+        }
     }
 
     /// Admits a request at time `at`, bypassing the offered-arrivals stream:
@@ -597,7 +779,7 @@ impl<P: DvfsPolicy> ServerSim<P> {
 
     fn completion_time(&self) -> Option<f64> {
         let r = self.running.as_ref()?;
-        let total = r.spec.service_time_at(self.current_freq);
+        let total = r.spec.service_time_at(self.current_freq) * self.slowdown;
         let remaining = (1.0 - r.progress).max(0.0) * total + r.wakeup_remaining;
         Some(self.now + remaining)
     }
@@ -622,11 +804,12 @@ impl<P: DvfsPolicy> ServerSim<P> {
 
         // Ticks only matter while there is or may yet be work; without this
         // a closed simulation would tick forever after the last completion.
+        // A down server does not tick at all.
         let more_work = self.open
             || !self.arrivals.is_empty()
             || self.running.is_some()
             || !self.queue.is_empty();
-        if more_work {
+        if more_work && !self.down {
             consider(Some(self.next_tick.max(self.now)));
         }
         next
@@ -643,13 +826,15 @@ impl<P: DvfsPolicy> ServerSim<P> {
             || (self.phase <= Phase::Completion && self.completion_time().is_some_and(due))
             || (self.phase <= Phase::Arrivals
                 && self.arrivals.front().is_some_and(|r| due(r.arrival)))
-            || (self.phase <= Phase::Tick && due(self.next_tick))
+            || (self.phase <= Phase::Tick && !self.down && due(self.next_tick))
     }
 
     fn advance_to(&mut self, t: f64) {
         let t = t.max(self.now);
         if t > self.now + TIME_EPS {
-            let activity = if self.running.is_some() {
+            let activity = if self.down {
+                CoreActivity::Sleep
+            } else if self.running.is_some() {
                 CoreActivity::Busy
             } else if self.asleep {
                 CoreActivity::Sleep
@@ -658,6 +843,7 @@ impl<P: DvfsPolicy> ServerSim<P> {
             };
             push_segment(&mut self.segments, self.now, t, self.current_freq, activity);
 
+            let slowdown = self.slowdown;
             if let Some(r) = self.running.as_mut() {
                 let mut dt = t - self.now;
                 if r.wakeup_remaining > 0.0 {
@@ -666,7 +852,7 @@ impl<P: DvfsPolicy> ServerSim<P> {
                     dt -= consumed;
                 }
                 if dt > 0.0 {
-                    let total = r.spec.service_time_at(self.current_freq);
+                    let total = r.spec.service_time_at(self.current_freq) * slowdown;
                     if total > 0.0 {
                         r.progress = (r.progress + dt / total).min(1.0);
                     } else {
@@ -731,6 +917,14 @@ impl<P: DvfsPolicy> ServerSim<P> {
     fn admit(&mut self, spec: RequestSpec) {
         let pending_before = self.queue.len() + usize::from(self.running.is_some());
 
+        // A down server still accepts work into its queue (a failure-blind
+        // router keeps sending it), but serves nothing and consults no
+        // policy until it recovers.
+        if self.down {
+            self.queue.push_back((spec, pending_before));
+            return;
+        }
+
         if self.running.is_none() {
             let wakeup = match (self.asleep, self.config.idle_mode) {
                 (true, IdleMode::Sleep { wakeup_latency }) => wakeup_latency,
@@ -762,6 +956,10 @@ impl<P: DvfsPolicy> ServerSim<P> {
             self.config.dvfs.is_level(f),
             "policy requested {f}, which is not an available DVFS level"
         );
+        // A stuck regulator ignores the policy entirely.
+        if self.stuck_freq.is_some() {
+            return;
+        }
         // An external frequency ceiling (fleet power capping) silently clamps
         // whatever the policy asks for.
         let f = match self.freq_ceiling {
@@ -1442,5 +1640,179 @@ mod tests {
         let result = sim.finish();
         assert_eq!(arrivals.len(), 40);
         assert_eq!(completions, result.records());
+    }
+
+    // ----- Failure-surface tests ------------------------------------------
+
+    #[test]
+    fn fail_returns_the_in_service_request_and_stops_service() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        for id in 0..3 {
+            sim.offer(RequestSpec::new(id, 0.0, 2.4e6, 0.0));
+        }
+        sim.drain_until(0.0);
+        assert_eq!(sim.pending_requests(), 3);
+
+        let lost = sim.fail(0.5e-3).expect("a request was in service");
+        assert_eq!(lost.id, 0);
+        assert!(sim.is_down());
+        assert_eq!(sim.queued_len(), 2);
+        assert_eq!(sim.current_activity(), CoreActivity::Sleep);
+
+        // While down: no completions, no ticks; the queue can be drained.
+        sim.close();
+        assert_eq!(sim.next_event_time(), None);
+        assert_eq!(sim.steal_queued().map(|s| s.id), Some(2));
+        assert_eq!(sim.remove_queued(1).map(|s| s.id), Some(1));
+        assert!(sim.remove_queued(1).is_none());
+        assert!(sim.records().is_empty(), "nothing completed");
+    }
+
+    #[test]
+    fn recover_resumes_queued_work_and_accounts_downtime() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        for id in 0..2 {
+            sim.offer(RequestSpec::new(id, 0.0, 2.4e6, 0.0));
+        }
+        sim.drain_until(0.0);
+        let _ = sim.fail(0.0);
+        assert!((sim.downtime() - 0.0).abs() < 1e-12);
+
+        sim.recover(0.01);
+        assert!(!sim.is_down());
+        assert!((sim.downtime() - 0.01).abs() < 1e-12);
+        assert_eq!(sim.pending_requests(), 1, "queue head restarted");
+
+        sim.close();
+        sim.run_to_completion();
+        // Request 1 (id 0 was lost) started at recovery: 1 ms at nominal.
+        assert_eq!(sim.records().len(), 1);
+        let rec = sim.records()[0];
+        assert_eq!(rec.id, 1);
+        assert!((rec.start - 0.01).abs() < 1e-12);
+        assert!((rec.completion - 0.011).abs() < 1e-9);
+        // The outage shows up as a sleep span on the timeline.
+        let result = sim.finish();
+        assert!((result.freq_residency().sleep - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn down_server_still_queues_offered_arrivals_without_serving_them() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        let _ = sim.fail(0.0);
+        sim.offer(RequestSpec::new(0, 0.002, 2.4e6, 0.0));
+        sim.drain_until(0.002);
+        assert_eq!(sim.queued_len(), 1, "arrival queued, not served");
+        assert_eq!(sim.pending_requests(), 1);
+        sim.recover(0.005);
+        sim.close();
+        sim.run_to_completion();
+        assert_eq!(sim.records().len(), 1);
+        let rec = sim.records()[0];
+        assert_eq!(rec.arrival, 0.002, "original arrival preserved");
+        assert!((rec.start - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downtime_accumulates_across_intervals_and_counts_the_open_one() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        let _ = sim.fail(0.0);
+        sim.recover(0.01);
+        let _ = sim.fail(0.02);
+        sim.coast_to(0.05);
+        assert!((sim.downtime() - (0.01 + 0.03)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_fail_panics() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        let _ = sim.fail(0.0);
+        let _ = sim.fail(0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "not down")]
+    fn recover_of_a_healthy_server_panics() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.recover(0.0);
+    }
+
+    #[test]
+    fn slowdown_stretches_service_and_one_restores_it() {
+        let trace = Trace::new(vec![RequestSpec::new(0, 0.0, 2.4e6, 0.0)]);
+        let run_with = |factor: f64| {
+            let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+            sim.set_slowdown(factor);
+            sim.offer_all(trace.requests().iter().copied());
+            sim.close();
+            sim.run_to_completion();
+            sim.finish()
+        };
+        let normal = run_with(1.0);
+        let straggling = run_with(3.0);
+        assert!((normal.records()[0].latency() - 1e-3).abs() < 1e-9);
+        assert!((straggling.records()[0].latency() - 3e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mid_request_slowdown_change_blends_like_a_frequency_change() {
+        // 2 ms of work at nominal. Run the first 1 ms at full speed (50%
+        // progress), then a 2x straggle: the remaining half takes 2 ms.
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.0, 4.8e6, 0.0));
+        sim.drain_until(0.0);
+        sim.coast_to(1e-3);
+        sim.set_slowdown(2.0);
+        sim.close();
+        sim.run_to_completion();
+        let rec = sim.records()[0];
+        assert!(
+            (rec.completion - 3e-3).abs() < 1e-9,
+            "completion {} vs expected 3 ms",
+            rec.completion
+        );
+    }
+
+    #[test]
+    fn stick_freq_pins_the_core_against_policy_and_ceiling() {
+        let config =
+            SimConfig::default().with_dvfs(DvfsConfig::haswell_like().with_transition_latency(0.0));
+        let mut sim = ServerSim::new(config, FixedFrequencyPolicy::new(Freq::from_mhz(3400)));
+        sim.stick_freq(Some(Freq::from_mhz(900)));
+        assert_eq!(sim.stuck_freq(), Some(Freq::from_mhz(800)), "snapped down");
+        assert_eq!(sim.current_freq(), Freq::from_mhz(800));
+
+        // Policy requests and fleet ceilings are both ignored while stuck.
+        sim.offer(RequestSpec::new(0, 0.0, 0.8e6, 0.0));
+        sim.drain_until(0.0);
+        assert_eq!(sim.current_freq(), Freq::from_mhz(800));
+        sim.retarget(Some(Freq::from_mhz(1600)));
+        assert_eq!(sim.current_freq(), Freq::from_mhz(800));
+
+        // Unsticking re-applies the recorded ceiling: the policy's 3.4 GHz
+        // target clamps to 1.6 GHz.
+        sim.stick_freq(None);
+        assert_eq!(sim.current_freq(), Freq::from_mhz(800), "until re-decided");
+        sim.offer(RequestSpec::new(1, 2e-3, 0.8e6, 0.0));
+        sim.drain_until(2e-3);
+        assert_eq!(sim.current_freq(), Freq::from_mhz(1600));
+    }
+
+    #[test]
+    fn pending_transition_still_fires_while_down() {
+        // 4 µs V/F latency: a ceiling initiates a downward transition, the
+        // server crashes before it lands, and the regulator finishes its
+        // ramp during the outage.
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(Freq::from_mhz(3000)));
+        sim.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+        sim.step(); // arrival at 3.0 GHz
+        sim.retarget(Some(Freq::from_mhz(1200))); // transition pending
+        let _ = sim.fail(1e-6);
+        match sim.step() {
+            Some(SimEvent::FreqTransition(f)) => assert_eq!(f, Freq::from_mhz(1200)),
+            other => panic!("expected the pending transition, got {other:?}"),
+        }
+        assert!(sim.is_down());
     }
 }

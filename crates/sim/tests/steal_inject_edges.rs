@@ -1,0 +1,120 @@
+//! Edge cases of the `steal_queued` / `remove_queued` / `inject` surface
+//! that the cluster fault path leans on: draining closed or empty servers,
+//! injecting at or around the receiver's clock, and steal-then-reinject
+//! preserving a request's original arrival time across a failure drain.
+
+use rubik_sim::{FixedFrequencyPolicy, RequestSpec, ServerSim, SimConfig};
+
+fn sim() -> ServerSim<FixedFrequencyPolicy> {
+    let config = SimConfig::paper_simulated();
+    let policy = FixedFrequencyPolicy::new(config.dvfs.nominal());
+    ServerSim::new(config, policy)
+}
+
+#[test]
+fn steal_from_an_empty_sim_returns_none() {
+    let mut s = sim();
+    assert!(s.steal_queued().is_none());
+    assert!(s.remove_queued(0).is_none());
+}
+
+#[test]
+fn steal_from_a_closed_drained_sim_returns_none() {
+    let mut s = sim();
+    s.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+    s.close();
+    s.run_to_completion();
+    assert!(s.steal_queued().is_none(), "nothing queued after the drain");
+    assert!(s.remove_queued(0).is_none(), "completed work is not queued");
+    assert_eq!(s.records().len(), 1);
+}
+
+#[test]
+#[should_panic(expected = "injection at")]
+fn inject_before_the_receivers_clock_panics() {
+    let mut s = sim();
+    s.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+    s.drain_until(0.0);
+    s.coast_to(0.5e-3);
+    // The receiver's clock is at 0.5 ms; injecting at 0.1 ms is the past.
+    s.inject(0.1e-3, RequestSpec::new(1, 0.0, 2.4e6, 0.0));
+}
+
+#[test]
+fn inject_into_a_closed_sim_is_allowed() {
+    // Migration legitimately rebalances backlog while a fleet drains.
+    let mut s = sim();
+    s.close();
+    s.inject(0.01, RequestSpec::new(7, 0.002, 2.4e6, 0.0));
+    s.run_to_completion();
+    assert_eq!(s.records().len(), 1);
+    let rec = s.records()[0];
+    assert_eq!(rec.id, 7);
+    assert_eq!(rec.arrival, 0.002, "original arrival preserved");
+    assert!((rec.start - 0.01).abs() < 1e-12);
+}
+
+#[test]
+fn steal_then_reinject_preserves_arrival_under_a_failure_drain() {
+    // A donor crashes with a backlog; the drain hands its queue to a healthy
+    // receiver. Every rescued record must keep its original arrival so
+    // end-to-end latency charges the time spent stranded on the dead server.
+    let mut donor = sim();
+    let mut receiver = sim();
+    for id in 0..4 {
+        donor.offer(RequestSpec::new(id, 0.0, 2.4e6, 0.0));
+    }
+    donor.drain_until(0.0);
+    assert_eq!(donor.queued_len(), 3);
+
+    let lost = donor.fail(0.5e-3);
+    assert_eq!(lost.map(|s| s.id), Some(0), "in-service request surfaced");
+
+    // Drain the dead queue back-to-front and reinject in arrival order.
+    let mut rescued = Vec::new();
+    while let Some(spec) = donor.steal_queued() {
+        rescued.push(spec);
+    }
+    rescued.reverse();
+    assert_eq!(
+        rescued.iter().map(|s| s.id).collect::<Vec<_>>(),
+        vec![1, 2, 3]
+    );
+    for spec in rescued {
+        receiver.drain_until(0.5e-3);
+        receiver.inject(0.5e-3, spec);
+    }
+
+    donor.close();
+    receiver.close();
+    donor.run_to_completion();
+    receiver.run_to_completion();
+    assert!(donor.records().is_empty());
+    let recs = receiver.finish();
+    assert_eq!(recs.records().len(), 3);
+    for rec in recs.records() {
+        assert_eq!(rec.arrival, 0.0, "arrival survived the failure drain");
+        assert!(rec.start >= 0.5e-3, "service restarted after the crash");
+        // Latency spans the stranded wait plus queueing on the receiver.
+        assert!(rec.latency() >= 0.5e-3 + 1e-3 - 1e-9);
+    }
+}
+
+#[test]
+fn remove_queued_extracts_a_specific_request_without_disturbing_fifo_order() {
+    let mut s = sim();
+    for id in 0..4 {
+        s.offer(RequestSpec::new(id, 0.0, 2.4e6, 0.0));
+    }
+    s.drain_until(0.0);
+    assert_eq!(s.queued_len(), 3);
+    // Pull the middle of the queue (a timed-out request being retried).
+    let pulled = s.remove_queued(2).expect("id 2 is queued");
+    assert_eq!(pulled.id, 2);
+    // The request in service is never removable.
+    assert!(s.remove_queued(0).is_none());
+    s.close();
+    s.run_to_completion();
+    let order: Vec<u64> = s.records().iter().map(|r| r.id).collect();
+    assert_eq!(order, vec![0, 1, 3], "remaining FIFO order undisturbed");
+}
