@@ -1,10 +1,11 @@
 //! Serving through failures at scale: a 100-server capped Rubik fleet loses
 //! ten servers in a crash wave and gets them back, under a scripted
-//! [`FaultPlan`].
+//! [`FaultPlan`](rubik::FaultPlan).
 //!
-//! This is the acceptance experiment for the failure-aware stack. Three
-//! things must hold, and all three are recorded in the `"fleet_faults"`
-//! section of `BENCH_cluster.json`:
+//! The experiment itself lives in [`rubik_bench::faults`], shared with the
+//! `trace_report` binary so the recorded numbers and the attribution tables
+//! always describe the same runs. Three things must hold, and all three are
+//! recorded in the `"fleet_faults"` section of `BENCH_cluster.json`:
 //!
 //! 1. **The watt cap holds through the wave.** `PegasusFleet` re-apportions
 //!    its budget over the survivors, so no epoch window — before, during,
@@ -17,102 +18,39 @@
 //!    timeouts and retries strictly cuts deadline violations against a
 //!    failure-blind baseline on the same fault schedule.
 //!
+//! The measured runs are re-run with telemetry recording (bit-identical by
+//! the neutrality contract) and their tail-attribution breakdowns — where
+//! the p95 cohort's latency goes: queueing, service, backoff, downtime —
+//! land in the `"tail_attribution"` section of the same file.
+//!
 //! Criterion tracks the wall time of the faulted runs (the fault-layer
 //! overhead) in `BENCH_controller.json`.
 //!
 //! Env knobs: `RUBIK_FLEET_FAULTS_REQUESTS` (default 60) sets requests per
-//! server; `RUBIK_BENCH_SAMPLE_MS` / `RUBIK_BENCH_SAMPLES` are the usual
+//! server; `RUBIK_FLEET_FAULTS_TRACE` names a file to receive the
+//! health-aware run's telemetry trace (Chrome `trace_event` JSON if it ends
+//! in `.trace.json`, `rubik-trace-v1` otherwise — CI uploads one as an
+//! artifact); `RUBIK_BENCH_SAMPLE_MS` / `RUBIK_BENCH_SAMPLES` are the usual
 //! criterion smoke knobs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use rubik::cluster::fleet_trace;
-use rubik::{
-    AppProfile, Cluster, ClusterOutcome, CorePowerModel, FaultPlan, HealthAware, JoinShortestQueue,
-    PegasusFleet, RequestPolicy, RubikConfig, RubikController, RunResult, SimConfig, Trace,
-};
+use rubik::telemetry::{to_chrome_json, to_json, AttributionReport};
+use rubik::{CorePowerModel, RunResult, Trace};
+use rubik_bench::faults::FaultsScenario;
 
 const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
 const CLUSTER_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
 
-const FLEET: usize = 100;
-const CRASHED: usize = 10;
-const LOAD: f64 = 0.6;
-/// Watts per server: far under the ~6 W a busy core draws at nominal, so
-/// the apportioned ceilings genuinely bind and the re-apportioning over
-/// survivors is observable in the max epoch power.
-const BUDGET_PER_SERVER: f64 = 3.0;
-/// Fleet-controller epoch; short enough that a bench-sized run spans many
-/// epochs and the crash wave straddles several of them.
-const EPOCH: f64 = 0.02;
-
-fn requests_per_server() -> usize {
-    std::env::var("RUBIK_FLEET_FAULTS_REQUESTS")
+fn scenario() -> FaultsScenario {
+    let mut scenario = FaultsScenario::default();
+    if let Some(requests) = std::env::var("RUBIK_FLEET_FAULTS_REQUESTS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(60)
-}
-
-/// Ten servers crash in a staggered wave a third of the way into the run
-/// and recover, equally staggered, at two thirds.
-fn crash_wave(duration: f64) -> FaultPlan {
-    let mut plan = FaultPlan::new();
-    let down = 0.33 * duration;
-    let up = 0.66 * duration;
-    let stagger = 0.002 * duration;
-    for i in 0..CRASHED {
-        plan = plan
-            .crash(i, down + i as f64 * stagger)
-            .recover(i, up + i as f64 * stagger);
+    {
+        scenario.requests_per_server = requests;
     }
-    plan
-}
-
-/// Deadline and retry schedule shared by the aware runs, derived from the
-/// app's service time.
-fn rescue_policy(mean: f64, deadline: f64) -> RequestPolicy {
-    RequestPolicy::new()
-        .with_deadline(deadline)
-        .with_timeout(6.0 * mean)
-        .with_retries(4, mean, 10.0 * mean)
-        .salvaging_in_flight()
-        .draining_on_crash()
-}
-
-fn run_fleet(
-    trace: &Trace,
-    bound: f64,
-    deadline: f64,
-    budget: f64,
-    aware: bool,
-) -> (ClusterOutcome, Vec<RunResult>) {
-    let config = SimConfig::paper_simulated();
-    let power = CorePowerModel::haswell_like();
-    let profile_mean = bound / 3.0;
-    let router: Box<dyn rubik::Router> = if aware {
-        Box::new(HealthAware::new(JoinShortestQueue::new()))
-    } else {
-        Box::new(JoinShortestQueue::new())
-    };
-    let mut cluster = Cluster::new(config.clone(), FLEET, router, |_| {
-        RubikController::seeded_for_trace(
-            RubikConfig::new(bound).with_profiling_window(1024),
-            config.dvfs.clone(),
-            trace,
-            256,
-        )
-    })
-    .with_power(power)
-    .with_fleet_controller(Box::new(PegasusFleet::new(budget, power).with_epoch(EPOCH)))
-    .with_fault_plan(crash_wave(trace.duration()));
-    cluster = if aware {
-        cluster.with_request_policy(rescue_policy(profile_mean, deadline))
-    } else {
-        // The blind baseline sees the same deadline but never times out,
-        // retries, or routes around the dead servers.
-        cluster.with_request_policy(RequestPolicy::new().with_deadline(deadline))
-    };
-    cluster.run_with_results(trace)
+    scenario
 }
 
 /// Goodput fraction (completions within deadline / arrivals) per
@@ -146,20 +84,35 @@ fn recovery_curve(
         .collect()
 }
 
+/// One attribution object for the JSON section, components in milliseconds.
+fn attribution_json(report: &AttributionReport) -> String {
+    let m = &report.cohort_mean;
+    format!(
+        "{{\"cohort\": {}, \"threshold_ms\": {:.4}, \"queueing_ms\": {:.4}, \
+         \"service_ms\": {:.4}, \"backoff_ms\": {:.4}, \"downtime_ms\": {:.4}, \
+         \"total_ms\": {:.4}}}",
+        report.cohort,
+        report.threshold * 1e3,
+        m.queueing * 1e3,
+        m.service * 1e3,
+        m.backoff * 1e3,
+        m.downtime * 1e3,
+        m.total * 1e3,
+    )
+}
+
 fn bench_fleet_faults(c: &mut Criterion) {
-    let profile = AppProfile::masstree();
-    let mean = profile.mean_service_time();
-    let bound = 3.0 * mean;
-    let deadline = 15.0 * mean;
-    let per_server = requests_per_server();
-    let budget = BUDGET_PER_SERVER * FLEET as f64;
-    let trace = fleet_trace(&profile, LOAD, FLEET, per_server * FLEET, 2015);
+    let scenario = scenario();
+    let per_server = scenario.requests_per_server;
+    let budget = scenario.budget();
+    let deadline = scenario.deadline();
+    let trace = scenario.trace();
 
     let mut group = c.benchmark_group("fleet_faults");
     for (label, aware) in [("blind", false), ("health_aware", true)] {
         group.bench_with_input(BenchmarkId::new("mode", label), &aware, |b, &aware| {
             b.iter(|| {
-                let (outcome, _) = run_fleet(&trace, bound, deadline, budget, aware);
+                let (outcome, _) = scenario.run(&trace, aware);
                 assert_eq!(outcome.availability.offered, trace.len());
                 outcome.fleet_energy // checksum against dead-code elimination
             })
@@ -167,11 +120,14 @@ fn bench_fleet_faults(c: &mut Criterion) {
     }
     group.finish();
 
-    // One measured run per mode for the recorded experiment numbers.
-    let (blind, blind_results) = run_fleet(&trace, bound, deadline, budget, false);
-    let (aware, aware_results) = run_fleet(&trace, bound, deadline, budget, true);
+    // One measured run per mode for the recorded experiment numbers — with
+    // telemetry recording, which the neutrality suite proves is invisible
+    // to every simulation output.
+    let (blind, blind_results, blind_log) = scenario.run_traced(&trace, false);
+    let (aware, aware_results, aware_log) = scenario.run_traced(&trace, true);
     let power = CorePowerModel::haswell_like();
-    let max_power = rubik_bench::max_epoch_power(&aware_results, aware.duration, EPOCH, &power);
+    let max_power =
+        rubik_bench::max_epoch_power(&aware_results, aware.duration, scenario.epoch, &power);
     // The blind fleet's curve dips while the wave is down and climbs back
     // after recovery; the rescue stack's job is to flatten that dip.
     let blind_curve = recovery_curve(&blind_results, &trace, deadline, blind.duration, 12);
@@ -197,10 +153,10 @@ fn bench_fleet_faults(c: &mut Criterion) {
     let blind_curve_json = curve_json(&blind_curve);
     let aware_curve_json = curve_json(&aware_curve);
     let section = format!(
-        "{{\n    \"servers\": {FLEET},\n    \"crashed\": {CRASHED},\n    \
-         \"load_per_server\": {LOAD},\n    \"requests_per_server\": {per_server},\n    \
+        "{{\n    \"servers\": {},\n    \"crashed\": {},\n    \
+         \"load_per_server\": {},\n    \"requests_per_server\": {per_server},\n    \
          \"policy\": \"rubik-per-server\",\n    \"budget_w\": {budget:.1},\n    \
-         \"epoch_s\": {EPOCH},\n    \"deadline_ms\": {:.3},\n    \
+         \"epoch_s\": {},\n    \"deadline_ms\": {:.3},\n    \
          \"blind\": {{\"router\": \"jsq\", \"goodput_fraction\": {:.4}, \
          \"deadline_exceeded\": {}, \"lost\": {}, \
          \"recovery_curve_goodput\": [{blind_curve_json}]}},\n    \
@@ -212,6 +168,10 @@ fn bench_fleet_faults(c: &mut Criterion) {
          \"cap_held_under_failures\": {},\n    \"goodput_recovers\": {},\n    \
          \"rescue_flattens_the_dip\": {},\n    \
          \"rescue_cuts_deadline_misses\": {}\n  }}",
+        scenario.fleet,
+        scenario.crashed,
+        scenario.load,
+        scenario.epoch,
         deadline * 1e3,
         b.goodput_fraction(),
         b.deadline_exceeded,
@@ -230,6 +190,40 @@ fn bench_fleet_faults(c: &mut Criterion) {
     match rubik_bench::merge_bench_section(CLUSTER_JSON, "fleet_faults", &section) {
         Ok(()) => println!("fleet_faults: merged into {CLUSTER_JSON}"),
         Err(e) => eprintln!("fleet_faults: could not write {CLUSTER_JSON}: {e}"),
+    }
+
+    // Where the tail goes: p95 cohort attribution for both stacks. The
+    // blind run's tail is dominated by downtime (requests parked on dead
+    // servers); the rescue stack converts that into bounded retry backoff.
+    let quantile = 0.95;
+    let (blind_attr, aware_attr) = (blind_log.attribute(quantile), aware_log.attribute(quantile));
+    if let (Some(blind_attr), Some(aware_attr)) = (&blind_attr, &aware_attr) {
+        let section = format!(
+            "{{\n    \"quantile\": {quantile},\n    \"blind\": {},\n    \
+             \"health_aware\": {},\n    \
+             \"rescue_removes_downtime_from_the_tail\": {}\n  }}",
+            attribution_json(blind_attr),
+            attribution_json(aware_attr),
+            aware_attr.cohort_mean.downtime < blind_attr.cohort_mean.downtime,
+        );
+        match rubik_bench::merge_bench_section(CLUSTER_JSON, "tail_attribution", &section) {
+            Ok(()) => println!("tail_attribution: merged into {CLUSTER_JSON}"),
+            Err(e) => eprintln!("tail_attribution: could not write {CLUSTER_JSON}: {e}"),
+        }
+    }
+
+    if let Ok(path) = std::env::var("RUBIK_FLEET_FAULTS_TRACE") {
+        if !path.is_empty() {
+            let body = if path.ends_with(".trace.json") {
+                to_chrome_json(&aware_log)
+            } else {
+                to_json(&aware_log)
+            };
+            match std::fs::write(&path, body) {
+                Ok(()) => println!("fleet_faults: wrote telemetry trace to {path}"),
+                Err(e) => eprintln!("fleet_faults: could not write {path}: {e}"),
+            }
+        }
     }
 }
 

@@ -3,8 +3,10 @@
 //!
 //! The (app × load) grid runs on `rubik-sweep`; pass `--threads N` to
 //! control the worker pool (results are identical for any thread count).
+//! `--trace-out PATH` additionally writes a telemetry trace of the
+//! representative run (Rubik on masstree at 50% load).
 
-use rubik::{AppProfile, SweepSpec};
+use rubik::{AppProfile, SweepSpec, TraceLog};
 use rubik_bench::{print_header, BenchArgs, Harness};
 
 fn main() {
@@ -70,4 +72,15 @@ fn main() {
         totals[1] / count,
         totals[2] / count
     );
+
+    if args.tracing() {
+        // The representative run: Rubik on masstree at 50% load, the
+        // paper's headline cell. Single-server runs have no fault or
+        // migration events; the log carries the request lifecycle.
+        let app = AppProfile::masstree();
+        let bound = harness.latency_bound(&app);
+        let trace = harness.trace(&app, 0.5, 777);
+        let (_, result) = harness.run_rubik(&trace, bound, true);
+        args.emit_trace(&TraceLog::from_results(&[result]));
+    }
 }

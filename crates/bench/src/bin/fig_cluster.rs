@@ -6,7 +6,9 @@
 //! servers behind a load balancer, each running Rubik, serving one pooled
 //! arrival stream. The grid runs on `rubik-sweep` (one cluster per cell);
 //! pass `--threads N` to control the worker pool, `--requests N` for the
-//! per-server request count, `--seed N` for the trace seed.
+//! per-server request count, `--seed N` for the trace seed, and
+//! `--trace-out PATH` to write a telemetry trace of the representative
+//! cell (JSQ at the largest fleet and highest load).
 
 use rubik::cluster::{fleet_trace, JoinShortestQueue, PowerAware, RoundRobin, Router};
 use rubik::{
@@ -95,5 +97,31 @@ fn main() {
             o.energy_per_request(),
             o.load_imbalance(),
         );
+    }
+
+    if args.tracing() {
+        // Re-run the representative cell — JSQ at the largest fleet and
+        // highest load — with telemetry recording (bit-identical to the
+        // grid cell by the neutrality contract) and emit its trace.
+        let fleet = *FLEETS.last().expect("non-empty fleets");
+        let load = *LOADS.last().expect("non-empty loads");
+        let trace_seed = seed + ((FLEETS.len() - 1) * LOADS.len() + (LOADS.len() - 1)) as u64;
+        let trace = fleet_trace(
+            &profile,
+            load,
+            fleet,
+            per_server_requests * fleet,
+            trace_seed,
+        );
+        let cluster = Cluster::new(config.clone(), fleet, router(1), |_| {
+            RubikController::seeded_for_trace(
+                RubikConfig::new(bound).with_profiling_window(1024),
+                config.dvfs.clone(),
+                &trace,
+                256,
+            )
+        });
+        let (_, _, log) = cluster.run_traced(&trace);
+        args.emit_trace(&log);
     }
 }

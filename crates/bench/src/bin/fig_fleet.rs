@@ -10,7 +10,9 @@
 //! and a threshold migrator rebalancing queue pile-ups. The grid runs on
 //! `rubik-sweep` (one cluster per cell); pass `--threads N` to control the
 //! worker pool, `--requests N` for the per-server request count, `--seed N`
-//! for the trace seed.
+//! for the trace seed, and `--trace-out PATH` to write a telemetry trace
+//! of the representative cell (the capped big/little fleet with routing
+//! and migration live).
 //!
 //! Columns: `budget_w` is the per-server budget share ("inf" = uncapped),
 //! `max_epoch_w` the largest fleet power over any controller epoch (the
@@ -186,5 +188,35 @@ fn main() {
             r.migrated,
             r.big_share,
         );
+    }
+
+    if args.tracing() {
+        // Re-run the representative cell — the mildly-capped big/little
+        // fleet behind the capacity-aware router with migration on — with
+        // telemetry recording (bit-identical to the grid cell by the
+        // neutrality contract) and emit its trace.
+        let fleet = fleet_spec(1);
+        let trace = fleet_trace(
+            &profile,
+            LOAD,
+            fleet.len(),
+            per_server_requests * fleet.len(),
+            seed + 1,
+        );
+        let cluster = Cluster::from_spec(&fleet, router(1), |_i, config| {
+            RubikController::seeded_for_trace(
+                RubikConfig::new(bound).with_profiling_window(1024),
+                config.dvfs.clone(),
+                &trace,
+                256,
+            )
+        })
+        .with_power(power)
+        .with_fleet_controller(Box::new(
+            PegasusFleet::new(BUDGETS[1] * fleet.len() as f64, power).with_epoch(EPOCH),
+        ))
+        .with_migrator(Box::new(ThresholdMigrator::new(2, 1).with_interval(2e-3)));
+        let (_, _, log) = cluster.run_traced(&trace);
+        args.emit_trace(&log);
     }
 }

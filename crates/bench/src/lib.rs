@@ -28,10 +28,12 @@
 use rubik::core::{replay, replay_energy, replay_tail};
 use rubik::{
     AdrenalineOracle, AppProfile, CorePowerModel, DynamicOracle, FixedFrequencyPolicy, Freq,
-    RubikConfig, RubikController, RunResult, Server, SimConfig, StaticOracle, Trace,
-    WorkloadGenerator,
+    RubikConfig, RubikController, RunResult, Server, SimConfig, StaticOracle, Telemetry, Trace,
+    TraceLog, WorkloadGenerator,
 };
 use rubik_sweep::SweepExecutor;
+
+pub mod faults;
 
 /// Tail percentile used throughout the evaluation.
 pub const TAIL_QUANTILE: f64 = 0.95;
@@ -44,8 +46,15 @@ pub const TAIL_QUANTILE: f64 = 0.95;
 /// * `--seed N` — base RNG seed,
 /// * `--threads N` — worker threads for the grid sweeps (`0` = one per
 ///   available core); forwarded to [`rubik_sweep::SweepExecutor`]. Results
-///   are independent of this flag by the engine's determinism contract.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///   are independent of this flag by the engine's determinism contract,
+/// * `--trace-out PATH` — write a telemetry trace of the binary's
+///   representative run to `PATH`: Chrome `trace_event` JSON (open in
+///   `chrome://tracing` or Perfetto) when the path ends in `.trace.json`,
+///   the self-describing `rubik-trace-v1` format otherwise. Recording never
+///   changes results (the telemetry neutrality contract) and never touches
+///   stdout, so golden captures are unaffected. Binaries without a traced
+///   run accept and ignore the flag.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BenchArgs {
     /// Override for the per-run request count.
     pub requests: Option<usize>,
@@ -53,6 +62,8 @@ pub struct BenchArgs {
     pub seed: Option<u64>,
     /// Worker threads for grid sweeps (`None` = binary default of auto).
     pub threads: Option<usize>,
+    /// Telemetry trace destination (`None` = tracing disabled).
+    pub trace_out: Option<String>,
 }
 
 impl BenchArgs {
@@ -90,6 +101,15 @@ impl BenchArgs {
                 "--requests" => args.requests = Some(value("--requests")? as usize),
                 "--seed" => args.seed = Some(value("--seed")?),
                 "--threads" => args.threads = Some(value("--threads")? as usize),
+                "--trace-out" => {
+                    let path = it
+                        .next()
+                        .ok_or_else(|| "--trace-out requires a path".to_string())?;
+                    if path.is_empty() {
+                        return Err("--trace-out: path must not be empty".to_string());
+                    }
+                    args.trace_out = Some(path.clone());
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -101,11 +121,14 @@ impl BenchArgs {
 
     /// The usage string printed for `--help`.
     pub fn usage() -> String {
-        "usage: <figure-binary> [--requests N] [--seed N] [--threads N]\n\
+        "usage: <figure-binary> [--requests N] [--seed N] [--threads N] [--trace-out PATH]\n\
          \n\
-         --requests N   requests per experiment run (default: the figure's paper shape)\n\
-         --seed N       base RNG seed (default: the figure's published seed)\n\
-         --threads N    worker threads for grid sweeps; 0 = one per core (default: 0)\n\
+         --requests N     requests per experiment run (default: the figure's paper shape)\n\
+         --seed N         base RNG seed (default: the figure's published seed)\n\
+         --threads N      worker threads for grid sweeps; 0 = one per core (default: 0)\n\
+         --trace-out PATH write a telemetry trace of the representative run: Chrome\n\
+         \x20                trace_event JSON if PATH ends in .trace.json, rubik-trace-v1\n\
+         \x20                JSON otherwise (recording never changes results or stdout)\n\
          \n\
          Results are bit-identical for any --threads value (rubik-sweep's\n\
          determinism contract); the flag only changes wall-clock time."
@@ -132,6 +155,46 @@ impl BenchArgs {
     /// A sweep executor honouring `--threads`.
     pub fn executor(&self) -> SweepExecutor {
         SweepExecutor::new(self.threads())
+    }
+
+    /// Whether `--trace-out` asked for a telemetry trace.
+    pub fn tracing(&self) -> bool {
+        self.trace_out.is_some()
+    }
+
+    /// The telemetry to attach to a traced run:
+    /// [`recording`](Telemetry::recording) when `--trace-out` was given,
+    /// [`disabled`](Telemetry::disabled) (bitwise-invisible) otherwise.
+    pub fn telemetry(&self) -> Telemetry {
+        if self.tracing() {
+            Telemetry::recording()
+        } else {
+            Telemetry::disabled()
+        }
+    }
+
+    /// Writes `log` to the `--trace-out` path, if one was given: Chrome
+    /// `trace_event` JSON when the path ends in `.trace.json`, the
+    /// `rubik-trace-v1` format otherwise. Reports to stderr (never stdout —
+    /// figure stdout is golden-pinned) and does not abort the binary on
+    /// I/O errors: the figure's numbers are the primary product.
+    pub fn emit_trace(&self, log: &TraceLog) {
+        let Some(path) = &self.trace_out else {
+            return;
+        };
+        let (format, body) = if path.ends_with(".trace.json") {
+            ("chrome trace_event", rubik::telemetry::to_chrome_json(log))
+        } else {
+            (rubik::telemetry::FORMAT, rubik::telemetry::to_json(log))
+        };
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!(
+                "trace: wrote {format} ({} requests, {} epochs) to {path}",
+                log.requests.len(),
+                log.epochs.len()
+            ),
+            Err(e) => eprintln!("trace: could not write {path}: {e}"),
+        }
     }
 }
 
@@ -480,6 +543,12 @@ mod tests {
         let defaults = BenchArgs::parse_from(&[]).unwrap();
         assert_eq!(defaults, BenchArgs::default());
         assert_eq!(defaults.threads(), 0);
+        assert!(!defaults.telemetry().is_enabled());
+
+        let traced = BenchArgs::parse_from(&argv(&["--trace-out", "run.trace.json"])).unwrap();
+        assert_eq!(traced.trace_out.as_deref(), Some("run.trace.json"));
+        assert!(traced.tracing());
+        assert!(traced.telemetry().is_enabled());
     }
 
     #[test]
@@ -488,6 +557,8 @@ mod tests {
         assert!(BenchArgs::parse_from(&argv(&["--requests", "abc"])).is_err());
         assert!(BenchArgs::parse_from(&argv(&["--requests", "0"])).is_err());
         assert!(BenchArgs::parse_from(&argv(&["--frobnicate"])).is_err());
+        assert!(BenchArgs::parse_from(&argv(&["--trace-out"])).is_err());
+        assert!(BenchArgs::parse_from(&argv(&["--trace-out", ""])).is_err());
         // --threads 0 is valid: it means one worker per core.
         assert!(BenchArgs::parse_from(&argv(&["--threads", "0"])).is_ok());
     }
@@ -498,6 +569,7 @@ mod tests {
             requests: Some(123),
             seed: Some(77),
             threads: None,
+            trace_out: None,
         };
         let h = args.apply(Harness::new());
         assert_eq!(h.requests, 123);

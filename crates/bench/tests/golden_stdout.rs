@@ -16,6 +16,8 @@
 //! target/release/fig15_coloc_tail    --requests 80 --seed 3 > crates/bench/tests/golden/fig15_coloc_tail.txt
 //! target/release/fig09_load_sweep    --requests 60 --seed 5 > crates/bench/tests/golden/fig09_load_sweep.txt
 //! target/release/fig_fleet           --requests 60 --seed 7 > crates/bench/tests/golden/fig_fleet.txt
+//! target/release/trace_report --scenario fleet_faults --fleet 12 --crashed 3 \
+//!     --requests 40 --seed 2015 > crates/bench/tests/golden/trace_report_fleet_faults.txt
 //! ```
 
 use std::process::Command;
@@ -67,6 +69,83 @@ fn fig15_stdout_is_byte_identical_to_golden() {
         &["--requests", "80", "--seed", "3"],
         "fig15_coloc_tail.txt",
     );
+}
+
+#[test]
+fn trace_report_attribution_is_byte_identical_to_golden() {
+    // Pins the telemetry stack end to end: deterministic trace recording
+    // through the cluster driver, trace assembly, and the tail-attribution
+    // decomposition for the blind vs health-aware fleet_faults runs.
+    assert_matches_golden(
+        env!("CARGO_BIN_EXE_trace_report"),
+        &[
+            "--scenario",
+            "fleet_faults",
+            "--fleet",
+            "12",
+            "--crashed",
+            "3",
+            "--requests",
+            "40",
+            "--seed",
+            "2015",
+        ],
+        "trace_report_fleet_faults.txt",
+    );
+}
+
+#[test]
+fn trace_report_file_mode_reproduces_the_scenario_attribution() {
+    // --trace-out round-trip: the health-aware run's trace written by
+    // scenario mode, re-read in file mode, must yield the same table.
+    let dir = std::env::temp_dir().join("rubik_trace_report_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace_path = dir.join("aware.json");
+    let trace_path = trace_path.to_str().unwrap();
+
+    let bin = env!("CARGO_BIN_EXE_trace_report");
+    let scenario = Command::new(bin)
+        .args([
+            "--scenario",
+            "fleet_faults",
+            "--fleet",
+            "8",
+            "--crashed",
+            "2",
+            "--requests",
+            "30",
+            "--seed",
+            "7",
+            "--trace-out",
+            trace_path,
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        scenario.status.success(),
+        "scenario mode failed: {}",
+        String::from_utf8_lossy(&scenario.stderr)
+    );
+    let stdout = String::from_utf8(scenario.stdout).unwrap();
+    // The health-aware table is the last attribution block printed.
+    let aware_table = stdout
+        .rfind("p95 tail attribution")
+        .map(|i| &stdout[i..])
+        .expect("no attribution table in scenario stdout");
+
+    let file_mode = Command::new(bin).arg(trace_path).output().unwrap();
+    assert!(
+        file_mode.status.success(),
+        "file mode failed: {}",
+        String::from_utf8_lossy(&file_mode.stderr)
+    );
+    let file_stdout = String::from_utf8(file_mode.stdout).unwrap();
+    assert!(
+        file_stdout.contains(aware_table),
+        "file-mode attribution diverged from the scenario run:\n\
+         --- scenario ---\n{aware_table}\n--- file mode ---\n{file_stdout}"
+    );
+    let _ = std::fs::remove_file(trace_path);
 }
 
 #[test]

@@ -34,6 +34,10 @@ use crate::fleet::{EpochMeter, FleetCommand, FleetController, FleetSpec, ServerP
 use crate::migrate::{Migration, Migrator};
 use crate::outcome::ClusterOutcome;
 use crate::router::{Router, ServerHealth, ServerView};
+use rubik_telemetry::{
+    EpochSample, RequestEvent, RequestEventKind, ServerEvent, ServerEventKind, ServerSample,
+    Telemetry, TraceLog,
+};
 
 /// Why a [`Cluster`] could not be built.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +122,8 @@ pub struct Cluster<P: DvfsPolicy = Box<dyn DvfsPolicy>> {
     faults: Option<FaultPlan>,
     /// Optional client-side request lifecycle: deadlines, timeouts, retries.
     request_policy: Option<RequestPolicy>,
+    /// Instrumentation handle; disabled (and bitwise-invisible) by default.
+    telemetry: Telemetry,
 }
 
 impl<P: DvfsPolicy> std::fmt::Debug for Cluster<P> {
@@ -128,6 +134,7 @@ impl<P: DvfsPolicy> std::fmt::Debug for Cluster<P> {
             .field("quantile", &self.quantile)
             .field("fleet", &self.fleet.as_ref().map(|f| f.name()))
             .field("migrator", &self.migrator.as_ref().map(|m| m.name()))
+            .field("telemetry", &self.telemetry.is_enabled())
             .finish()
     }
 }
@@ -187,6 +194,7 @@ impl<P: DvfsPolicy> Cluster<P> {
             migrator: None,
             faults: None,
             request_policy: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -275,6 +283,20 @@ impl<P: DvfsPolicy> Cluster<P> {
         self
     }
 
+    /// Attaches instrumentation (see [`rubik_telemetry`]). The default,
+    /// [`Telemetry::disabled`], is **bitwise-invisible**: the run produces
+    /// exactly the bytes it would without telemetry and performs zero
+    /// steady-state allocations. [`Telemetry::recording`] captures
+    /// per-request lifecycle events, server fault windows, and a per-epoch
+    /// fleet time series at the same deterministic boundary instants the
+    /// driver already sequences — recording telemetry leaves the simulation
+    /// outputs bit-identical too; it only *adds* the log, retrieved with
+    /// [`Cluster::run_traced`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Overrides the core power model used for fleet energy accounting.
     ///
     /// This does **not** reach into the router: a
@@ -333,11 +355,31 @@ impl<P: DvfsPolicy> Cluster<P> {
     /// periodic clocks, interleaved with the event stream: at a boundary
     /// time `t`, every fleet event strictly before `t` has been processed,
     /// the migrator (if both fire at `t`) rebalances first, and the fleet
-    /// controller then observes the post-rebalance queues. Boundaries keep
+    /// controller then observes the post-rebalance queues. Telemetry
+    /// sampling (when recording) is its own boundary and runs *last* at
+    /// equal instants, observing the post-hook fleet. Boundaries keep
     /// firing through the post-arrival drain so a trailing backlog is still
     /// rebalanced and capped. A cluster without hooks takes the exact code
     /// path (and produces the exact bits) it did before hooks existed.
-    pub fn run_with_results(mut self, trace: &Trace) -> (ClusterOutcome, Vec<RunResult>) {
+    pub fn run_with_results(self, trace: &Trace) -> (ClusterOutcome, Vec<RunResult>) {
+        let (outcome, results, _) = self.run_core(trace);
+        (outcome, results)
+    }
+
+    /// Like [`Cluster::run_with_results`], but also returns the assembled
+    /// [`TraceLog`]. If no recording telemetry was attached with
+    /// [`Cluster::with_telemetry`], this enables [`Telemetry::recording`]
+    /// with its default sampling epoch — recording never changes the
+    /// simulated outcome, only observes it.
+    pub fn run_traced(mut self, trace: &Trace) -> (ClusterOutcome, Vec<RunResult>, TraceLog) {
+        if !self.telemetry.is_enabled() {
+            self.telemetry = Telemetry::recording();
+        }
+        let (outcome, results, log) = self.run_core(trace);
+        (outcome, results, log.expect("telemetry is enabled"))
+    }
+
+    fn run_core(mut self, trace: &Trace) -> (ClusterOutcome, Vec<RunResult>, Option<TraceLog>) {
         let n = self.servers.len();
         let mut loop_state = EventLoop {
             heap: BinaryHeap::with_capacity(2 * n),
@@ -408,6 +450,18 @@ impl<P: DvfsPolicy> Cluster<P> {
         let mut next_epoch = epoch;
         let mut next_rebalance = rebalance;
 
+        // Telemetry sampling shares the boundary mechanism. Disabled
+        // telemetry keeps `next_sample` infinite and allocates nothing —
+        // every boundary below computes exactly as it did without the
+        // `.min(next_sample)` term. Enabled sampling only *partitions* the
+        // drains at sample instants (events are still processed in the same
+        // order), so even a recording run leaves the simulation bit-exact.
+        let mut tele = std::mem::take(&mut self.telemetry);
+        let sample_epoch = tele.sample_epoch().unwrap_or(f64::INFINITY);
+        let mut tele_meter = tele.is_enabled().then(|| EpochMeter::new(n));
+        let mut tele_powers: Vec<f64> = Vec::new();
+        let mut next_sample = sample_epoch;
+
         for &request in trace.requests() {
             // Run any hook boundaries at or before the arrival instant
             // (boundary actions happen *between* events; an arrival at
@@ -420,7 +474,7 @@ impl<P: DvfsPolicy> Cluster<P> {
                 let fault_b = layer
                     .as_ref()
                     .map_or(f64::INFINITY, FaultLayer::next_boundary);
-                let boundary = next_rebalance.min(next_epoch).min(fault_b);
+                let boundary = next_rebalance.min(next_epoch).min(fault_b).min(next_sample);
                 if boundary > request.arrival {
                     break;
                 }
@@ -429,6 +483,7 @@ impl<P: DvfsPolicy> Cluster<P> {
                     let l = layer.as_mut().expect("fault boundary implies layer");
                     run_faults(
                         l,
+                        &mut tele,
                         boundary,
                         self.router.as_mut(),
                         &mut self.servers,
@@ -437,13 +492,27 @@ impl<P: DvfsPolicy> Cluster<P> {
                 }
                 if next_rebalance == boundary {
                     let m = migrator.as_deref_mut().expect("rebalance implies migrator");
-                    hooks.run_migration(m, boundary, &mut self.servers, &mut loop_state);
+                    hooks.run_migration(m, &mut tele, boundary, &mut self.servers, &mut loop_state);
                     next_rebalance += rebalance;
                 }
                 if next_epoch == boundary {
                     let ctl = fleet.as_deref_mut().expect("epoch implies controller");
                     hooks.run_epoch(ctl, boundary, epoch, &mut self.servers, &mut loop_state);
                     next_epoch += epoch;
+                }
+                if next_sample == boundary {
+                    let meter = tele_meter.as_mut().expect("sampling implies telemetry");
+                    sample_fleet(
+                        &mut tele,
+                        meter,
+                        &mut tele_powers,
+                        boundary,
+                        &self.servers,
+                        &loop_state,
+                        layer.as_ref(),
+                        &hooks.power,
+                    );
+                    next_sample += sample_epoch;
                 }
             }
 
@@ -463,6 +532,16 @@ impl<P: DvfsPolicy> Cluster<P> {
             if let Some(l) = layer.as_mut() {
                 l.on_routed(request.id, target, 1, request.arrival);
             }
+            tele.request_event(
+                request.id,
+                RequestEvent {
+                    at: request.arrival,
+                    kind: RequestEventKind::Routed {
+                        server: target as u32,
+                        attempt: 1,
+                    },
+                },
+            );
         }
 
         // The stream is exhausted: no more work will ever be offered, so
@@ -479,7 +558,7 @@ impl<P: DvfsPolicy> Cluster<P> {
             let fault_b = layer
                 .as_ref()
                 .map_or(f64::INFINITY, FaultLayer::next_boundary);
-            let boundary = next_rebalance.min(next_epoch).min(fault_b);
+            let boundary = next_rebalance.min(next_epoch).min(fault_b).min(next_sample);
             loop_state.drain_before(&mut self.servers, boundary, layer.as_mut());
             if fault_b.is_infinite() && !self.servers.iter().any(|s| s.next_event_time().is_some())
             {
@@ -489,6 +568,7 @@ impl<P: DvfsPolicy> Cluster<P> {
                 let l = layer.as_mut().expect("fault boundary implies layer");
                 run_faults(
                     l,
+                    &mut tele,
                     boundary,
                     self.router.as_mut(),
                     &mut self.servers,
@@ -497,13 +577,27 @@ impl<P: DvfsPolicy> Cluster<P> {
             }
             if next_rebalance == boundary {
                 let m = migrator.as_deref_mut().expect("rebalance implies migrator");
-                hooks.run_migration(m, boundary, &mut self.servers, &mut loop_state);
+                hooks.run_migration(m, &mut tele, boundary, &mut self.servers, &mut loop_state);
                 next_rebalance += rebalance;
             }
             if next_epoch == boundary {
                 let ctl = fleet.as_deref_mut().expect("epoch implies controller");
                 hooks.run_epoch(ctl, boundary, epoch, &mut self.servers, &mut loop_state);
                 next_epoch += epoch;
+            }
+            if next_sample == boundary {
+                let meter = tele_meter.as_mut().expect("sampling implies telemetry");
+                sample_fleet(
+                    &mut tele,
+                    meter,
+                    &mut tele_powers,
+                    boundary,
+                    &self.servers,
+                    &loop_state,
+                    layer.as_ref(),
+                    &hooks.power,
+                );
+                next_sample += sample_epoch;
             }
         }
 
@@ -514,6 +608,23 @@ impl<P: DvfsPolicy> Cluster<P> {
         let end = self.servers.iter().map(ServerSim::now).fold(0.0, f64::max);
         for server in &mut self.servers {
             server.coast_to(end);
+        }
+
+        // Close out the telemetry time series with the final (possibly
+        // partial) window, so the run's whole span is covered.
+        if let Some(meter) = tele_meter.as_mut() {
+            if end > meter.last_time() {
+                sample_fleet(
+                    &mut tele,
+                    meter,
+                    &mut tele_powers,
+                    end,
+                    &self.servers,
+                    &loop_state,
+                    layer.as_ref(),
+                    &hooks.power,
+                );
+            }
         }
 
         let downtimes: Vec<f64> = self.servers.iter().map(|s| s.downtime()).collect();
@@ -531,7 +642,8 @@ impl<P: DvfsPolicy> Cluster<P> {
         if let Some(mut l) = layer {
             outcome.availability = l.finalize(trace.len(), self.quantile, &results);
         }
-        (outcome, results)
+        let log = tele.finalize(&results, end);
+        (outcome, results, log)
     }
 }
 
@@ -632,6 +744,7 @@ fn align_server_to<P: DvfsPolicy>(
 /// of sweep threading.
 fn run_faults<P: DvfsPolicy>(
     layer: &mut FaultLayer,
+    tele: &mut Telemetry,
     now: f64,
     router: &mut dyn Router,
     servers: &mut [ServerSim<P>],
@@ -642,13 +755,36 @@ fn run_faults<P: DvfsPolicy>(
         let effective = layer.track_op(&op);
         match op.kind {
             OpKind::Crash => {
+                tele.server_event(ServerEvent {
+                    at: now,
+                    server: op.server as u32,
+                    kind: ServerEventKind::Down,
+                });
                 let in_flight = servers[op.server].fail(now);
                 loop_state.healths[op.server] = layer.health_of(op.server);
                 if let Some(spec) = in_flight {
                     if layer.policy().salvage_in_flight {
                         layer.salvage(spec, now);
+                        tele.request_event(
+                            spec.id,
+                            RequestEvent {
+                                at: now,
+                                kind: RequestEventKind::Salvaged {
+                                    server: op.server as u32,
+                                },
+                            },
+                        );
                     } else {
                         layer.drop_in_flight(spec.id);
+                        tele.request_event(
+                            spec.id,
+                            RequestEvent {
+                                at: now,
+                                kind: RequestEventKind::Dropped {
+                                    server: op.server as u32,
+                                },
+                            },
+                        );
                     }
                 }
                 loop_state.schedule(servers, op.server);
@@ -664,11 +800,26 @@ fn run_faults<P: DvfsPolicy>(
                         let target = router.route(&spec, &loop_state.views);
                         servers[target].inject(now, spec);
                         layer.requeued(spec.id, target);
+                        tele.request_event(
+                            spec.id,
+                            RequestEvent {
+                                at: now,
+                                kind: RequestEventKind::Requeued {
+                                    from: op.server as u32,
+                                    to: target as u32,
+                                },
+                            },
+                        );
                         loop_state.schedule(servers, target);
                     }
                 }
             }
             OpKind::Recover => {
+                tele.server_event(ServerEvent {
+                    at: now,
+                    server: op.server as u32,
+                    kind: ServerEventKind::Up,
+                });
                 if servers[op.server].is_down() {
                     servers[op.server].recover(now);
                 }
@@ -679,6 +830,11 @@ fn run_faults<P: DvfsPolicy>(
                 loop_state.schedule(servers, op.server);
             }
             OpKind::StraggleStart { slowdown, .. } => {
+                tele.server_event(ServerEvent {
+                    at: now,
+                    server: op.server as u32,
+                    kind: ServerEventKind::StraggleStart { slowdown },
+                });
                 servers[op.server].set_slowdown(slowdown);
                 loop_state.healths[op.server] = layer.health_of(op.server);
                 loop_state.schedule(servers, op.server);
@@ -686,11 +842,23 @@ fn run_faults<P: DvfsPolicy>(
             OpKind::StraggleEnd => {
                 if effective {
                     servers[op.server].set_slowdown(1.0);
+                    tele.server_event(ServerEvent {
+                        at: now,
+                        server: op.server as u32,
+                        kind: ServerEventKind::StraggleEnd,
+                    });
                 }
                 loop_state.healths[op.server] = layer.health_of(op.server);
                 loop_state.schedule(servers, op.server);
             }
             OpKind::Stick { level } => {
+                tele.server_event(ServerEvent {
+                    at: now,
+                    server: op.server as u32,
+                    kind: ServerEventKind::FreqStuck {
+                        mhz: level.map(|f| f.mhz()),
+                    },
+                });
                 servers[op.server].stick_freq(level);
                 loop_state.schedule(servers, op.server);
             }
@@ -703,6 +871,16 @@ fn run_faults<P: DvfsPolicy>(
         let target = router.route(&spec, &loop_state.views);
         servers[target].inject(now, spec);
         layer.on_routed(spec.id, target, attempt, now);
+        tele.request_event(
+            spec.id,
+            RequestEvent {
+                at: now,
+                kind: RequestEventKind::Routed {
+                    server: target as u32,
+                    attempt,
+                },
+            },
+        );
         loop_state.schedule(servers, target);
     }
     // Attempt timeouts: pull timed-out requests off their queues and hand
@@ -710,10 +888,82 @@ fn run_faults<P: DvfsPolicy>(
     // interrupted — the timeout is recorded and the attempt runs out.
     while let Some((id, attempt, server)) = layer.pop_due_timeout(now) {
         if let Some(spec) = servers[server].remove_queued(id) {
-            layer.retry_or_drop(spec, attempt, now);
+            tele.request_event(
+                id,
+                RequestEvent {
+                    at: now,
+                    kind: RequestEventKind::TimedOut {
+                        server: server as u32,
+                        attempt,
+                    },
+                },
+            );
+            match layer.retry_or_drop(spec, attempt, now) {
+                Some(due) => tele.request_event(
+                    id,
+                    RequestEvent {
+                        at: now,
+                        kind: RequestEventKind::Backoff { until: due },
+                    },
+                ),
+                None => tele.request_event(
+                    id,
+                    RequestEvent {
+                        at: now,
+                        kind: RequestEventKind::Dropped {
+                            server: server as u32,
+                        },
+                    },
+                ),
+            }
             loop_state.schedule(servers, server);
         }
     }
+}
+
+/// Takes one telemetry sample window ending at `now`: per-server mean power
+/// over the window (via a dedicated [`EpochMeter`], independent of the
+/// fleet controller's), queue/in-flight/DVFS snapshots from the live router
+/// views, and cumulative retry/timeout counters from the fault layer.
+#[allow(clippy::too_many_arguments)]
+fn sample_fleet<P: DvfsPolicy>(
+    tele: &mut Telemetry,
+    meter: &mut EpochMeter,
+    powers: &mut Vec<f64>,
+    now: f64,
+    servers: &[ServerSim<P>],
+    loop_state: &EventLoop,
+    layer: Option<&FaultLayer>,
+    power: &CorePowerModel,
+) {
+    let start = meter.last_time();
+    meter.measure(servers, power, now, powers);
+    let per_server: Vec<ServerSample> = loop_state
+        .views
+        .iter()
+        .zip(powers.iter())
+        .map(|(view, &watts)| ServerSample {
+            queued: view.queued as u32,
+            in_flight: view.in_flight as u32,
+            freq_mhz: view.current_freq.mhz(),
+            power: watts,
+            down: view.health == ServerHealth::Down,
+        })
+        .collect();
+    let (retries, timeouts) = layer.map_or((0, 0), |l| {
+        (l.stats().retries as u64, l.stats().timeouts as u64)
+    });
+    tele.epoch_sample(EpochSample {
+        start,
+        end: now,
+        power: powers.iter().sum(),
+        queued: per_server.iter().map(|s| s.queued).sum(),
+        in_flight: per_server.iter().map(|s| s.in_flight).sum(),
+        completions: 0, // filled at finalize by bucketing records
+        retries,
+        timeouts,
+        per_server,
+    });
 }
 
 /// Scratch state for the migration and power-capping hooks.
@@ -735,6 +985,7 @@ impl Hooks {
     fn run_migration<P: DvfsPolicy>(
         &mut self,
         migrator: &mut dyn Migrator,
+        tele: &mut Telemetry,
         now: f64,
         servers: &mut [ServerSim<P>],
         loop_state: &mut EventLoop,
@@ -765,6 +1016,16 @@ impl Hooks {
             // clock to `now` first.
             for spec in self.batch.drain(..).rev() {
                 servers[m.to].inject(now, spec);
+                tele.request_event(
+                    spec.id,
+                    RequestEvent {
+                        at: now,
+                        kind: RequestEventKind::Migrated {
+                            from: m.from as u32,
+                            to: m.to as u32,
+                        },
+                    },
+                );
             }
             loop_state.schedule(servers, m.from);
             loop_state.schedule(servers, m.to);

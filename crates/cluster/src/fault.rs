@@ -678,20 +678,29 @@ impl FaultLayer {
 
     /// Handles a timed-out request that was pulled off a queue: drop it if
     /// its retry budget is exhausted, otherwise schedule the next attempt
-    /// after a jittered backoff.
-    pub(crate) fn retry_or_drop(&mut self, spec: RequestSpec, attempt: u32, now: f64) {
+    /// after a jittered backoff. Returns the retry's due time, or `None`
+    /// when the request was dropped — the driver's telemetry records a
+    /// backoff or a drop accordingly.
+    pub(crate) fn retry_or_drop(
+        &mut self,
+        spec: RequestSpec,
+        attempt: u32,
+        now: f64,
+    ) -> Option<f64> {
         self.pending.remove(&spec.id);
         if attempt > self.policy.max_retries {
-            return; // out of budget: lost, surfaces in `finalize`
+            return None; // out of budget: lost, surfaces in `finalize`
         }
         self.stats.retries += 1;
         self.seq += 1;
+        let due = now + self.policy.backoff_delay(spec.id, attempt);
         self.retries.push(Reverse(RetryEntry {
-            due: now + self.policy.backoff_delay(spec.id, attempt),
+            due,
             seq: self.seq,
             attempt: attempt + 1,
             spec,
         }));
+        Some(due)
     }
 
     /// Salvages the request that was in service on a crashing server:
@@ -745,6 +754,13 @@ impl FaultLayer {
         }
     }
 
+    /// The availability counters accumulated so far (completion-derived
+    /// fields are only filled by [`FaultLayer::finalize`]); read by the
+    /// driver's telemetry sampling for cumulative retry/timeout series.
+    pub(crate) fn stats(&self) -> &AvailabilityStats {
+        &self.stats
+    }
+
     /// Whether any scripted op, retry, or timeout remains schedulable.
     #[cfg(test)]
     pub(crate) fn exhausted(&self) -> bool {
@@ -778,7 +794,7 @@ impl FaultLayer {
         self.stats.lost = lost;
         self.stats.goodput = completed - late;
         self.stats.deadline_exceeded = late + lost;
-        self.stats.tail_latency_ok = percentile(&ok_latencies, quantile).unwrap_or(0.0);
+        self.stats.tail_latency_ok = percentile(&ok_latencies, quantile);
         self.stats
     }
 }
@@ -973,6 +989,9 @@ mod tests {
         assert_eq!(stats.goodput, 6);
         assert_eq!(stats.deadline_exceeded, 4);
         assert!((stats.goodput_fraction() - 0.6).abs() < 1e-12);
-        assert!((stats.tail_latency_ok - 1e-3).abs() < 1e-12);
+        let tail_ok = stats
+            .tail_latency_ok
+            .expect("in-deadline completions exist");
+        assert!((tail_ok - 1e-3).abs() < 1e-12);
     }
 }

@@ -515,6 +515,11 @@ impl EpochMeter {
         }
     }
 
+    /// End of the last measured window (0.0 before any measurement).
+    pub(crate) fn last_time(&self) -> f64 {
+        self.last_t
+    }
+
     /// Mean power per server over `[last boundary, t]`, written into `out`.
     pub(crate) fn measure<P: DvfsPolicy>(
         &mut self,

@@ -178,6 +178,51 @@
 //! assert!(outcome.per_server[2].downtime > 0.0);
 //! assert_eq!(outcome.per_server.iter().filter(|s| s.downtime > 0.0).count(), 1);
 //! ```
+//!
+//! # Observability
+//!
+//! Attaching [`Telemetry`] records what the driver already sequences: every
+//! request's lifecycle (routing, timeouts, backoff, requeues, migrations),
+//! every scripted fault window, and a per-epoch fleet time series of power,
+//! queue depths, and in-flight work. The contract is strict in both
+//! directions — [`Telemetry::disabled`] (the default) is bitwise-invisible
+//! and allocation-free, and even [`Telemetry::recording`] leaves the
+//! simulated outcome bit-identical because samples are taken at boundary
+//! instants the event loop already honors. The assembled [`TraceLog`]
+//! self-serializes to JSON and Chrome `trace_event` format
+//! (`rubik_telemetry::to_json` / `to_chrome_json`), and can decompose the
+//! tail cohort's latency into queueing, service, backoff, and downtime:
+//!
+//! ```
+//! use rubik_cluster::{fleet_trace, Cluster, FaultPlan, HealthAware, JoinShortestQueue};
+//! use rubik_sim::{FixedFrequencyPolicy, SimConfig};
+//! use rubik_workloads::AppProfile;
+//!
+//! let config = SimConfig::paper_simulated();
+//! let trace = fleet_trace(&AppProfile::masstree(), 0.4, 4, 400, 11);
+//! let mid = trace.duration() / 2.0;
+//!
+//! let cluster = Cluster::new(
+//!     config.clone(),
+//!     4,
+//!     Box::new(HealthAware::new(JoinShortestQueue::new())),
+//!     |_server| FixedFrequencyPolicy::new(config.dvfs.nominal()),
+//! )
+//! .with_fault_plan(FaultPlan::new().crash(2, mid).recover(2, mid * 1.5));
+//!
+//! let (outcome, _results, log) = cluster.run_traced(&trace);
+//! assert_eq!(log.requests.len(), outcome.availability.offered);
+//! assert_eq!(log.completed(), outcome.availability.completed);
+//! // Server 2's crash shows up as a down window in the log...
+//! assert_eq!(log.down_windows()[2].len(), 1);
+//! // ...and the p95 cohort's latency decomposes into components.
+//! let report = log.attribute(0.95).expect("requests completed");
+//! println!("{}", report.table());
+//! assert!(report.cohort > 0);
+//! ```
+//!
+//! The same log powers the `trace_report` binary in `rubik-bench` and the
+//! `--trace-out` flag every figure binary shares.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -200,6 +245,7 @@ pub use router::{
     HealthAware, JoinShortestQueue, Passthrough, PowerAware, RoundRobin, Router, ServerHealth,
     ServerView,
 };
+pub use rubik_telemetry::{Telemetry, TraceLog};
 
 use rubik_sim::Trace;
 use rubik_workloads::{AppProfile, WorkloadGenerator};

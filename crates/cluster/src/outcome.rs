@@ -81,8 +81,10 @@ pub struct AvailabilityStats {
     /// under [`RequestPolicy::salvage_in_flight`](crate::RequestPolicy).
     pub salvaged_in_flight: usize,
     /// Tail latency over *successful* (within-deadline) completions only —
-    /// the p95-of-successes a recovery curve is judged by.
-    pub tail_latency_ok: f64,
+    /// the p95-of-successes a recovery curve is judged by. `None` when no
+    /// request succeeded (an all-lost or all-late run has no success tail
+    /// to report; 0.0 would masquerade as a perfect one).
+    pub tail_latency_ok: Option<f64>,
 }
 
 impl AvailabilityStats {
@@ -236,7 +238,11 @@ impl ClusterOutcome {
                 offered: requests,
                 completed: requests,
                 goodput: requests,
-                tail_latency_ok: tail_latency,
+                tail_latency_ok: if requests == 0 {
+                    None
+                } else {
+                    Some(tail_latency)
+                },
                 ..AvailabilityStats::default()
             },
             per_server,
@@ -430,7 +436,8 @@ mod tests {
         assert_eq!(av.lost, 0);
         assert_eq!(av.deadline_exceeded, 0);
         assert_eq!(av.timeouts + av.retries + av.requeued_on_failure, 0);
-        assert_eq!(av.tail_latency_ok.to_bits(), o.tail_latency.to_bits());
+        let tail_ok = av.tail_latency_ok.expect("successful completions exist");
+        assert_eq!(tail_ok.to_bits(), o.tail_latency.to_bits());
         assert_eq!(av.goodput_fraction(), 1.0);
         assert_eq!(av.error_fraction(), 0.0);
         assert_eq!(o.per_server[0].downtime, 0.0);
@@ -441,6 +448,7 @@ mod tests {
         let av = AvailabilityStats::default();
         assert_eq!(av.goodput_fraction(), 1.0);
         assert_eq!(av.error_fraction(), 0.0);
+        assert_eq!(av.tail_latency_ok, None);
         let av = AvailabilityStats {
             offered: 10,
             completed: 8,

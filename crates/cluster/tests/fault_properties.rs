@@ -71,7 +71,7 @@ fn outcome_bits(o: &ClusterOutcome) -> Vec<u64> {
         a.retries as u64,
         a.requeued_on_failure as u64,
         a.salvaged_in_flight as u64,
-        a.tail_latency_ok.to_bits(),
+        a.tail_latency_ok.map_or(u64::MAX, f64::to_bits),
     ];
     for s in &o.per_server {
         bits.extend_from_slice(&[
@@ -176,7 +176,9 @@ fn empty_fault_plan_and_inert_policy_are_bitwise_invisible() {
         );
         assert_eq!(a.goodput_fraction(), 1.0);
         assert_eq!(
-            a.tail_latency_ok.to_bits(),
+            a.tail_latency_ok
+                .expect("every request completed in deadline")
+                .to_bits(),
             faulted_outcome.tail_latency.to_bits(),
             "with no deadline, the goodput tail is the plain tail"
         );

@@ -1,0 +1,201 @@
+//! The telemetry neutrality contract, property-tested across a
+//! `router × fleet × fault-plan × seed` grid at 1, 2, and 8 sweep threads:
+//!
+//! 1. **Disabled telemetry is bitwise-invisible.** A cluster with
+//!    [`Telemetry::disabled`] attached produces exactly the bytes of a
+//!    cluster that never heard of telemetry.
+//! 2. **Recording is observation, not perturbation.** Even
+//!    [`Telemetry::recording`] leaves every simulation output — outcome,
+//!    per-server `RunResult`s — bit-identical; it only *adds* the trace
+//!    log. Sampling boundaries partition the event drain without
+//!    reordering it.
+//! 3. **The log itself is deterministic.** Serialized trace JSON from a
+//!    recording run is byte-identical across sweep thread counts.
+
+use rubik_cluster::{
+    fleet_trace, Cluster, ClusterOutcome, FaultPlan, HealthAware, JoinShortestQueue, PegasusFleet,
+    RequestPolicy, RoundRobin, Router, Telemetry, ThresholdMigrator,
+};
+use rubik_power::CorePowerModel;
+use rubik_sim::{FixedFrequencyPolicy, RunResult, SimConfig};
+use rubik_sweep::{SweepExecutor, SweepSpec};
+use rubik_workloads::AppProfile;
+
+fn result_bits(r: &RunResult) -> Vec<u64> {
+    let mut bits = vec![r.end_time().to_bits()];
+    for rec in r.records() {
+        bits.extend_from_slice(&[
+            rec.id,
+            rec.arrival.to_bits(),
+            rec.start.to_bits(),
+            rec.completion.to_bits(),
+            rec.queue_len_at_arrival as u64,
+        ]);
+    }
+    for s in r.segments() {
+        bits.extend_from_slice(&[
+            s.start.to_bits(),
+            s.end.to_bits(),
+            s.freq.mhz() as u64,
+            s.activity as u64,
+        ]);
+    }
+    bits
+}
+
+fn outcome_bits(o: &ClusterOutcome) -> Vec<u64> {
+    let a = &o.availability;
+    let mut bits = vec![
+        o.requests as u64,
+        o.migrated_requests as u64,
+        o.tail_latency.to_bits(),
+        o.mean_latency.to_bits(),
+        o.fleet_energy.to_bits(),
+        o.fleet_power.to_bits(),
+        o.duration.to_bits(),
+        a.offered as u64,
+        a.completed as u64,
+        a.goodput as u64,
+        a.lost as u64,
+        a.deadline_exceeded as u64,
+        a.timeouts as u64,
+        a.retries as u64,
+        a.requeued_on_failure as u64,
+        a.salvaged_in_flight as u64,
+        a.tail_latency_ok.map_or(u64::MAX, f64::to_bits),
+    ];
+    for s in &o.per_server {
+        bits.extend_from_slice(&[
+            s.class as u64,
+            s.requests as u64,
+            s.tail_latency.to_bits(),
+            s.energy.to_bits(),
+            s.busy_time.to_bits(),
+            s.idle_time.to_bits(),
+            s.sleep_time.to_bits(),
+            s.end_time.to_bits(),
+        ]);
+    }
+    bits
+}
+
+fn router(which: usize) -> Box<dyn Router> {
+    match which {
+        0 => Box::new(HealthAware::new(JoinShortestQueue::new())),
+        _ => Box::new(RoundRobin::new()),
+    }
+}
+
+fn eventful_plan(duration: f64) -> FaultPlan {
+    FaultPlan::new()
+        .crash(0, 0.25 * duration)
+        .recover(0, 0.70 * duration)
+        .straggle(1, 0.10 * duration, 0.60 * duration, 4.0)
+}
+
+/// Builds one fully-loaded cluster for a grid cell: router, watt cap,
+/// migrator, and (for half the grid) faults with timeouts and retries — so
+/// neutrality is proven against every boundary the driver sequences, not
+/// just the plain event stream.
+fn cell_cluster(
+    config: &SimConfig,
+    fleet: usize,
+    which_router: usize,
+    faulted: bool,
+    duration: f64,
+    seed: u64,
+) -> Cluster<FixedFrequencyPolicy> {
+    let power = CorePowerModel::haswell_like();
+    let mean = AppProfile::masstree().mean_service_time();
+    let mut cluster = Cluster::new(config.clone(), fleet, router(which_router), |_| {
+        FixedFrequencyPolicy::new(config.dvfs.nominal())
+    })
+    .with_power(power)
+    .with_fleet_controller(Box::new(
+        PegasusFleet::new(4.0 * fleet as f64, power).with_epoch(duration / 20.0),
+    ))
+    .with_migrator(Box::new(ThresholdMigrator::default()));
+    if faulted {
+        cluster = cluster
+            .with_fault_plan(eventful_plan(duration))
+            .with_request_policy(
+                RequestPolicy::new()
+                    .with_timeout(8.0 * mean)
+                    .with_retries(4, mean, 16.0 * mean)
+                    .with_jitter_seed(seed)
+                    .salvaging_in_flight()
+                    .draining_on_crash(),
+            );
+    }
+    cluster
+}
+
+#[test]
+fn telemetry_is_bitwise_neutral_across_the_grid_and_thread_counts() {
+    let fleets = [2usize, 4];
+    let seeds = [7u64, 31];
+    let spec = SweepSpec::new()
+        .axis("router", 2)
+        .axis("fleet", fleets.len())
+        .axis("plan", 2)
+        .axis("seed", seeds.len());
+
+    let cell = |c: &rubik_sweep::Cell<'_>| {
+        let config = SimConfig::paper_simulated();
+        let fleet = fleets[c.get("fleet")];
+        let seed = seeds[c.get("seed")];
+        let faulted = c.get("plan") == 1;
+        let trace = fleet_trace(&AppProfile::masstree(), 0.5, fleet, 100 * fleet, seed);
+        let duration = trace.duration();
+        let build = || cell_cluster(&config, fleet, c.get("router"), faulted, duration, seed);
+
+        // The three contenders: no telemetry, disabled telemetry, recording.
+        let (plain_o, plain_r) = build().run_with_results(&trace);
+        let (disabled_o, disabled_r) = build()
+            .with_telemetry(Telemetry::disabled())
+            .run_with_results(&trace);
+        let (recorded_o, recorded_r, log) = build().run_traced(&trace);
+
+        for (label, o, r) in [
+            ("disabled", &disabled_o, &disabled_r),
+            ("recording", &recorded_o, &recorded_r),
+        ] {
+            assert_eq!(
+                outcome_bits(&plain_o),
+                outcome_bits(o),
+                "{label} telemetry changed the ClusterOutcome (cell {})",
+                c.index()
+            );
+            for (i, (p, t)) in plain_r.iter().zip(r).enumerate() {
+                assert_eq!(
+                    result_bits(p),
+                    result_bits(t),
+                    "{label} telemetry changed server {i}'s RunResult (cell {})",
+                    c.index()
+                );
+            }
+        }
+        // The log is not a shadow: it accounts for every offered request
+        // (lost ones included) and took samples across the whole run.
+        assert_eq!(log.requests.len(), plain_o.availability.offered);
+        assert_eq!(log.completed(), plain_o.availability.completed);
+        assert!(!log.epochs.is_empty());
+
+        // Fold the serialized log into the grid result so the cross-thread
+        // comparison also pins the trace bytes themselves.
+        let mut bits = outcome_bits(&plain_o);
+        let json = rubik_telemetry::to_json(&log);
+        bits.push(json.len() as u64);
+        bits.extend(json.as_bytes().iter().map(|&b| b as u64));
+        bits
+    };
+
+    let reference = SweepExecutor::serial().run(&spec, cell).into_results();
+    for threads in [2usize, 8] {
+        let swept = SweepExecutor::new(threads).run(&spec, cell).into_results();
+        assert_eq!(
+            swept, reference,
+            "telemetry neutrality grid diverged at {threads} threads"
+        );
+    }
+}

@@ -16,7 +16,11 @@
 //! * [`cluster`] — multi-server serving: fleets of stepped [`sim`] servers
 //!   (heterogeneous via [`FleetSpec`]) behind a routing policy, with
 //!   per-server Rubik controllers, fleet-level power capping
-//!   ([`PegasusFleet`]), and queue migration ([`ThresholdMigrator`]).
+//!   ([`PegasusFleet`]), and queue migration ([`ThresholdMigrator`]),
+//! * [`telemetry`] — zero-cost-when-disabled observability for [`cluster`]:
+//!   deterministic request lifecycle traces ([`TraceLog`]), per-epoch fleet
+//!   time series, tail-latency attribution, and JSON / Chrome `trace_event`
+//!   export.
 //!
 //! The most common types are also re-exported at the crate root.
 //!
@@ -50,6 +54,7 @@ pub use rubik_power as power;
 pub use rubik_sim as sim;
 pub use rubik_stats as stats;
 pub use rubik_sweep as sweep;
+pub use rubik_telemetry as telemetry;
 pub use rubik_workloads as workloads;
 
 pub use rubik_cluster::{
@@ -73,4 +78,5 @@ pub use rubik_sim::{
 };
 pub use rubik_stats::Histogram;
 pub use rubik_sweep::{SweepExecutor, SweepRun, SweepSpec};
+pub use rubik_telemetry::{Telemetry, TraceLog};
 pub use rubik_workloads::{AppProfile, BatchApp, BatchMix, LoadProfile, WorkloadGenerator};

@@ -1,0 +1,376 @@
+//! Chrome `trace_event` export.
+//!
+//! Emits the JSON object format understood by `chrome://tracing` and
+//! Perfetto: one row (tid) per server plus a synthetic `client` row for
+//! retry backoff, `X` complete spans for queueing/service/fault windows,
+//! `i` instants for point events, and `C` counters for the fleet time
+//! series. Timestamps are microseconds of simulated time.
+//!
+//! Everything is hand-rolled (the repo is offline); the output is plain
+//! ASCII and deterministic for a given [`TraceLog`].
+
+use crate::event::{RequestEventKind, ServerEventKind};
+use crate::log::TraceLog;
+
+/// Microsecond timestamp with fixed sub-µs precision.
+fn us(t: f64) -> String {
+    format!("{:.3}", t * 1e6)
+}
+
+fn span(out: &mut Vec<String>, tid: usize, cat: &str, name: &str, from: f64, to: f64, id: u64) {
+    out.push(format!(
+        "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"cat\":\"{cat}\",\"name\":\"{name}\",\
+         \"ts\":{},\"dur\":{},\"args\":{{\"id\":{id}}}}}",
+        us(from),
+        us((to - from).max(0.0)),
+    ));
+}
+
+fn instant(out: &mut Vec<String>, tid: usize, cat: &str, name: &str, at: f64, id: u64) {
+    out.push(format!(
+        "{{\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"cat\":\"{cat}\",\"name\":\"{name}\",\
+         \"ts\":{},\"s\":\"t\",\"args\":{{\"id\":{id}}}}}",
+        us(at),
+    ));
+}
+
+/// Serialize a [`TraceLog`] in Chrome `trace_event` JSON object format.
+pub fn to_chrome_json(log: &TraceLog) -> String {
+    let client_tid = log.servers;
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"rubik fleet\"}}"
+            .to_string(),
+    );
+    for server in 0..log.servers {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{server},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"server {server}\"}}}}"
+        ));
+    }
+    events.push(format!(
+        "{{\"ph\":\"M\",\"pid\":0,\"tid\":{client_tid},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"client (backoff)\"}}}}"
+    ));
+
+    // Request rows: queueing intervals per hosting server, the service span
+    // on the completing server, backoff on the client row, instants for the
+    // point events.
+    for request in &log.requests {
+        let service_start = request.start.or(request.completion).unwrap_or(log.end);
+        let mut location: Option<(u32, f64)> = None;
+        let close = |events: &mut Vec<String>, loc: &mut Option<(u32, f64)>, at: f64| {
+            if let Some((server, since)) = loc.take() {
+                span(
+                    events,
+                    server as usize,
+                    "request",
+                    "queued",
+                    since,
+                    at,
+                    request.id,
+                );
+            }
+        };
+        for event in &request.events {
+            match event.kind {
+                RequestEventKind::Routed { server, .. } => {
+                    close(&mut events, &mut location, event.at);
+                    location = Some((server, event.at));
+                }
+                RequestEventKind::Requeued { to, .. } | RequestEventKind::Migrated { to, .. } => {
+                    close(&mut events, &mut location, event.at);
+                    location = Some((to, event.at));
+                    instant(
+                        &mut events,
+                        to as usize,
+                        "request",
+                        "hop",
+                        event.at,
+                        request.id,
+                    );
+                }
+                RequestEventKind::TimedOut { server, .. } => {
+                    close(&mut events, &mut location, event.at);
+                    instant(
+                        &mut events,
+                        server as usize,
+                        "request",
+                        "timeout",
+                        event.at,
+                        request.id,
+                    );
+                }
+                RequestEventKind::Salvaged { server } => {
+                    close(&mut events, &mut location, event.at);
+                    instant(
+                        &mut events,
+                        server as usize,
+                        "request",
+                        "salvage",
+                        event.at,
+                        request.id,
+                    );
+                }
+                RequestEventKind::Dropped { server } => {
+                    close(&mut events, &mut location, event.at);
+                    instant(
+                        &mut events,
+                        server as usize,
+                        "request",
+                        "drop",
+                        event.at,
+                        request.id,
+                    );
+                }
+                RequestEventKind::Backoff { until } => {
+                    span(
+                        &mut events,
+                        client_tid,
+                        "request",
+                        "backoff",
+                        event.at,
+                        until,
+                        request.id,
+                    );
+                }
+            }
+        }
+        close(&mut events, &mut location, service_start.min(log.end));
+        if let (Some(start), Some(completion), Some(server)) =
+            (request.start, request.completion, request.server)
+        {
+            if request.events.is_empty() && start > request.arrival {
+                // Bare-RunResult logs have no routing events; synthesize the
+                // queueing span from the record.
+                span(
+                    &mut events,
+                    server as usize,
+                    "request",
+                    "queued",
+                    request.arrival,
+                    start,
+                    request.id,
+                );
+            }
+            span(
+                &mut events,
+                server as usize,
+                "request",
+                "service",
+                start,
+                completion,
+                request.id,
+            );
+        }
+    }
+
+    // Fault windows per server.
+    for (server, windows) in log.down_windows().iter().enumerate() {
+        for &(from, to) in windows {
+            span(
+                &mut events,
+                server,
+                "fault",
+                "down",
+                from,
+                to,
+                server as u64,
+            );
+        }
+    }
+    let mut straggling: Vec<Option<f64>> = vec![None; log.servers];
+    for event in &log.server_events {
+        let server = event.server as usize;
+        if server >= log.servers {
+            continue;
+        }
+        match event.kind {
+            ServerEventKind::StraggleStart { .. } => {
+                straggling[server].get_or_insert(event.at);
+            }
+            ServerEventKind::StraggleEnd => {
+                if let Some(from) = straggling[server].take() {
+                    span(
+                        &mut events,
+                        server,
+                        "fault",
+                        "straggle",
+                        from,
+                        event.at,
+                        event.server as u64,
+                    );
+                }
+            }
+            ServerEventKind::FreqStuck { mhz } => {
+                let name = if mhz.is_some() {
+                    "freq stuck"
+                } else {
+                    "freq unstuck"
+                };
+                instant(
+                    &mut events,
+                    server,
+                    "fault",
+                    name,
+                    event.at,
+                    event.server as u64,
+                );
+            }
+            _ => {}
+        }
+    }
+    for (server, from) in straggling.into_iter().enumerate() {
+        if let Some(from) = from {
+            span(
+                &mut events,
+                server,
+                "fault",
+                "straggle",
+                from,
+                log.end.max(from),
+                server as u64,
+            );
+        }
+    }
+
+    // Fleet counters, one series point per sample window.
+    for epoch in &log.epochs {
+        events.push(format!(
+            "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"fleet power (W)\",\
+             \"ts\":{},\"args\":{{\"watts\":{:.4}}}}}",
+            us(epoch.end),
+            epoch.power,
+        ));
+        events.push(format!(
+            "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"fleet load\",\
+             \"ts\":{},\"args\":{{\"queued\":{},\"in_flight\":{}}}}}",
+            us(epoch.end),
+            epoch.queued,
+            epoch.in_flight,
+        ));
+        events.push(format!(
+            "{{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"name\":\"fleet progress\",\
+             \"ts\":{},\"args\":{{\"completions\":{},\"retries\":{},\"timeouts\":{}}}}}",
+            us(epoch.end),
+            epoch.completions,
+            epoch.retries,
+            epoch.timeouts,
+        ));
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{RequestEvent, ServerEvent};
+    use crate::fleet::EpochSample;
+    use crate::log::RequestTrace;
+
+    #[test]
+    fn export_covers_spans_instants_and_counters() {
+        let log = TraceLog {
+            servers: 2,
+            end: 1.0,
+            requests: vec![RequestTrace {
+                id: 4,
+                arrival: 0.0,
+                start: Some(0.3),
+                completion: Some(0.4),
+                server: Some(1),
+                events: vec![
+                    RequestEvent {
+                        at: 0.0,
+                        kind: RequestEventKind::Routed {
+                            server: 0,
+                            attempt: 1,
+                        },
+                    },
+                    RequestEvent {
+                        at: 0.1,
+                        kind: RequestEventKind::TimedOut {
+                            server: 0,
+                            attempt: 1,
+                        },
+                    },
+                    RequestEvent {
+                        at: 0.1,
+                        kind: RequestEventKind::Backoff { until: 0.2 },
+                    },
+                    RequestEvent {
+                        at: 0.2,
+                        kind: RequestEventKind::Routed {
+                            server: 1,
+                            attempt: 2,
+                        },
+                    },
+                ],
+            }],
+            server_events: vec![
+                ServerEvent {
+                    at: 0.05,
+                    server: 0,
+                    kind: ServerEventKind::Down,
+                },
+                ServerEvent {
+                    at: 0.15,
+                    server: 0,
+                    kind: ServerEventKind::Up,
+                },
+            ],
+            epochs: vec![EpochSample {
+                start: 0.0,
+                end: 0.5,
+                power: 9.0,
+                queued: 1,
+                in_flight: 2,
+                completions: 1,
+                retries: 1,
+                timeouts: 1,
+                per_server: Vec::new(),
+            }],
+        };
+        let text = to_chrome_json(&log);
+        for needle in [
+            "\"name\":\"server 0\"",
+            "\"name\":\"client (backoff)\"",
+            "\"name\":\"queued\"",
+            "\"name\":\"service\"",
+            "\"name\":\"backoff\"",
+            "\"name\":\"timeout\"",
+            "\"name\":\"down\"",
+            "\"name\":\"fleet power (W)\"",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in export");
+        }
+        // Determinism: same log, same bytes.
+        assert_eq!(text, to_chrome_json(&log));
+    }
+
+    #[test]
+    fn bare_record_requests_get_synthesized_queue_spans() {
+        let log = TraceLog {
+            servers: 1,
+            end: 1.0,
+            requests: vec![RequestTrace {
+                id: 0,
+                arrival: 0.0,
+                start: Some(0.5),
+                completion: Some(0.75),
+                server: Some(0),
+                events: Vec::new(),
+            }],
+            server_events: Vec::new(),
+            epochs: Vec::new(),
+        };
+        let text = to_chrome_json(&log);
+        assert!(text.contains("\"name\":\"queued\""));
+        assert!(text.contains("\"name\":\"service\""));
+    }
+}

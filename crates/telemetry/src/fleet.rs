@@ -1,0 +1,147 @@
+//! Per-epoch fleet time series.
+//!
+//! The cluster driver already meters power per control epoch for the fleet
+//! controller; the [`FleetRecorder`] extends that metering into a retained
+//! time series sampled on its own (usually finer) epoch: fleet power, queue
+//! depths, in-flight counts, per-server DVFS state, and cumulative
+//! retry/timeout counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of one server at a sample boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ServerSample {
+    /// Requests waiting in the server's queue.
+    pub queued: u32,
+    /// Requests queued or in service.
+    pub in_flight: u32,
+    /// DVFS frequency at the sample instant, in MHz.
+    pub freq_mhz: u32,
+    /// Mean power over the sample window, in watts.
+    pub power: f64,
+    /// Whether the server was crashed at the sample instant.
+    pub down: bool,
+}
+
+/// One fleet-wide sample window `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EpochSample {
+    /// Window start time.
+    pub start: f64,
+    /// Window end time (the sample instant).
+    pub end: f64,
+    /// Mean fleet power over the window, in watts.
+    pub power: f64,
+    /// Total requests queued across the fleet at the sample instant.
+    pub queued: u32,
+    /// Total requests in flight (queued + in service) at the sample instant.
+    pub in_flight: u32,
+    /// Requests that completed inside this window (filled at finalize).
+    pub completions: u32,
+    /// Cumulative retries issued up to the sample instant.
+    pub retries: u64,
+    /// Cumulative client timeouts up to the sample instant.
+    pub timeouts: u64,
+    /// Per-server detail, indexed by server.
+    pub per_server: Vec<ServerSample>,
+}
+
+impl EpochSample {
+    /// Window length.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Retained per-epoch fleet time series.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetRecorder {
+    epochs: Vec<EpochSample>,
+}
+
+impl FleetRecorder {
+    /// Append one sample window. Windows must be recorded in time order.
+    pub fn record(&mut self, sample: EpochSample) {
+        debug_assert!(
+            self.epochs.last().is_none_or(|p| p.end <= sample.start),
+            "fleet samples must be recorded in time order"
+        );
+        self.epochs.push(sample);
+    }
+
+    /// The recorded sample windows, in time order.
+    pub fn epochs(&self) -> &[EpochSample] {
+        &self.epochs
+    }
+
+    /// Number of recorded windows.
+    pub fn len(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.epochs.is_empty()
+    }
+
+    /// Consume the recorder and return the raw series.
+    pub fn into_epochs(self) -> Vec<EpochSample> {
+        self.epochs
+    }
+
+    /// Fill [`EpochSample::completions`] by bucketing completion times into
+    /// the recorded windows. A completion lands in the window whose
+    /// `[start, end)` span contains it; completions at or past the final
+    /// window's `end` are credited to the final window.
+    pub fn bucket_completions(&mut self, completion_times: &mut [f64]) {
+        if self.epochs.is_empty() {
+            return;
+        }
+        completion_times.sort_by(|a, b| a.partial_cmp(b).expect("finite completion times"));
+        let mut cursor = 0;
+        let last = self.epochs.len() - 1;
+        for (i, epoch) in self.epochs.iter_mut().enumerate() {
+            let mut count = 0u32;
+            while cursor < completion_times.len()
+                && (completion_times[cursor] < epoch.end || i == last)
+            {
+                count += 1;
+                cursor += 1;
+            }
+            epoch.completions = count;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(start: f64, end: f64) -> EpochSample {
+        EpochSample {
+            start,
+            end,
+            ..EpochSample::default()
+        }
+    }
+
+    #[test]
+    fn completions_bucket_into_their_windows() {
+        let mut rec = FleetRecorder::default();
+        rec.record(window(0.0, 1.0));
+        rec.record(window(1.0, 2.0));
+        rec.record(window(2.0, 2.5));
+        let mut times = vec![0.5, 0.9, 1.0, 2.4, 2.5, 7.0];
+        rec.bucket_completions(&mut times);
+        let counts: Vec<u32> = rec.epochs().iter().map(|e| e.completions).collect();
+        // 2.5 and 7.0 land past the final window's end and are credited to it.
+        assert_eq!(counts, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn empty_recorder_ignores_completions() {
+        let mut rec = FleetRecorder::default();
+        rec.bucket_completions(&mut [1.0]);
+        assert!(rec.is_empty());
+    }
+}
