@@ -34,6 +34,7 @@ use rubik::{
 use rubik_sweep::SweepExecutor;
 
 pub mod faults;
+pub mod hedge;
 
 /// Tail percentile used throughout the evaluation.
 pub const TAIL_QUANTILE: f64 = 0.95;

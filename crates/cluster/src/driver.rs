@@ -29,7 +29,7 @@ use std::collections::BinaryHeap;
 use rubik_power::CorePowerModel;
 use rubik_sim::{DvfsPolicy, RequestSpec, RunResult, ServerSim, SimConfig, SimEvent, Trace};
 
-use crate::fault::{FaultLayer, FaultPlan, OpKind, RequestPolicy};
+use crate::fault::{FaultLayer, FaultPlan, HedgeResolution, OpKind, RequestPolicy};
 use crate::fleet::{EpochMeter, FleetCommand, FleetController, FleetSpec, ServerPowerView};
 use crate::migrate::{Migration, Migrator};
 use crate::outcome::ClusterOutcome;
@@ -268,8 +268,7 @@ impl<P: DvfsPolicy> Cluster<P> {
 
     /// Fallible [`Cluster::with_fault_plan`].
     pub fn try_with_fault_plan(mut self, plan: FaultPlan) -> Result<Self, ClusterError> {
-        plan.validate(self.servers.len())
-            .map_err(ClusterError::InvalidFaultPlan)?;
+        plan.validate(self.servers.len())?;
         self.faults = Some(plan);
         Ok(self)
     }
@@ -478,7 +477,7 @@ impl<P: DvfsPolicy> Cluster<P> {
                 if boundary > request.arrival {
                     break;
                 }
-                loop_state.drain_before(&mut self.servers, boundary, layer.as_mut());
+                loop_state.drain_before(&mut self.servers, boundary, layer.as_mut(), &mut tele);
                 if fault_b <= boundary {
                     let l = layer.as_mut().expect("fault boundary implies layer");
                     run_faults(
@@ -519,7 +518,12 @@ impl<P: DvfsPolicy> Cluster<P> {
             // Process every fleet event strictly before the arrival; events
             // at exactly the arrival instant are left for the destination
             // server's engine to order against the arrival itself.
-            loop_state.drain_before(&mut self.servers, request.arrival, layer.as_mut());
+            loop_state.drain_before(
+                &mut self.servers,
+                request.arrival,
+                layer.as_mut(),
+                &mut tele,
+            );
 
             let target = self.router.route(&request, &loop_state.views);
             assert!(
@@ -530,7 +534,7 @@ impl<P: DvfsPolicy> Cluster<P> {
             self.servers[target].offer(request);
             loop_state.schedule(&self.servers, target);
             if let Some(l) = layer.as_mut() {
-                l.on_routed(request.id, target, 1, request.arrival);
+                l.on_routed(request, target, 1, request.arrival);
             }
             tele.request_event(
                 request.id,
@@ -559,7 +563,7 @@ impl<P: DvfsPolicy> Cluster<P> {
                 .as_ref()
                 .map_or(f64::INFINITY, FaultLayer::next_boundary);
             let boundary = next_rebalance.min(next_epoch).min(fault_b).min(next_sample);
-            loop_state.drain_before(&mut self.servers, boundary, layer.as_mut());
+            loop_state.drain_before(&mut self.servers, boundary, layer.as_mut(), &mut tele);
             if fault_b.is_infinite() && !self.servers.iter().any(|s| s.next_event_time().is_some())
             {
                 break;
@@ -693,12 +697,15 @@ impl EventLoop {
 
     /// Steps fleet events in `(time, server)` order while they lie strictly
     /// before `limit`. When a fault layer is attached, completions are
-    /// reported to it so pending timeouts are retired.
+    /// reported to it so pending timeouts are retired — and a completion
+    /// that resolves a hedged pair cancels the losing copy on the spot
+    /// (first-completion-wins).
     fn drain_before<P: DvfsPolicy>(
         &mut self,
         servers: &mut [ServerSim<P>],
         limit: f64,
         mut layer: Option<&mut FaultLayer>,
+        tele: &mut Telemetry,
     ) {
         while let Some(&Reverse(entry)) = self.heap.peek() {
             if entry.time >= limit {
@@ -711,37 +718,101 @@ impl EventLoop {
             let stepped = servers[entry.server].step();
             debug_assert!(stepped.is_some(), "a scheduled event must fire");
             if let (Some(SimEvent::Completion(rec)), Some(l)) = (&stepped, layer.as_deref_mut()) {
-                l.on_completion(rec.id);
+                if let Some(res) = l.on_completion(rec.id, entry.server, rec.latency()) {
+                    resolve_hedge(
+                        servers,
+                        self,
+                        tele,
+                        rec.id,
+                        rec.completion,
+                        entry.server,
+                        res,
+                    );
+                }
             }
             self.schedule(servers, entry.server);
         }
     }
 }
 
+/// Cancels the losing copy of a resolved hedged pair after the other copy
+/// completed at `at` on `winner`. The layer's `loser` server is a hint — a
+/// migrator may have moved the copy since it was tracked — so a miss falls
+/// back to a fleet-wide search. Cancellation is safe here because every
+/// fleet event strictly before `at` has already been processed: the losing
+/// copy's next event (if any) cannot lie in the cancelled past.
+fn resolve_hedge<P: DvfsPolicy>(
+    servers: &mut [ServerSim<P>],
+    loop_state: &mut EventLoop,
+    tele: &mut Telemetry,
+    id: u64,
+    at: f64,
+    winner: usize,
+    res: HedgeResolution,
+) {
+    if res.hedge_won {
+        tele.request_event(
+            id,
+            RequestEvent {
+                at,
+                kind: RequestEventKind::HedgeWon {
+                    server: winner as u32,
+                },
+            },
+        );
+    }
+    // A server that coasted past `at` (e.g. under an earlier fault
+    // alignment at this same boundary) cancels at its own clock instead.
+    let cancel = |servers: &mut [ServerSim<P>], j: usize| {
+        servers[j].cancel(at.max(servers[j].now()), id).is_some()
+    };
+    let found = if cancel(servers, res.loser) {
+        Some(res.loser)
+    } else {
+        (0..servers.len()).find(|&j| j != res.loser && cancel(servers, j))
+    };
+    if let Some(j) = found {
+        loop_state.schedule(servers, j);
+        tele.request_event(
+            id,
+            RequestEvent {
+                at,
+                kind: RequestEventKind::HedgeCancelled { server: j as u32 },
+            },
+        );
+    }
+}
+
 /// Steps one server's events up to and including `t` (reporting completions
-/// to the fault layer), then aligns its clock to exactly `t` so a fault op
-/// applies at its scripted instant — the straggler factor, stuck frequency,
-/// or failure takes effect at `t`, not at the server's last event.
+/// to the fault layer, resolving hedged pairs), then aligns its clock to
+/// exactly `t` so a fault op applies at its scripted instant — the
+/// straggler factor, stuck frequency, or failure takes effect at `t`, not
+/// at the server's last event.
 fn align_server_to<P: DvfsPolicy>(
     servers: &mut [ServerSim<P>],
     i: usize,
     t: f64,
     layer: &mut FaultLayer,
+    tele: &mut Telemetry,
+    loop_state: &mut EventLoop,
 ) {
     while servers[i].next_event_time().is_some_and(|te| te <= t) {
         if let Some(SimEvent::Completion(rec)) = servers[i].step() {
-            layer.on_completion(rec.id);
+            if let Some(res) = layer.on_completion(rec.id, i, rec.latency()) {
+                resolve_hedge(servers, loop_state, tele, rec.id, rec.completion, i, res);
+            }
         }
     }
     servers[i].coast_to(t);
 }
 
-/// Applies every scripted op, retry delivery, and attempt timeout due at
-/// `now`, in that order (ops change health, which retry routing observes;
-/// timeouts run last so a retry delivered at `now` cannot time out at
-/// `now`). All server mutation happens here, against the same views and
-/// scheduling discipline as routing — one deterministic sequence regardless
-/// of sweep threading.
+/// Applies every scripted op, retry delivery, hedge launch, and attempt
+/// timeout due at `now`, in that order (ops change health, which retry and
+/// hedge routing observe; hedges precede timeouts so a launch due at `now`
+/// supersedes a timeout due at the same instant; timeouts run last so a
+/// retry delivered at `now` cannot time out at `now`). All server mutation
+/// happens here, against the same views and scheduling discipline as
+/// routing — one deterministic sequence regardless of sweep threading.
 fn run_faults<P: DvfsPolicy>(
     layer: &mut FaultLayer,
     tele: &mut Telemetry,
@@ -751,7 +822,7 @@ fn run_faults<P: DvfsPolicy>(
     loop_state: &mut EventLoop,
 ) {
     while let Some(op) = layer.pop_due_op(now) {
-        align_server_to(servers, op.server, now, layer);
+        align_server_to(servers, op.server, now, layer, tele, loop_state);
         let effective = layer.track_op(&op);
         match op.kind {
             OpKind::Crash => {
@@ -763,7 +834,11 @@ fn run_faults<P: DvfsPolicy>(
                 let in_flight = servers[op.server].fail(now);
                 loop_state.healths[op.server] = layer.health_of(op.server);
                 if let Some(spec) = in_flight {
-                    if layer.policy().salvage_in_flight {
+                    if layer.copy_lost(spec.id, op.server) {
+                        // One copy of a hedged pair died with the server;
+                        // the twin is still live, so there is nothing to
+                        // salvage or drop.
+                    } else if layer.policy().salvage_in_flight {
                         layer.salvage(spec, now);
                         tele.request_event(
                             spec.id,
@@ -799,7 +874,7 @@ fn run_faults<P: DvfsPolicy>(
                     for spec in stranded.into_iter().rev() {
                         let target = router.route(&spec, &loop_state.views);
                         servers[target].inject(now, spec);
-                        layer.requeued(spec.id, target);
+                        layer.requeued(spec.id, op.server, target);
                         tele.request_event(
                             spec.id,
                             RequestEvent {
@@ -870,12 +945,41 @@ fn run_faults<P: DvfsPolicy>(
     while let Some((spec, attempt)) = layer.pop_due_retry(now) {
         let target = router.route(&spec, &loop_state.views);
         servers[target].inject(now, spec);
-        layer.on_routed(spec.id, target, attempt, now);
+        layer.on_routed(spec, target, attempt, now);
         tele.request_event(
             spec.id,
             RequestEvent {
                 at: now,
                 kind: RequestEventKind::Routed {
+                    server: target as u32,
+                    attempt,
+                },
+            },
+        );
+        loop_state.schedule(servers, target);
+    }
+    // Hedge launches due now: inject a duplicate of the still-pending
+    // attempt on the shortest-queue routable server other than the one
+    // already holding it (the same `(in_flight, index)` key JSQ uses).
+    // With no second routable candidate the launch is skipped — hedging
+    // never stacks both copies on one server or feeds a down one.
+    while let Some((spec, attempt, primary)) = layer.pop_due_hedge(now) {
+        let target = loop_state
+            .views
+            .iter()
+            .filter(|v| v.index != primary && v.health.routable())
+            .min_by_key(|v| (v.in_flight, v.index))
+            .map(|v| v.index);
+        let Some(target) = target else {
+            continue;
+        };
+        servers[target].inject(now, spec);
+        layer.hedge_launched(spec.id, target);
+        tele.request_event(
+            spec.id,
+            RequestEvent {
+                at: now,
+                kind: RequestEventKind::Hedged {
                     server: target as u32,
                     attempt,
                 },

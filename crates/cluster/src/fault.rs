@@ -17,7 +17,10 @@
 //! [`HealthAware`](crate::HealthAware) to steer retries away from down
 //! servers); requests stranded in service on a crashed server can be
 //! salvaged and re-delivered, and a dead server's queue can be drained and
-//! re-routed wholesale.
+//! re-routed wholesale. [`RequestPolicy::with_hedging`] adds speculative
+//! duplicates: an attempt that outlives the tracked latency quantile is
+//! mirrored onto a second server, and the first copy to complete wins —
+//! the driver cancels the other.
 //!
 //! The accounting lands in
 //! [`ClusterOutcome::availability`](crate::ClusterOutcome::availability).
@@ -26,8 +29,9 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use rubik_sim::{Freq, RequestSpec, RunResult};
-use rubik_stats::{percentile, DeterministicRng};
+use rubik_stats::{percentile, percentile_of_sorted, DeterministicRng};
 
+use crate::driver::ClusterError;
 use crate::outcome::AvailabilityStats;
 use crate::router::ServerHealth;
 
@@ -179,17 +183,20 @@ impl FaultPlan {
     /// range, every time finite and non-negative, straggle windows
     /// non-empty with a positive finite slowdown, no double crashes, and no
     /// recovery of a server that is neither crashed nor frequency-stuck.
-    pub fn validate(&self, servers: usize) -> Result<(), String> {
+    /// The first offending event is reported as
+    /// [`ClusterError::InvalidFaultPlan`].
+    pub fn validate(&self, servers: usize) -> Result<(), ClusterError> {
+        let invalid = |msg: String| Err(ClusterError::InvalidFaultPlan(msg));
         for (k, ev) in self.events.iter().enumerate() {
             let s = ev.server();
             if s >= servers {
-                return Err(format!(
+                return invalid(format!(
                     "event {k}: server {s} out of range for a {servers}-server fleet"
                 ));
             }
             let at = ev.at();
             if !at.is_finite() || at < 0.0 {
-                return Err(format!(
+                return invalid(format!(
                     "event {k}: time {at} is not a finite, non-negative instant"
                 ));
             }
@@ -198,12 +205,12 @@ impl FaultPlan {
             } = *ev
             {
                 if !until.is_finite() || until <= at {
-                    return Err(format!(
+                    return invalid(format!(
                         "event {k}: straggle window [{at}, {until}] is empty or unbounded"
                     ));
                 }
                 if !slowdown.is_finite() || slowdown <= 0.0 {
-                    return Err(format!(
+                    return invalid(format!(
                         "event {k}: slowdown {slowdown} must be finite and > 0"
                     ));
                 }
@@ -224,7 +231,7 @@ impl FaultPlan {
             match self.events[k] {
                 FaultEvent::Crash { server, .. } => {
                     if crashed[server] {
-                        return Err(format!(
+                        return invalid(format!(
                             "event {k}: server {server} crashes while already down"
                         ));
                     }
@@ -232,7 +239,7 @@ impl FaultPlan {
                 }
                 FaultEvent::Recover { server, .. } => {
                     if !crashed[server] && !stuck[server] {
-                        return Err(format!(
+                        return invalid(format!(
                             "event {k}: server {server} recovers but is neither down nor stuck"
                         ));
                     }
@@ -283,6 +290,15 @@ pub struct RequestPolicy {
     /// the crash instant (arrival times preserved). When `false` the queue
     /// stays parked until the server recovers.
     pub drain_on_crash: bool,
+    /// Hedge trigger quantile: when an attempt has been outstanding longer
+    /// than this quantile of the completion latencies observed so far, a
+    /// speculative duplicate is launched on a second server and the first
+    /// copy to complete wins. `None` disables hedging (bit-neutral).
+    pub hedge_quantile: Option<f64>,
+    /// Floor on the hedge trigger delay, in seconds: early in a run (or
+    /// under a crashed-estimate workload) the tracked quantile can be tiny,
+    /// and this keeps hedges from firing on every request.
+    pub hedge_min_delay: f64,
 }
 
 impl Default for RequestPolicy {
@@ -296,6 +312,8 @@ impl Default for RequestPolicy {
             jitter_seed: 0,
             salvage_in_flight: false,
             drain_on_crash: false,
+            hedge_quantile: None,
+            hedge_min_delay: 0.0,
         }
     }
 }
@@ -355,6 +373,27 @@ impl RequestPolicy {
     /// Enables draining and re-routing a crashed server's queue.
     pub fn draining_on_crash(mut self) -> Self {
         self.drain_on_crash = true;
+        self
+    }
+
+    /// Enables hedged requests: when an attempt has been outstanding for
+    /// longer than the `quantile` of completion latencies observed so far
+    /// (never less than `min_delay` seconds), a speculative duplicate is
+    /// launched on the shortest-queue routable server other than the one
+    /// already holding the attempt. The first copy to complete wins and the
+    /// other is cancelled. The trigger delay is sampled once, when the
+    /// attempt is routed.
+    pub fn with_hedging(mut self, quantile: f64, min_delay: f64) -> Self {
+        assert!(
+            quantile > 0.0 && quantile < 1.0,
+            "hedge quantile must be in (0, 1)"
+        );
+        assert!(
+            min_delay.is_finite() && min_delay >= 0.0,
+            "hedge min delay must be finite and non-negative"
+        );
+        self.hedge_quantile = Some(quantile);
+        self.hedge_min_delay = min_delay;
         self
     }
 
@@ -493,11 +532,15 @@ fn expand(plan: &FaultPlan) -> Vec<TimedOp> {
     ops
 }
 
-/// A pending (routed, not yet completed) request attempt.
+/// A pending (routed, not yet completed) request attempt. While `hedge`
+/// is `Some(h)`, two copies of the attempt are live — the original on
+/// `server` and a speculative duplicate on `h` — and exactly one of them
+/// will produce the completion record.
 #[derive(Debug, Clone, Copy)]
 struct Pending {
     server: usize,
     attempt: u32,
+    hedge: Option<usize>,
 }
 
 /// A scheduled per-attempt timeout. Ordered by `(due, seq)`.
@@ -557,6 +600,46 @@ impl PartialOrd for RetryEntry {
     }
 }
 
+/// A scheduled hedge launch: if the attempt is still pending when `due`
+/// arrives, a duplicate of `spec` is injected on a second server. Ordered
+/// by `(due, seq)`; the payload is ignored by the ordering.
+#[derive(Debug, Clone, Copy)]
+struct HedgeEntry {
+    due: f64,
+    seq: u64,
+    attempt: u32,
+    spec: RequestSpec,
+}
+
+impl PartialEq for HedgeEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HedgeEntry {}
+impl Ord for HedgeEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.due
+            .total_cmp(&other.due)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+impl PartialOrd for HedgeEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// How a hedged pair resolved when one copy completed: the driver must
+/// cancel the other copy (`loser` is the server the layer last saw it on —
+/// a hint, since a migrator may have moved it) and record whether the
+/// speculative copy was the one that won.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HedgeResolution {
+    pub(crate) loser: usize,
+    pub(crate) hedge_won: bool,
+}
+
 /// The driver-side fault and request-lifecycle state: the expanded op
 /// stream, the timeout and retry schedules, per-request pending bookkeeping,
 /// and the availability counters. Pure bookkeeping — the driver owns every
@@ -567,7 +650,11 @@ pub(crate) struct FaultLayer {
     cursor: usize,
     timeouts: BinaryHeap<Reverse<TimeoutEntry>>,
     retries: BinaryHeap<Reverse<RetryEntry>>,
+    hedges: BinaryHeap<Reverse<HedgeEntry>>,
     pending: HashMap<u64, Pending>,
+    /// Completion latencies observed so far, kept sorted; feeds the hedge
+    /// trigger quantile. Only populated when hedging is enabled.
+    latencies: Vec<f64>,
     policy: RequestPolicy,
     tracker: HealthTracker,
     stats: AvailabilityStats,
@@ -581,7 +668,9 @@ impl FaultLayer {
             cursor: 0,
             timeouts: BinaryHeap::new(),
             retries: BinaryHeap::new(),
+            hedges: BinaryHeap::new(),
             pending: HashMap::new(),
+            latencies: Vec::new(),
             policy,
             tracker: HealthTracker::new(servers),
             stats: AvailabilityStats::default(),
@@ -598,8 +687,9 @@ impl FaultLayer {
     }
 
     /// Earliest instant at which the layer has work: the next scripted op,
-    /// retry delivery, or attempt timeout. Infinite when there is none —
-    /// an empty plan with an inert policy never produces a boundary.
+    /// retry delivery, hedge launch, or attempt timeout. Infinite when
+    /// there is none — an empty plan with an inert policy never produces a
+    /// boundary.
     pub(crate) fn next_boundary(&self) -> f64 {
         let mut t = f64::INFINITY;
         if let Some(op) = self.ops.get(self.cursor) {
@@ -609,6 +699,9 @@ impl FaultLayer {
             t = t.min(e.due);
         }
         if let Some(Reverse(e)) = self.retries.peek() {
+            t = t.min(e.due);
+        }
+        if let Some(Reverse(e)) = self.hedges.peek() {
             t = t.min(e.due);
         }
         t
@@ -635,9 +728,12 @@ impl FaultLayer {
     }
 
     /// Pops the next *valid* timeout due at or before `now`, discarding
-    /// entries whose request already completed or was re-attempted. Returns
-    /// `(id, attempt, server)` — the driver pulls the request off that
-    /// server's queue (or leaves it alone if it is in service).
+    /// entries whose request already completed or was re-attempted — or
+    /// whose attempt has an active hedge (the duplicate supersedes the
+    /// timeout: two copies are racing, pulling one back would defeat the
+    /// point). Returns `(id, attempt, server)` — the driver pulls the
+    /// request off that server's queue (or leaves it alone if it is in
+    /// service).
     pub(crate) fn pop_due_timeout(&mut self, now: f64) -> Option<(u64, u32, usize)> {
         while let Some(&Reverse(e)) = self.timeouts.peek() {
             if e.due > now {
@@ -645,20 +741,52 @@ impl FaultLayer {
             }
             self.timeouts.pop();
             match self.pending.get(&e.id) {
-                Some(p) if p.attempt == e.attempt => {
+                Some(p) if p.attempt == e.attempt && p.hedge.is_none() => {
                     self.stats.timeouts += 1;
                     return Some((e.id, e.attempt, p.server));
                 }
-                _ => continue, // stale: completed or superseded by a retry
+                _ => continue, // stale: completed, superseded, or hedged
             }
         }
         None
     }
 
-    /// Records that attempt `attempt` of request `id` was routed to
-    /// `server` at `now`, scheduling its timeout if the policy has one.
-    pub(crate) fn on_routed(&mut self, id: u64, server: usize, attempt: u32, now: f64) {
-        self.pending.insert(id, Pending { server, attempt });
+    /// Pops the next *valid* hedge launch due at or before `now`,
+    /// discarding entries whose attempt already completed, retried, or
+    /// hedged. Returns `(spec, attempt, primary)` — the driver injects a
+    /// duplicate of `spec` on a server other than `primary`.
+    pub(crate) fn pop_due_hedge(&mut self, now: f64) -> Option<(RequestSpec, u32, usize)> {
+        while let Some(&Reverse(e)) = self.hedges.peek() {
+            if e.due > now {
+                return None;
+            }
+            self.hedges.pop();
+            match self.pending.get(&e.spec.id) {
+                Some(p) if p.attempt == e.attempt && p.hedge.is_none() => {
+                    return Some((e.spec, e.attempt, p.server));
+                }
+                _ => continue, // stale: completed, retried, or already hedged
+            }
+        }
+        None
+    }
+
+    /// Records that attempt `attempt` of request `spec.id` was routed to
+    /// `server` at `now`, scheduling its timeout if the policy has one and
+    /// its hedge launch if hedging is enabled. The hedge trigger delay is
+    /// sampled here, once per routed attempt: the tracked quantile of
+    /// completion latencies so far, floored at
+    /// [`RequestPolicy::hedge_min_delay`].
+    pub(crate) fn on_routed(&mut self, spec: RequestSpec, server: usize, attempt: u32, now: f64) {
+        let id = spec.id;
+        self.pending.insert(
+            id,
+            Pending {
+                server,
+                attempt,
+                hedge: None,
+            },
+        );
         if let Some(timeout) = self.policy.timeout {
             self.seq += 1;
             self.timeouts.push(Reverse(TimeoutEntry {
@@ -668,12 +796,77 @@ impl FaultLayer {
                 attempt,
             }));
         }
+        if let Some(q) = self.policy.hedge_quantile {
+            let tracked = if self.latencies.is_empty() {
+                0.0
+            } else {
+                percentile_of_sorted(&self.latencies, q)
+            };
+            self.seq += 1;
+            self.hedges.push(Reverse(HedgeEntry {
+                due: now + tracked.max(self.policy.hedge_min_delay),
+                seq: self.seq,
+                attempt,
+                spec,
+            }));
+        }
     }
 
-    /// Records that request `id` completed; its pending attempt (and any
-    /// outstanding timeout) is dropped.
-    pub(crate) fn on_completion(&mut self, id: u64) {
-        self.pending.remove(&id);
+    /// Records that the duplicate of request `id` was launched on `target`.
+    pub(crate) fn hedge_launched(&mut self, id: u64, target: usize) {
+        self.stats.hedged += 1;
+        if let Some(p) = self.pending.get_mut(&id) {
+            p.hedge = Some(target);
+        }
+    }
+
+    /// Records that request `id` completed on `server` with end-to-end
+    /// latency `latency`; its pending attempt (and any outstanding timeout
+    /// or hedge launch) is dropped. If the attempt had an active hedge, the
+    /// pair resolves first-completion-wins: the returned
+    /// [`HedgeResolution`] tells the driver which server to cancel the
+    /// losing copy on.
+    pub(crate) fn on_completion(
+        &mut self,
+        id: u64,
+        server: usize,
+        latency: f64,
+    ) -> Option<HedgeResolution> {
+        if self.policy.hedge_quantile.is_some() {
+            let i = self.latencies.partition_point(|&l| l < latency);
+            self.latencies.insert(i, latency);
+        }
+        let p = self.pending.remove(&id)?;
+        let twin = p.hedge?;
+        // While a hedge is active exactly two copies are live, so the one
+        // that did not just complete must still be cancellable somewhere.
+        let hedge_won = server == twin;
+        self.stats.hedge_wins += usize::from(hedge_won);
+        self.stats.hedge_cancelled += 1;
+        Some(HedgeResolution {
+            loser: if hedge_won { p.server } else { twin },
+            hedge_won,
+        })
+    }
+
+    /// Reports that one copy of request `id` was destroyed on `server` by a
+    /// crash. Returns `true` when the attempt had an active hedge — the
+    /// surviving copy carries on alone (no salvage, no drop, no loss) —
+    /// and `false` for un-hedged requests, which take the normal crash
+    /// path.
+    pub(crate) fn copy_lost(&mut self, id: u64, server: usize) -> bool {
+        let Some(p) = self.pending.get_mut(&id) else {
+            return false;
+        };
+        let Some(twin) = p.hedge.take() else {
+            return false;
+        };
+        if twin != server {
+            // The primary (or a copy whose tracked location went stale
+            // under migration) died: the duplicate is now the sole copy.
+            p.server = twin;
+        }
+        true
     }
 
     /// Handles a timed-out request that was pulled off a queue: drop it if
@@ -723,12 +916,18 @@ impl FaultLayer {
         self.pending.remove(&id);
     }
 
-    /// Records that queued request `id` was force-moved to `to` by a
-    /// crash drain (its attempt — and timeout — carry over).
-    pub(crate) fn requeued(&mut self, id: u64, to: usize) {
+    /// Records that queued request `id` was force-moved from `from` to
+    /// `to` by a crash drain (its attempt — and timeout — carry over). If
+    /// the moved copy was a hedged duplicate, the duplicate's tracked
+    /// location follows it; otherwise the primary's does.
+    pub(crate) fn requeued(&mut self, id: u64, from: usize, to: usize) {
         self.stats.requeued_on_failure += 1;
         if let Some(p) = self.pending.get_mut(&id) {
-            p.server = to;
+            if p.hedge == Some(from) {
+                p.hedge = Some(to);
+            } else {
+                p.server = to;
+            }
         }
     }
 
@@ -761,10 +960,14 @@ impl FaultLayer {
         &self.stats
     }
 
-    /// Whether any scripted op, retry, or timeout remains schedulable.
+    /// Whether any scripted op, retry, hedge, or timeout remains
+    /// schedulable.
     #[cfg(test)]
     pub(crate) fn exhausted(&self) -> bool {
-        self.cursor >= self.ops.len() && self.retries.is_empty() && self.timeouts.is_empty()
+        self.cursor >= self.ops.len()
+            && self.retries.is_empty()
+            && self.timeouts.is_empty()
+            && self.hedges.is_empty()
     }
 
     /// Closes the books: folds the per-server completion records into the
@@ -888,12 +1091,12 @@ mod tests {
             .with_timeout(1e-3)
             .with_retries(2, 1e-3, 1e-2);
         let mut layer = FaultLayer::new(None, policy, 2);
-        layer.on_routed(7, 0, 1, 0.0);
-        layer.on_completion(7);
+        layer.on_routed(RequestSpec::new(7, 0.0, 1e6, 0.0), 0, 1, 0.0);
+        layer.on_completion(7, 0, 1e-3);
         assert!(layer.pop_due_timeout(1.0).is_none(), "completed: stale");
         assert_eq!(layer.stats.timeouts, 0);
 
-        layer.on_routed(8, 1, 1, 0.0);
+        layer.on_routed(RequestSpec::new(8, 0.0, 1e6, 0.0), 1, 1, 0.0);
         let (id, attempt, server) = layer.pop_due_timeout(1.0).expect("due");
         assert_eq!((id, attempt, server), (8, 1, 1));
         let spec = RequestSpec::new(8, 0.0, 1e6, 0.0);
@@ -902,6 +1105,83 @@ mod tests {
         let (respec, next_attempt) = layer.pop_due_retry(1.0).expect("scheduled");
         assert_eq!(respec.id, 8);
         assert_eq!(next_attempt, 2);
+    }
+
+    #[test]
+    fn hedge_trigger_floors_at_min_delay_then_tracks_the_quantile() {
+        let policy = RequestPolicy::new().with_hedging(0.5, 4e-3);
+        let mut layer = FaultLayer::new(None, policy, 3);
+        // No latency history yet: the launch lands at now + min_delay.
+        layer.on_routed(RequestSpec::new(0, 0.0, 1e6, 0.0), 0, 1, 0.0);
+        assert!((layer.next_boundary() - 4e-3).abs() < 1e-15);
+        let (spec, attempt, primary) = layer.pop_due_hedge(4e-3).expect("due");
+        assert_eq!((spec.id, attempt, primary), (0, 1, 0));
+        layer.hedge_launched(0, 1);
+        assert!(
+            layer.pop_due_hedge(1.0).is_none(),
+            "an attempt hedges at most once"
+        );
+        // Completions teach the tracker; the median of {10ms, 20ms} at the
+        // nearest-rank convention is 10ms, above the 4ms floor.
+        layer.on_completion(0, 0, 10e-3);
+        layer.on_routed(RequestSpec::new(1, 0.0, 1e6, 0.0), 1, 1, 0.0);
+        layer.on_completion(1, 1, 20e-3);
+        layer.on_routed(RequestSpec::new(2, 1.0, 1e6, 0.0), 2, 1, 1.0);
+        let (spec, _, _) = layer.pop_due_hedge(1.0 + 10e-3).expect("due");
+        assert_eq!(spec.id, 2);
+    }
+
+    #[test]
+    fn hedged_pairs_resolve_first_completion_wins() {
+        let policy = RequestPolicy::new()
+            .with_timeout(1e-3)
+            .with_retries(2, 1e-3, 1e-2)
+            .with_hedging(0.9, 0.0);
+        let mut layer = FaultLayer::new(None, policy, 4);
+        layer.on_routed(RequestSpec::new(5, 0.0, 1e6, 0.0), 0, 1, 0.0);
+        layer
+            .pop_due_hedge(0.0)
+            .expect("floor of zero fires at once");
+        layer.hedge_launched(5, 2);
+        assert!(
+            layer.pop_due_timeout(1.0).is_none(),
+            "the duplicate supersedes the attempt timeout"
+        );
+        assert_eq!(layer.stats.timeouts, 0);
+        // The duplicate on server 2 completes first.
+        let res = layer.on_completion(5, 2, 5e-4).expect("pair resolves");
+        assert_eq!(res.loser, 0);
+        assert!(res.hedge_won);
+        assert_eq!(layer.stats.hedged, 1);
+        assert_eq!(layer.stats.hedge_wins, 1);
+        assert_eq!(layer.stats.hedge_cancelled, 1);
+
+        // The mirror case: the primary wins, the duplicate loses. (The
+        // first completion taught the tracker, so the trigger now sits at
+        // the tracked 0.9-quantile, 5e-4.)
+        layer.on_routed(RequestSpec::new(6, 0.0, 1e6, 0.0), 1, 1, 0.0);
+        layer.pop_due_hedge(5e-4).expect("due");
+        layer.hedge_launched(6, 3);
+        let res = layer.on_completion(6, 1, 5e-4).expect("pair resolves");
+        assert_eq!(res.loser, 3);
+        assert!(!res.hedge_won);
+        assert_eq!(layer.stats.hedge_wins, 1, "primary win is not a hedge win");
+    }
+
+    #[test]
+    fn a_crash_promotes_the_surviving_copy_of_a_hedged_pair() {
+        let policy = RequestPolicy::new().with_hedging(0.9, 0.0);
+        let mut layer = FaultLayer::new(None, policy, 4);
+        layer.on_routed(RequestSpec::new(9, 0.0, 1e6, 0.0), 0, 1, 0.0);
+        layer.pop_due_hedge(0.0).expect("due");
+        layer.hedge_launched(9, 2);
+        // The duplicate's server crashes: the primary carries on alone and
+        // a later completion resolves nothing (no copy left to cancel).
+        assert!(layer.copy_lost(9, 2), "hedged: survivor carries on");
+        assert!(layer.on_completion(9, 0, 1e-3).is_none());
+        // Un-hedged requests report false and take the normal crash path.
+        layer.on_routed(RequestSpec::new(10, 0.0, 1e6, 0.0), 1, 1, 0.0);
+        assert!(!layer.copy_lost(10, 1));
     }
 
     #[test]

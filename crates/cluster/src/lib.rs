@@ -179,6 +179,84 @@
 //! assert_eq!(outcome.per_server.iter().filter(|s| s.downtime > 0.0).count(), 1);
 //! ```
 //!
+//! ## Hedged requests
+//!
+//! Timeouts recover from *failures*; **hedging** attacks the *tail*.
+//! [`RequestPolicy::with_hedging`] arms a per-request trigger at the
+//! fleet's tracked completion-latency quantile (floored by a minimum
+//! delay): when an attempt's age crosses it, the driver speculatively
+//! duplicates the request onto the least-loaded *other* healthy server
+//! and the first copy to finish wins — the loser is cancelled in place
+//! via [`rubik_sim::ServerSim::cancel`], producing no duplicate record,
+//! so `completed + lost == offered` still holds exactly. The outcome's
+//! [`AvailabilityStats`] counts `hedged` / `hedge_wins` /
+//! `hedge_cancelled`, telemetry records `Hedged` / `HedgeWon` /
+//! `HedgeCancelled` events, and a policy without hedging is **bitwise
+//! identical** to one never constructed (pinned in
+//! `tests/hedge_properties.rs`).
+//!
+//! ## Correlated rack failures and stochastic fault generation
+//!
+//! Real outages are not independent: a rack PDU or ToR failure takes
+//! every server in the rack down at once. [`FailureTopology`] places the
+//! fleet into racks and rows, [`CorrelatedFaults`] scripts whole-rack
+//! outages with per-member deterministic recovery jitter, and
+//! [`StochasticFaults`] draws entire failure histories from seeded
+//! MTBF/MTTR renewal processes — all three **compile to an ordinary
+//! [`FaultPlan`]**, so every random scenario validates, replays
+//! bit-exactly at any sweep thread count, and inherits the empty-plan
+//! bit-neutrality contract. Here rack 1 of an 8-server fleet goes dark
+//! for 20 ms and the survivors absorb the re-routed work:
+//!
+//! ```
+//! use rubik_cluster::{
+//!     fleet_trace, Cluster, CorrelatedFaults, FailureTopology, HealthAware,
+//!     JoinShortestQueue, RequestPolicy,
+//! };
+//! use rubik_sim::{FixedFrequencyPolicy, SimConfig};
+//! use rubik_workloads::AppProfile;
+//!
+//! let config = SimConfig::paper_simulated();
+//! let trace = fleet_trace(&AppProfile::masstree(), 0.3, 8, 600, 13);
+//!
+//! // 8 servers, 4 per rack: rack 1 = servers 4..8. The whole rack
+//! // crashes mid-run; members recover 20 ms later, staggered by up to
+//! // 5 ms of seeded jitter.
+//! let topo = FailureTopology::grid(8, 4, 2);
+//! let mid = trace.duration() / 2.0;
+//! let plan = CorrelatedFaults::new(&topo, 42)
+//!     .rack_outage(1, mid, 20e-3, 5e-3)
+//!     .into_plan();
+//!
+//! let cluster = Cluster::new(
+//!     config.clone(),
+//!     8,
+//!     Box::new(HealthAware::new(JoinShortestQueue::new())),
+//!     |_server| FixedFrequencyPolicy::new(config.dvfs.nominal()),
+//! )
+//! .with_fault_plan(plan)
+//! .with_request_policy(
+//!     RequestPolicy::new()
+//!         .with_timeout(10e-3)
+//!         .with_retries(3, 1e-3, 20e-3)
+//!         .draining_on_crash()
+//!         .salvaging_in_flight(),
+//! );
+//!
+//! let outcome = cluster.run(&trace);
+//! assert_eq!(outcome.availability.completed, 600, "survivors absorb the rack");
+//! // Exactly the four rack members saw downtime.
+//! let down: Vec<usize> = (0..8)
+//!     .filter(|&i| outcome.per_server[i].downtime > 0.0)
+//!     .collect();
+//! assert_eq!(down, vec![4, 5, 6, 7]);
+//! ```
+//!
+//! Swapping the scripted outage for
+//! `StochasticFaults::new().with_rack_failures(2.0, 0.05)` draws rack
+//! outages from a renewal process instead — same plan type, same
+//! replayability.
+//!
 //! # Observability
 //!
 //! Attaching [`Telemetry`] records what the driver already sequences: every
@@ -233,6 +311,7 @@ mod fleet;
 mod migrate;
 mod outcome;
 mod router;
+mod topology;
 
 pub use driver::{Cluster, ClusterError};
 pub use fault::{FaultEvent, FaultPlan, RequestPolicy};
@@ -246,6 +325,7 @@ pub use router::{
     ServerView,
 };
 pub use rubik_telemetry::{Telemetry, TraceLog};
+pub use topology::{CorrelatedFaults, FailureTopology, StochasticFaults};
 
 use rubik_sim::Trace;
 use rubik_workloads::{AppProfile, WorkloadGenerator};

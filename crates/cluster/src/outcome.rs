@@ -80,6 +80,15 @@ pub struct AvailabilityStats {
     /// In-service requests salvaged (re-dispatched) from a crashing server
     /// under [`RequestPolicy::salvage_in_flight`](crate::RequestPolicy).
     pub salvaged_in_flight: usize,
+    /// Speculative duplicates launched by
+    /// [`RequestPolicy::with_hedging`](crate::RequestPolicy::with_hedging).
+    pub hedged: usize,
+    /// Hedged pairs whose *duplicate* completed first — the completions
+    /// hedging actually bought.
+    pub hedge_wins: usize,
+    /// Losing copies of hedged pairs cancelled after the other copy
+    /// completed (one per resolved pair, whichever side won).
+    pub hedge_cancelled: usize,
     /// Tail latency over *successful* (within-deadline) completions only —
     /// the p95-of-successes a recovery curve is judged by. `None` when no
     /// request succeeded (an all-lost or all-late run has no success tail

@@ -71,6 +71,9 @@ fn outcome_bits(o: &ClusterOutcome) -> Vec<u64> {
         a.retries as u64,
         a.requeued_on_failure as u64,
         a.salvaged_in_flight as u64,
+        a.hedged as u64,
+        a.hedge_wins as u64,
+        a.hedge_cancelled as u64,
         a.tail_latency_ok.map_or(u64::MAX, f64::to_bits),
     ];
     for s in &o.per_server {

@@ -58,10 +58,11 @@ pub use rubik_telemetry as telemetry;
 pub use rubik_workloads as workloads;
 
 pub use rubik_cluster::{
-    AvailabilityStats, ClassTotals, Cluster, ClusterError, ClusterOutcome, CoreClass, FaultEvent,
-    FaultPlan, FleetCommand, FleetController, FleetSpec, HealthAware, JoinShortestQueue, Migration,
-    Migrator, Passthrough, PegasusFleet, PowerAware, RequestPolicy, RoundRobin, Router,
-    ServerHealth, ServerPowerView, ServerView, ThresholdMigrator,
+    AvailabilityStats, ClassTotals, Cluster, ClusterError, ClusterOutcome, CoreClass,
+    CorrelatedFaults, FailureTopology, FaultEvent, FaultPlan, FleetCommand, FleetController,
+    FleetSpec, HealthAware, JoinShortestQueue, Migration, Migrator, Passthrough, PegasusFleet,
+    PowerAware, RequestPolicy, RoundRobin, Router, ServerHealth, ServerPowerView, ServerView,
+    StochasticFaults, ThresholdMigrator,
 };
 pub use rubik_coloc::{
     ColocOutcome, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig,

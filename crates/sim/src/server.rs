@@ -403,6 +403,60 @@ impl<P: DvfsPolicy> ServerSim<P> {
         self.queue.remove(pos).map(|(spec, _)| spec)
     }
 
+    /// Cancels a specific request by id at time `at`, wherever it sits: a
+    /// queued copy is removed from the FIFO queue (exactly like
+    /// [`remove_queued`](ServerSim::remove_queued)); a copy **in service**
+    /// is aborted mid-request — the clock advances to `at`, the partial
+    /// work is charged to the busy timeline, **no completion record is
+    /// emitted**, and the head of the queue starts service immediately
+    /// (an aborted core pays no sleep wake-up, like
+    /// [`recover`](ServerSim::recover)). Returns the cancelled spec, or
+    /// `None` — with **zero state change** — when the id is not on this
+    /// server, so a driver that never cancels is bitwise-identical to one
+    /// without the surface. The policy is not notified; it observes the
+    /// freed core at its next callback.
+    ///
+    /// Hedged (speculatively duplicated) requests in `rubik-cluster` use
+    /// this: when one copy completes, the loser is cancelled wherever it
+    /// is.
+    ///
+    /// # Panics
+    ///
+    /// Panics — only when the id is in service, since a queued removal
+    /// does not touch the clock — if `at` is in the past or an event is
+    /// pending strictly before `at`.
+    pub fn cancel(&mut self, at: f64, id: u64) -> Option<RequestSpec> {
+        if let Some(pos) = self.queue.iter().position(|(spec, _)| spec.id == id) {
+            return self.queue.remove(pos).map(|(spec, _)| spec);
+        }
+        if self.running.as_ref().is_none_or(|r| r.spec.id != id) {
+            return None;
+        }
+        assert!(
+            at >= self.now,
+            "cancellation at {at} is in the past (now = {})",
+            self.now
+        );
+        assert!(
+            self.next_event_time().is_none_or(|te| te >= at),
+            "cannot cancel past a pending event"
+        );
+        self.advance_to(at);
+        let running = self.running.take().expect("in-service id checked above");
+        if let Some((spec, qlen)) = self.queue.pop_front() {
+            self.running = Some(Running {
+                spec,
+                start: self.now,
+                progress: 0.0,
+                wakeup_remaining: 0.0,
+                queue_len_at_arrival: qlen,
+            });
+        } else if matches!(self.config.idle_mode, IdleMode::Sleep { .. }) {
+            self.asleep = true;
+        }
+        Some(running.spec)
+    }
+
     /// Whether the server is down (see [`ServerSim::fail`]).
     pub fn is_down(&self) -> bool {
         self.down
@@ -1595,6 +1649,99 @@ mod tests {
     fn inject_cannot_predate_the_arrival() {
         let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
         sim.inject(0.01, RequestSpec::new(0, 0.02, 2.4e6, 0.0));
+    }
+
+    #[test]
+    fn cancel_removes_a_queued_copy_without_touching_the_clock() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        for id in 0..3 {
+            sim.offer(RequestSpec::new(id, 0.0, 2.4e6, 0.0));
+        }
+        sim.drain_until(0.0);
+        assert_eq!(sim.queued_len(), 2);
+        let now = sim.now();
+        // A queued cancel behaves like remove_queued: no clock movement even
+        // when `at` lies in the future.
+        let gone = sim.cancel(0.4e-3, 1).expect("id 1 is queued");
+        assert_eq!(gone.id, 1);
+        assert_eq!(sim.queued_len(), 1);
+        assert!((sim.now() - now).abs() < 1e-15);
+        sim.close();
+        sim.run_to_completion();
+        let ids: Vec<u64> = sim.records().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 2]);
+    }
+
+    #[test]
+    fn cancel_aborts_the_in_service_copy_and_starts_the_next() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        for id in 0..3 {
+            sim.offer(RequestSpec::new(id, 0.0, 2.4e6, 0.0));
+        }
+        sim.drain_until(0.0);
+        // Abort id 0 halfway through its 1 ms service.
+        let gone = sim.cancel(0.5e-3, 0).expect("id 0 is in service");
+        assert_eq!(gone.id, 0);
+        assert!((sim.now() - 0.5e-3).abs() < 1e-12);
+        sim.close();
+        sim.run_to_completion();
+        // No record for the aborted request; id 1 started at the cancel
+        // instant and the partial work stays on the busy timeline.
+        let ids: Vec<u64> = sim.records().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert!((sim.records()[0].start - 0.5e-3).abs() < 1e-12);
+        let busy: f64 = sim
+            .segments()
+            .iter()
+            .filter(|s| s.activity == CoreActivity::Busy)
+            .map(Segment::duration)
+            .sum();
+        assert!((busy - 2.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cancel_of_an_absent_id_is_a_no_op() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+        sim.drain_until(0.0);
+        let now = sim.now();
+        let segments = sim.segments().to_vec();
+        assert!(sim.cancel(0.5e-3, 77).is_none());
+        // Zero state change: clock, timeline, and pending work untouched.
+        assert!((sim.now() - now).abs() < 1e-15);
+        assert_eq!(sim.segments(), &segments[..]);
+        assert_eq!(sim.pending_requests(), 1);
+        sim.close();
+        sim.run_to_completion();
+        assert_eq!(sim.records().len(), 1);
+    }
+
+    #[test]
+    fn cancel_of_the_last_request_lets_a_sleep_capable_core_sleep() {
+        let config = cfg().with_idle_mode(IdleMode::Sleep {
+            wakeup_latency: 1e-4,
+        });
+        let mut sim = ServerSim::new(config, FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+        sim.drain_until(0.0);
+        // The wake-up was already paid by the arrival at t=0; the abort
+        // happens mid-service with no queue behind it.
+        let gone = sim.cancel(0.6e-3, 0).expect("id 0 is in service");
+        assert_eq!(gone.id, 0);
+        assert_eq!(sim.current_activity(), CoreActivity::Sleep);
+        sim.close();
+        sim.run_to_completion();
+        assert!(sim.records().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cancel past a pending event")]
+    fn cancel_cannot_skip_pending_events() {
+        let mut sim = ServerSim::new(cfg(), FixedFrequencyPolicy::new(nominal()));
+        sim.offer(RequestSpec::new(0, 0.0, 2.4e6, 0.0));
+        sim.drain_until(0.0);
+        // The completion at 1 ms is pending; cancelling at 2 ms must refuse.
+        sim.cancel(2e-3, 0);
     }
 
     #[test]

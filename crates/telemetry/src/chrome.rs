@@ -135,6 +135,41 @@ pub fn to_chrome_json(log: &TraceLog) -> String {
                         request.id,
                     );
                 }
+                // Hedge events are instants: the duplicate's queueing and
+                // service live on the hedge server's row like any other
+                // copy, so only the launch/outcome points need marking. The
+                // primary's open queueing span is left alone — the request
+                // is still waiting there too.
+                RequestEventKind::Hedged { server, .. } => {
+                    instant(
+                        &mut events,
+                        server as usize,
+                        "request",
+                        "hedge",
+                        event.at,
+                        request.id,
+                    );
+                }
+                RequestEventKind::HedgeWon { server } => {
+                    instant(
+                        &mut events,
+                        server as usize,
+                        "request",
+                        "hedge won",
+                        event.at,
+                        request.id,
+                    );
+                }
+                RequestEventKind::HedgeCancelled { server } => {
+                    instant(
+                        &mut events,
+                        server as usize,
+                        "request",
+                        "hedge cancelled",
+                        event.at,
+                        request.id,
+                    );
+                }
             }
         }
         close(&mut events, &mut location, service_start.min(log.end));

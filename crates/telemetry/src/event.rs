@@ -72,6 +72,26 @@ pub enum RequestEventKind {
         /// Server the request was lost on.
         server: u32,
     },
+    /// A speculative duplicate of attempt `attempt` was launched on
+    /// `server` because the primary's age crossed the hedge trigger.
+    Hedged {
+        /// Server the duplicate was routed to.
+        server: u32,
+        /// The attempt the duplicate shadows.
+        attempt: u32,
+    },
+    /// The hedged duplicate on `server` finished first: the request's
+    /// completion came from the speculative copy, not the primary.
+    HedgeWon {
+        /// Server whose duplicate completed.
+        server: u32,
+    },
+    /// The losing copy was cancelled on `server` after the other copy
+    /// completed first (first-completion-wins).
+    HedgeCancelled {
+        /// Server the losing copy was removed from.
+        server: u32,
+    },
 }
 
 /// A state change of one server, as injected by the fault plan.

@@ -59,6 +59,19 @@ fn push_request_event(out: &mut String, event: &RequestEvent) {
         RequestEventKind::Dropped { server } => {
             out.push_str(&format!(",\"kind\":\"dropped\",\"server\":{server}"));
         }
+        RequestEventKind::Hedged { server, attempt } => {
+            out.push_str(&format!(
+                ",\"kind\":\"hedged\",\"server\":{server},\"attempt\":{attempt}"
+            ));
+        }
+        RequestEventKind::HedgeWon { server } => {
+            out.push_str(&format!(",\"kind\":\"hedge_won\",\"server\":{server}"));
+        }
+        RequestEventKind::HedgeCancelled { server } => {
+            out.push_str(&format!(
+                ",\"kind\":\"hedge_cancelled\",\"server\":{server}"
+            ));
+        }
     }
     out.push('}');
 }
@@ -454,6 +467,16 @@ fn parse_request_event(value: &Value) -> Result<RequestEvent, String> {
         "dropped" => RequestEventKind::Dropped {
             server: value.get("server")?.as_u32()?,
         },
+        "hedged" => RequestEventKind::Hedged {
+            server: value.get("server")?.as_u32()?,
+            attempt: value.get("attempt")?.as_u32()?,
+        },
+        "hedge_won" => RequestEventKind::HedgeWon {
+            server: value.get("server")?.as_u32()?,
+        },
+        "hedge_cancelled" => RequestEventKind::HedgeCancelled {
+            server: value.get("server")?.as_u32()?,
+        },
         other => return Err(format!("unknown request event kind `{other}`")),
     };
     Ok(RequestEvent { at, kind })
@@ -587,6 +610,21 @@ mod tests {
                                 server: 1,
                                 attempt: 2,
                             },
+                        },
+                        RequestEvent {
+                            at: 0.15,
+                            kind: RequestEventKind::Hedged {
+                                server: 0,
+                                attempt: 2,
+                            },
+                        },
+                        RequestEvent {
+                            at: 0.25,
+                            kind: RequestEventKind::HedgeWon { server: 1 },
+                        },
+                        RequestEvent {
+                            at: 0.25,
+                            kind: RequestEventKind::HedgeCancelled { server: 0 },
                         },
                     ],
                 },

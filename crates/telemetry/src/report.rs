@@ -78,6 +78,14 @@ pub struct AttributionReport {
     pub cohort_mean: LatencyBreakdown,
     /// Mean breakdown over *all* completed requests.
     pub overall_mean: LatencyBreakdown,
+    /// Completed requests that launched a hedged duplicate.
+    pub hedged: usize,
+    /// Hedged requests whose duplicate finished first.
+    pub hedge_wins: usize,
+    /// Cohort requests that launched a hedged duplicate.
+    pub cohort_hedged: usize,
+    /// Cohort requests whose duplicate finished first.
+    pub cohort_hedge_wins: usize,
 }
 
 impl AttributionReport {
@@ -135,6 +143,18 @@ impl AttributionReport {
             "  forced moves per cohort request: {:.2}\n",
             self.cohort_mean.hops as f64 / (self.cohort.max(1)) as f64,
         ));
+        // Hedging line only when the run hedged at all, so traces from
+        // hedge-free runs (and their golden fixtures) render unchanged.
+        if self.hedged > 0 {
+            out.push_str(&format!(
+                "  hedged: {} of {} completed ({} won); cohort {} ({} won)\n",
+                self.hedged,
+                self.completed,
+                self.hedge_wins,
+                self.cohort_hedged,
+                self.cohort_hedge_wins,
+            ));
+        }
         out
     }
 }
@@ -184,6 +204,13 @@ pub fn breakdown(request: &RequestTrace, down: &[Vec<(f64, f64)>]) -> Option<Lat
             RequestEventKind::Backoff { until } => {
                 backoff += (until - event.at).max(0.0);
             }
+            // The hedged duplicate waits in parallel with the primary, and
+            // the buckets charge each wall-clock slice exactly once, so the
+            // primary's location keeps the charge; hedging shows up as a
+            // shorter total, not as a new bucket.
+            RequestEventKind::Hedged { .. }
+            | RequestEventKind::HedgeWon { .. }
+            | RequestEventKind::HedgeCancelled { .. } => {}
         }
     }
     // The final wait ends when service starts.
@@ -206,25 +233,42 @@ impl TraceLog {
     /// attribute).
     pub fn attribute(&self, quantile: f64) -> Option<AttributionReport> {
         let down = self.down_windows();
-        let mut rows: Vec<(f64, LatencyBreakdown)> = self
+        let flags = |r: &RequestTrace| {
+            let hedged = r
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, RequestEventKind::Hedged { .. }));
+            let won = r
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, RequestEventKind::HedgeWon { .. }));
+            (hedged, won)
+        };
+        let mut rows: Vec<(f64, LatencyBreakdown, (bool, bool))> = self
             .requests
             .iter()
-            .filter_map(|r| breakdown(r, &down).map(|b| (b.total, b)))
+            .filter_map(|r| breakdown(r, &down).map(|b| (b.total, b, flags(r))))
             .collect();
         if rows.is_empty() {
             return None;
         }
         rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite latencies"));
-        let latencies: Vec<f64> = rows.iter().map(|&(t, _)| t).collect();
+        let latencies: Vec<f64> = rows.iter().map(|&(t, ..)| t).collect();
         let threshold = percentile(&latencies, quantile)?;
         let mut cohort_mean = LatencyBreakdown::default();
         let mut overall_mean = LatencyBreakdown::default();
         let mut cohort = 0usize;
-        for (total, row) in &rows {
+        let (mut hedged, mut hedge_wins) = (0usize, 0usize);
+        let (mut cohort_hedged, mut cohort_hedge_wins) = (0usize, 0usize);
+        for (total, row, (was_hedged, won)) in &rows {
             overall_mean.accumulate(row);
+            hedged += usize::from(*was_hedged);
+            hedge_wins += usize::from(*won);
             if *total >= threshold {
                 cohort_mean.accumulate(row);
                 cohort += 1;
+                cohort_hedged += usize::from(*was_hedged);
+                cohort_hedge_wins += usize::from(*won);
             }
         }
         let cohort_hops = cohort_mean.hops;
@@ -241,6 +285,10 @@ impl TraceLog {
             cohort,
             cohort_mean,
             overall_mean,
+            hedged,
+            hedge_wins,
+            cohort_hedged,
+            cohort_hedge_wins,
         })
     }
 }
