@@ -12,7 +12,11 @@
 //! worker pool, `--requests N` for the per-server request count, `--seed N`
 //! for the trace seed, and `--trace-out PATH` to write a telemetry trace
 //! of the representative cell (the capped big/little fleet with routing
-//! and migration live).
+//! and migration live). `--load-shape SPEC` (`ramp:0.2:0.7`,
+//! `step:0.3:0.6`, `diurnal:0.45:0.2`, …) replaces the steady arrival
+//! process with a time-varying non-homogeneous Poisson stream from
+//! `rubik-load`, sized to the same request budget; output without the flag
+//! is byte-identical to before the flag existed.
 //!
 //! Columns: `budget_w` is the per-server budget share ("inf" = uncapped),
 //! `max_epoch_w` the largest fleet power over any controller epoch (the
@@ -23,11 +27,12 @@
 use rubik::cluster::{
     fleet_trace, FleetSpec, PegasusFleet, PowerAware, RoundRobin, Router, ThresholdMigrator,
 };
+use rubik::load::{drain_to_trace, ShapedSource};
 use rubik::{
     AppProfile, Cluster, CorePowerModel, DvfsConfig, Freq, RubikConfig, RubikController, SimConfig,
-    SweepSpec,
+    SweepSpec, Trace, WorkloadGenerator,
 };
-use rubik_bench::{print_header, BenchArgs};
+use rubik_bench::{print_header, BenchArgs, LoadShapeArg};
 
 /// Per-server watt shares of the global budget; `f64::INFINITY` = uncapped.
 /// A busy core draws 6 W at nominal and 1.6 W at the minimum level; at this
@@ -72,6 +77,29 @@ fn router(idx: usize) -> Box<dyn Router> {
 
 const MIGRATION_NAMES: [&str; 2] = ["off", "threshold"];
 
+/// The fleet's arrival stream: the classic steady pooled Poisson process
+/// when `--load-shape` is absent (byte-identical to the pre-flag binary),
+/// or a shaped non-homogeneous Poisson stream whose window is sized so the
+/// run draws roughly the same request budget.
+fn build_trace(
+    shape: Option<LoadShapeArg>,
+    profile: &AppProfile,
+    servers: usize,
+    requests: usize,
+    seed: u64,
+) -> Trace {
+    match shape {
+        None => fleet_trace(profile, LOAD, servers, requests, seed),
+        Some(arg) => {
+            let capacity = WorkloadGenerator::new(profile.clone(), seed).steady_rate(1.0);
+            let duration = requests as f64 / (arg.average_load(LOAD) * capacity * servers as f64);
+            let source = ShapedSource::new(profile.clone(), arg.to_shape(LOAD, duration), seed)
+                .for_fleet(servers);
+            drain_to_trace(source, None)
+        }
+    }
+}
+
 struct Row {
     tail_norm: f64,
     fleet_power: f64,
@@ -101,9 +129,9 @@ fn main() {
             let fleet = fleet_spec(cell.get("fleet"));
             // The trace depends only on the fleet axis: budgets, routers,
             // and migration policies are compared on identical streams.
-            let trace = fleet_trace(
+            let trace = build_trace(
+                args.load_shape,
                 &profile,
-                LOAD,
                 fleet.len(),
                 per_server_requests * fleet.len(),
                 seed + cell.get("fleet") as u64,
@@ -154,6 +182,11 @@ fn main() {
         per_server_requests,
         EPOCH * 1e3,
     );
+    // Only shaped runs get the extra header line, keeping the flag-absent
+    // stdout byte-identical to the golden capture.
+    if let Some(arg) = args.load_shape {
+        println!("# load shape: {} (per-server loads)", arg.label());
+    }
     print_header(&[
         "budget_w",
         "fleet",
@@ -196,9 +229,9 @@ fn main() {
         // telemetry recording (bit-identical to the grid cell by the
         // neutrality contract) and emit its trace.
         let fleet = fleet_spec(1);
-        let trace = fleet_trace(
+        let trace = build_trace(
+            args.load_shape,
             &profile,
-            LOAD,
             fleet.len(),
             per_server_requests * fleet.len(),
             seed + 1,

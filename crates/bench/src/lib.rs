@@ -26,6 +26,7 @@
 //! `BENCH_cluster.json` via [`merge_bench_section`].
 
 use rubik::core::{replay, replay_energy, replay_tail};
+use rubik::load::LoadShape;
 use rubik::{
     AdrenalineOracle, AppProfile, CorePowerModel, DynamicOracle, FixedFrequencyPolicy, Freq,
     RubikConfig, RubikController, RunResult, Server, SimConfig, StaticOracle, Telemetry, Trace,
@@ -54,8 +55,14 @@ pub const TAIL_QUANTILE: f64 = 0.95;
 ///   the self-describing `rubik-trace-v1` format otherwise. Recording never
 ///   changes results (the telemetry neutrality contract) and never touches
 ///   stdout, so golden captures are unaffected. Binaries without a traced
-///   run accept and ignore the flag.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///   run accept and ignore the flag,
+/// * `--load-shape SPEC` — replace a fleet binary's steady arrival process
+///   with a time-varying one (see [`LoadShapeArg`]): `steady`,
+///   `ramp:FROM:TO`, `step:BEFORE:AFTER`, or `diurnal:MEAN:AMPLITUDE`, all
+///   loads as fractions of per-server nominal capacity. Binaries without a
+///   shaped mode accept and ignore the flag; output with the flag absent is
+///   byte-identical to before the flag existed.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchArgs {
     /// Override for the per-run request count.
     pub requests: Option<usize>,
@@ -65,6 +72,145 @@ pub struct BenchArgs {
     pub threads: Option<usize>,
     /// Telemetry trace destination (`None` = tracing disabled).
     pub trace_out: Option<String>,
+    /// Time-varying load shape override (`None` = the binary's steady
+    /// default arrival process).
+    pub load_shape: Option<LoadShapeArg>,
+}
+
+/// The `--load-shape` axis: a parsed shape specification, turned into a
+/// concrete [`LoadShape`] once the binary knows its duration scale.
+///
+/// All load levels are fractions of *per-server* nominal capacity, matching
+/// the per-server loads the fleet binaries already print; sources scale to
+/// the fleet with `ShapedSource::for_fleet`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadShapeArg {
+    /// `steady` — constant at the binary's default per-server load.
+    Steady,
+    /// `ramp:FROM:TO` — linear ramp across the run.
+    Ramp {
+        /// Load at the start of the run.
+        from: f64,
+        /// Load at the end of the run.
+        to: f64,
+    },
+    /// `step:BEFORE:AFTER` — a load step at the run midpoint.
+    Step {
+        /// Load before the midpoint.
+        before: f64,
+        /// Load after the midpoint.
+        after: f64,
+    },
+    /// `diurnal:MEAN:AMPLITUDE` — two sinusoid periods across the run.
+    Diurnal {
+        /// Mean load.
+        mean: f64,
+        /// Swing amplitude (`≤ mean`).
+        amplitude: f64,
+    },
+}
+
+impl LoadShapeArg {
+    /// Parses a `--load-shape` specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the malformed part.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.split(':');
+        let kind = parts.next().unwrap_or_default();
+        let mut num = |name: &str| {
+            parts
+                .next()
+                .ok_or_else(|| format!("--load-shape {kind}: missing {name}"))
+                .and_then(|v| {
+                    v.parse::<f64>()
+                        .map_err(|_| format!("--load-shape {kind}: invalid {name} {v:?}"))
+                })
+                .and_then(|v| {
+                    if v.is_finite() && (0.0..=16.0).contains(&v) {
+                        Ok(v)
+                    } else {
+                        Err(format!("--load-shape {kind}: {name} {v} outside [0, 16]"))
+                    }
+                })
+        };
+        let arg = match kind {
+            "steady" => Self::Steady,
+            "ramp" => Self::Ramp {
+                from: num("FROM")?,
+                to: num("TO")?,
+            },
+            "step" => Self::Step {
+                before: num("BEFORE")?,
+                after: num("AFTER")?,
+            },
+            "diurnal" => {
+                let mean = num("MEAN")?;
+                let amplitude = num("AMPLITUDE")?;
+                if amplitude > mean {
+                    return Err(format!(
+                        "--load-shape diurnal: amplitude {amplitude} exceeds mean {mean}"
+                    ));
+                }
+                Self::Diurnal { mean, amplitude }
+            }
+            other => {
+                return Err(format!(
+                    "--load-shape: unknown shape {other:?} (expected steady, ramp, step, diurnal)"
+                ))
+            }
+        };
+        if parts.next().is_some() {
+            return Err(format!("--load-shape {kind}: too many parameters"));
+        }
+        Ok(arg)
+    }
+
+    /// The concrete [`LoadShape`] over a window of `duration` seconds;
+    /// `base_load` fills in the level for [`LoadShapeArg::Steady`].
+    pub fn to_shape(&self, base_load: f64, duration: f64) -> LoadShape {
+        match *self {
+            Self::Steady => LoadShape::Steady {
+                load: base_load,
+                duration,
+            },
+            Self::Ramp { from, to } => LoadShape::Ramp { from, to, duration },
+            Self::Step { before, after } => LoadShape::Step {
+                before,
+                after,
+                at: duration / 2.0,
+                duration,
+            },
+            Self::Diurnal { mean, amplitude } => LoadShape::Diurnal {
+                mean,
+                amplitude,
+                period: duration / 2.0,
+                duration,
+            },
+        }
+    }
+
+    /// Time-averaged load of the shape, used to size the window so a run
+    /// draws roughly the binary's request budget.
+    pub fn average_load(&self, base_load: f64) -> f64 {
+        match *self {
+            Self::Steady => base_load,
+            Self::Ramp { from, to } => 0.5 * (from + to),
+            Self::Step { before, after } => 0.5 * (before + after),
+            Self::Diurnal { mean, .. } => mean,
+        }
+    }
+
+    /// A stable human-readable label (used in figure headers).
+    pub fn label(&self) -> String {
+        match *self {
+            Self::Steady => "steady".to_string(),
+            Self::Ramp { from, to } => format!("ramp:{from}:{to}"),
+            Self::Step { before, after } => format!("step:{before}:{after}"),
+            Self::Diurnal { mean, amplitude } => format!("diurnal:{mean}:{amplitude}"),
+        }
+    }
 }
 
 impl BenchArgs {
@@ -111,6 +257,12 @@ impl BenchArgs {
                     }
                     args.trace_out = Some(path.clone());
                 }
+                "--load-shape" => {
+                    let spec = it
+                        .next()
+                        .ok_or_else(|| "--load-shape requires a shape spec".to_string())?;
+                    args.load_shape = Some(LoadShapeArg::parse(spec)?);
+                }
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -123,6 +275,7 @@ impl BenchArgs {
     /// The usage string printed for `--help`.
     pub fn usage() -> String {
         "usage: <figure-binary> [--requests N] [--seed N] [--threads N] [--trace-out PATH]\n\
+         \x20                [--load-shape SPEC]\n\
          \n\
          --requests N     requests per experiment run (default: the figure's paper shape)\n\
          --seed N         base RNG seed (default: the figure's published seed)\n\
@@ -130,6 +283,10 @@ impl BenchArgs {
          --trace-out PATH write a telemetry trace of the representative run: Chrome\n\
          \x20                trace_event JSON if PATH ends in .trace.json, rubik-trace-v1\n\
          \x20                JSON otherwise (recording never changes results or stdout)\n\
+         --load-shape SPEC time-varying arrival process for the fleet binaries:\n\
+         \x20                steady | ramp:FROM:TO | step:BEFORE:AFTER |\n\
+         \x20                diurnal:MEAN:AMPLITUDE, loads as fractions of per-server\n\
+         \x20                nominal capacity (default: the figure's steady load)\n\
          \n\
          Results are bit-identical for any --threads value (rubik-sweep's\n\
          determinism contract); the flag only changes wall-clock time."
@@ -553,6 +710,62 @@ mod tests {
     }
 
     #[test]
+    fn bench_args_parse_load_shapes() {
+        let steady = BenchArgs::parse_from(&argv(&["--load-shape", "steady"])).unwrap();
+        assert_eq!(steady.load_shape, Some(LoadShapeArg::Steady));
+
+        let ramp = BenchArgs::parse_from(&argv(&["--load-shape", "ramp:0.2:0.7"])).unwrap();
+        assert_eq!(
+            ramp.load_shape,
+            Some(LoadShapeArg::Ramp { from: 0.2, to: 0.7 })
+        );
+        let shape = ramp.load_shape.unwrap().to_shape(0.45, 10.0);
+        assert_eq!(shape.duration(), 10.0);
+        assert!((shape.load_at(5.0) - 0.45).abs() < 1e-12);
+        assert!((ramp.load_shape.unwrap().average_load(0.45) - 0.45).abs() < 1e-12);
+        assert_eq!(ramp.load_shape.unwrap().label(), "ramp:0.2:0.7");
+
+        let step = LoadShapeArg::parse("step:0.3:0.6").unwrap();
+        assert_eq!(
+            step,
+            LoadShapeArg::Step {
+                before: 0.3,
+                after: 0.6
+            }
+        );
+        // The step lands at the window midpoint.
+        let shape = step.to_shape(0.45, 8.0);
+        assert_eq!(shape.load_at(3.9), 0.3);
+        assert_eq!(shape.load_at(4.0), 0.6);
+
+        let diurnal = LoadShapeArg::parse("diurnal:0.4:0.2").unwrap();
+        let shape = diurnal.to_shape(0.45, 12.0);
+        shape.validate().unwrap();
+        assert!((shape.peak_load() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bench_args_reject_bad_load_shapes() {
+        for bad in [
+            "",
+            "sawtooth",
+            "ramp",
+            "ramp:0.2",
+            "ramp:0.2:x",
+            "ramp:0.2:0.4:0.6",
+            "step:-0.1:0.5",
+            "diurnal:0.3:0.4", // amplitude > mean
+            "steady:0.4",      // steady takes no parameters
+        ] {
+            assert!(
+                BenchArgs::parse_from(&argv(&["--load-shape", bad])).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+        assert!(BenchArgs::parse_from(&argv(&["--load-shape"])).is_err());
+    }
+
+    #[test]
     fn bench_args_reject_bad_input() {
         assert!(BenchArgs::parse_from(&argv(&["--requests"])).is_err());
         assert!(BenchArgs::parse_from(&argv(&["--requests", "abc"])).is_err());
@@ -571,6 +784,7 @@ mod tests {
             seed: Some(77),
             threads: None,
             trace_out: None,
+            load_shape: None,
         };
         let h = args.apply(Harness::new());
         assert_eq!(h.requests, 123);

@@ -26,6 +26,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use rubik_load::{ArrivalSource, TraceSource};
 use rubik_power::CorePowerModel;
 use rubik_sim::{DvfsPolicy, RequestSpec, RunResult, ServerSim, SimConfig, SimEvent, Trace};
 
@@ -49,6 +50,9 @@ pub enum ClusterError {
     /// out of range, non-finite time, empty straggle window, double crash,
     /// recovery of a healthy server, …). The message says which event.
     InvalidFaultPlan(String),
+    /// The offered per-server load is not positive and finite, so no
+    /// arrival process can be constructed from it.
+    InvalidLoad,
 }
 
 impl std::fmt::Display for ClusterError {
@@ -56,6 +60,7 @@ impl std::fmt::Display for ClusterError {
         match self {
             ClusterError::EmptyFleet => write!(f, "a cluster needs at least one server"),
             ClusterError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
+            ClusterError::InvalidLoad => write!(f, "load must be positive and finite"),
         }
     }
 }
@@ -344,6 +349,50 @@ impl<P: DvfsPolicy> Cluster<P> {
         self.run_with_results(trace).0
     }
 
+    /// Serves a pull-based arrival stream through the fleet and returns
+    /// the aggregated outcome.
+    ///
+    /// Arrivals are pulled from `source` one at a time, as the event loop
+    /// reaches them: the stream is never materialized, so resident memory
+    /// scales with in-flight work (plus the per-request completion records
+    /// every run keeps for outcome aggregation), not with the length of
+    /// the arrival stream. `run_streamed(TraceSource::new(&trace))` is
+    /// bitwise-identical to `run(&trace)` — the batch path is itself built
+    /// on this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source yields arrivals out of time order (a violation
+    /// of the [`ArrivalSource`] contract).
+    pub fn run_streamed<S: ArrivalSource>(self, source: S) -> ClusterOutcome {
+        self.run_streamed_with_results(source).0
+    }
+
+    /// Like [`Cluster::run_streamed`], but also returns each server's raw
+    /// [`RunResult`], mirroring [`Cluster::run_with_results`].
+    pub fn run_streamed_with_results<S: ArrivalSource>(
+        self,
+        mut source: S,
+    ) -> (ClusterOutcome, Vec<RunResult>) {
+        let (outcome, results, _) = self.run_core(&mut source);
+        (outcome, results)
+    }
+
+    /// Like [`Cluster::run_streamed_with_results`], but also returns the
+    /// assembled [`TraceLog`], mirroring [`Cluster::run_traced`]: if no
+    /// recording telemetry was attached, [`Telemetry::recording`] is
+    /// enabled with its default sampling epoch.
+    pub fn run_streamed_traced<S: ArrivalSource>(
+        mut self,
+        mut source: S,
+    ) -> (ClusterOutcome, Vec<RunResult>, TraceLog) {
+        if !self.telemetry.is_enabled() {
+            self.telemetry = Telemetry::recording();
+        }
+        let (outcome, results, log) = self.run_core(&mut source);
+        (outcome, results, log.expect("telemetry is enabled"))
+    }
+
     /// Like [`Cluster::run`], but also returns each server's raw
     /// [`RunResult`] (used by the equivalence suites and for per-server
     /// timelines).
@@ -361,7 +410,7 @@ impl<P: DvfsPolicy> Cluster<P> {
     /// rebalanced and capped. A cluster without hooks takes the exact code
     /// path (and produces the exact bits) it did before hooks existed.
     pub fn run_with_results(self, trace: &Trace) -> (ClusterOutcome, Vec<RunResult>) {
-        let (outcome, results, _) = self.run_core(trace);
+        let (outcome, results, _) = self.run_core(&mut TraceSource::new(trace));
         (outcome, results)
     }
 
@@ -374,11 +423,14 @@ impl<P: DvfsPolicy> Cluster<P> {
         if !self.telemetry.is_enabled() {
             self.telemetry = Telemetry::recording();
         }
-        let (outcome, results, log) = self.run_core(trace);
+        let (outcome, results, log) = self.run_core(&mut TraceSource::new(trace));
         (outcome, results, log.expect("telemetry is enabled"))
     }
 
-    fn run_core(mut self, trace: &Trace) -> (ClusterOutcome, Vec<RunResult>, Option<TraceLog>) {
+    fn run_core<S: ArrivalSource>(
+        mut self,
+        source: &mut S,
+    ) -> (ClusterOutcome, Vec<RunResult>, Option<TraceLog>) {
         let n = self.servers.len();
         let mut loop_state = EventLoop {
             heap: BinaryHeap::with_capacity(2 * n),
@@ -461,7 +513,20 @@ impl<P: DvfsPolicy> Cluster<P> {
         let mut tele_powers: Vec<f64> = Vec::new();
         let mut next_sample = sample_epoch;
 
-        for &request in trace.requests() {
+        // Pull arrivals lazily: the stream is consumed one request at a
+        // time, so the driver's resident memory tracks in-flight work, not
+        // stream length. `offered` replaces the batch path's `trace.len()`
+        // in fault-layer conservation accounting.
+        let mut offered = 0usize;
+        let mut last_arrival = f64::NEG_INFINITY;
+        while let Some(request) = source.next_arrival() {
+            assert!(
+                request.arrival >= last_arrival,
+                "arrival source must be time-ordered: {} after {}",
+                request.arrival,
+                last_arrival
+            );
+            last_arrival = request.arrival;
             // Run any hook boundaries at or before the arrival instant
             // (boundary actions happen *between* events; an arrival at
             // exactly the boundary is routed after the hooks ran). Fault
@@ -546,6 +611,7 @@ impl<P: DvfsPolicy> Cluster<P> {
                     },
                 },
             );
+            offered += 1;
         }
 
         // The stream is exhausted: no more work will ever be offered, so
@@ -644,7 +710,7 @@ impl<P: DvfsPolicy> Cluster<P> {
             server.downtime = *downtime;
         }
         if let Some(mut l) = layer {
-            outcome.availability = l.finalize(trace.len(), self.quantile, &results);
+            outcome.availability = l.finalize(offered, self.quantile, &results);
         }
         let log = tele.finalize(&results, end);
         (outcome, results, log)

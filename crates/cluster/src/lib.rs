@@ -30,6 +30,10 @@
 //!   their arrival times preserved, triggered on queue imbalance with
 //!   hysteresis,
 //! * [`fleet_trace`] — scales an application's arrival process to a fleet,
+//! * [`Cluster::run_streamed`] — serves a pull-based
+//!   [`ArrivalSource`] (steady Poisson, shaped non-homogeneous Poisson,
+//!   merged multi-app, or file-backed streaming replay from `rubik-load`)
+//!   without materializing the stream,
 //! * [`FaultPlan`] / [`RequestPolicy`] — deterministic fault injection
 //!   (crashes, stragglers, stuck frequencies) and the client-side request
 //!   lifecycle (deadlines, timeouts, retries with deterministic jitter).
@@ -73,6 +77,52 @@
 //! instance per server, seeded from the head of the trace) gives each
 //! server the paper's controller; the cluster driver never looks inside a
 //! policy, so every scheme in `rubik-core` works unchanged.
+//!
+//! # Streaming arrivals and load shapes
+//!
+//! [`Cluster::run`] replays a materialized trace; [`Cluster::run_streamed`]
+//! pulls arrivals lazily from any [`ArrivalSource`] in `rubik-load`, so the
+//! stream itself never occupies memory and the offered load can *change*
+//! mid-run — the regime the paper's Fig. 1 story is about. The two paths
+//! are the same code: `run(&trace)` is `run_streamed(TraceSource::new(&trace))`,
+//! pinned bitwise in `tests/stream_equivalence.rs`.
+//!
+//! Here a 4-server fleet rides a diurnal sinusoid into a morning ramp; the
+//! fleet sees roughly 3× more arrivals near the diurnal peak than in the
+//! trough, and nothing is materialized up front:
+//!
+//! ```
+//! use rubik_cluster::{Cluster, JoinShortestQueue};
+//! use rubik_load::{LoadShape, ShapedSource};
+//! use rubik_sim::{FixedFrequencyPolicy, SimConfig};
+//! use rubik_workloads::AppProfile;
+//!
+//! let shape = LoadShape::Sequence(vec![
+//!     LoadShape::Diurnal { mean: 0.4, amplitude: 0.2, period: 4.0, duration: 4.0 },
+//!     LoadShape::Ramp { from: 0.4, to: 0.7, duration: 2.0 },
+//! ]);
+//! shape.validate().expect("well-formed shape");
+//! let source = ShapedSource::new(AppProfile::masstree(), shape, 42).for_fleet(4);
+//!
+//! let config = SimConfig::paper_simulated();
+//! let cluster = Cluster::new(
+//!     config.clone(),
+//!     4,
+//!     Box::new(JoinShortestQueue::new()),
+//!     |_server| FixedFrequencyPolicy::new(config.dvfs.nominal()),
+//! );
+//! let outcome = cluster.run_streamed(source);
+//!
+//! assert!(outcome.requests > 100, "the shape window draws plenty of load");
+//! assert!(outcome.tail_latency > 0.0);
+//! // Same seed, same shape => bit-identical rerun, like any fixed trace.
+//! ```
+//!
+//! `ShapedSource` draws a non-homogeneous Poisson process by seeded
+//! thinning (ramps, steps, diurnal sinusoids, spikes, piecewise
+//! schedules); `MergedSource` interleaves several applications'
+//! streams; `StreamingTraceReader` replays a captured trace file without
+//! loading it. See the `rubik-load` crate docs for the full tour.
 //!
 //! # Example: a capped heterogeneous fleet with migration
 //!
@@ -324,20 +374,26 @@ pub use router::{
     HealthAware, JoinShortestQueue, Passthrough, PowerAware, RoundRobin, Router, ServerHealth,
     ServerView,
 };
+pub use rubik_load::{ArrivalSource, TraceSource};
 pub use rubik_telemetry::{Telemetry, TraceLog};
 pub use topology::{CorrelatedFaults, FailureTopology, StochasticFaults};
 
+use rubik_load::{drain_to_trace, PoissonSource};
 use rubik_sim::Trace;
-use rubik_workloads::{AppProfile, WorkloadGenerator};
+use rubik_workloads::AppProfile;
 
 /// Generates the arrival stream of a whole fleet: `servers` servers each at
 /// `per_server_load` (fraction of one core's nominal capacity) produce a
 /// pooled Poisson stream at `per_server_load × servers` times one core's
 /// capacity.
 ///
+/// A thin wrapper over [`try_fleet_trace`], which itself drains the steady
+/// [`rubik_load::PoissonSource`] — the streamed and batch arrival processes
+/// are the same bits by construction.
+///
 /// # Panics
 ///
-/// Panics if `servers == 0` or the load is not positive.
+/// Panics if `servers == 0` or the load is not positive and finite.
 pub fn fleet_trace(
     profile: &AppProfile,
     per_server_load: f64,
@@ -345,9 +401,37 @@ pub fn fleet_trace(
     requests: usize,
     seed: u64,
 ) -> Trace {
-    assert!(servers > 0, "a fleet needs at least one server");
-    WorkloadGenerator::new(profile.clone(), seed)
-        .steady_trace(per_server_load * servers as f64, requests)
+    match try_fleet_trace(profile, per_server_load, servers, requests, seed) {
+        Ok(trace) => trace,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`fleet_trace`]: returns [`ClusterError::EmptyFleet`] for a
+/// zero-server fleet and [`ClusterError::InvalidLoad`] when the per-server
+/// load is not positive and finite.
+///
+/// # Errors
+///
+/// See above; no other failure modes exist.
+pub fn try_fleet_trace(
+    profile: &AppProfile,
+    per_server_load: f64,
+    servers: usize,
+    requests: usize,
+    seed: u64,
+) -> Result<Trace, ClusterError> {
+    if servers == 0 {
+        return Err(ClusterError::EmptyFleet);
+    }
+    let load = per_server_load * servers as f64;
+    if !load.is_finite() || load <= 0.0 {
+        return Err(ClusterError::InvalidLoad);
+    }
+    Ok(drain_to_trace(
+        PoissonSource::new(profile.clone(), load, requests, seed),
+        None,
+    ))
 }
 
 #[cfg(test)]
@@ -372,5 +456,43 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn fleet_trace_rejects_zero_servers() {
         let _ = fleet_trace(&AppProfile::masstree(), 0.4, 0, 100, 1);
+    }
+
+    /// `fleet_trace` is now a wrapper over the streaming `PoissonSource`;
+    /// its output must be bit-for-bit what the batch generator produced
+    /// before the rewrite.
+    #[test]
+    fn fleet_trace_matches_batch_generator_bit_for_bit() {
+        let profile = AppProfile::xapian();
+        let wrapped = fleet_trace(&profile, 0.45, 8, 1000, 21);
+        let batch =
+            rubik_workloads::WorkloadGenerator::new(profile, 21).steady_trace(0.45 * 8.0, 1000);
+        assert_eq!(wrapped.len(), batch.len());
+        for (a, b) in wrapped.requests().iter().zip(batch.requests()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+            assert_eq!(a.compute_cycles.to_bits(), b.compute_cycles.to_bits());
+            assert_eq!(a.membound_time.to_bits(), b.membound_time.to_bits());
+        }
+    }
+
+    #[test]
+    fn try_fleet_trace_returns_typed_errors() {
+        let profile = AppProfile::masstree();
+        assert_eq!(
+            try_fleet_trace(&profile, 0.4, 0, 10, 1).unwrap_err(),
+            ClusterError::EmptyFleet
+        );
+        assert_eq!(
+            try_fleet_trace(&profile, 0.0, 4, 10, 1).unwrap_err(),
+            ClusterError::InvalidLoad
+        );
+        assert_eq!(
+            try_fleet_trace(&profile, f64::NAN, 4, 10, 1).unwrap_err(),
+            ClusterError::InvalidLoad
+        );
+        let trace = try_fleet_trace(&profile, 0.4, 4, 10, 1).unwrap();
+        assert_eq!(trace.len(), 10);
     }
 }

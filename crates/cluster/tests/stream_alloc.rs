@@ -1,0 +1,79 @@
+//! `Cluster::run_streamed` holds memory at O(in-flight), not O(requests):
+//! arrivals are pulled one at a time from the source and handed straight to
+//! the per-server simulators, so no request backlog is ever materialized.
+//!
+//! A counting global allocator pins that directly (the cluster-level twin of
+//! `rubik-sim`'s `event_loop_alloc` test): after a warm-up run has faulted in
+//! code paths and sized allocator pools, an 8x-longer streamed run may only
+//! pay for run-scoped containers — per-server record vectors and segment
+//! timelines that amortize to O(log n) reallocations — while the per-arrival
+//! path (source pull, route, offer, schedule) stays allocation-free. The
+//! allocation count of the long run must therefore stay within a fixed slack
+//! of the short run instead of scaling with the request count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rubik_cluster::{Cluster, JoinShortestQueue};
+use rubik_load::PoissonSource;
+use rubik_sim::{FixedFrequencyPolicy, SimConfig};
+use rubik_workloads::AppProfile;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+const FLEET: usize = 4;
+
+fn allocations_for_streamed_run(requests: usize) -> u64 {
+    let config = SimConfig::paper_simulated();
+    let cluster = Cluster::new(
+        config.clone(),
+        FLEET,
+        Box::new(JoinShortestQueue::new()),
+        |_| FixedFrequencyPolicy::new(config.dvfs.nominal()),
+    );
+    let source = PoissonSource::new(AppProfile::masstree(), 0.5 * FLEET as f64, requests, 42);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let outcome = cluster.run_streamed(source);
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(outcome.requests, requests);
+    after - before
+}
+
+#[test]
+fn run_streamed_allocations_do_not_scale_with_request_count() {
+    // Warm-up run (fills allocator pools, faults in code paths).
+    let _ = allocations_for_streamed_run(512);
+
+    let small = allocations_for_streamed_run(512);
+    let large = allocations_for_streamed_run(4096);
+
+    // 8x the requests must not cost 8x the allocations: each arrival is
+    // pulled from the source, routed, and offered without allocating, so the
+    // only growth is the amortized doubling of per-server record vectors and
+    // segment timelines — O(fleet * log n) reallocations in total.
+    assert!(
+        large < small + 160,
+        "run_streamed allocations grew with request count: {small} -> {large}"
+    );
+}

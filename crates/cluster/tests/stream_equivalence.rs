@@ -1,0 +1,290 @@
+//! The streaming equivalence contract, property-tested across a
+//! `router × fleet × fault-plan × seed` grid at 1, 2, and 8 sweep threads
+//! (the PR 7/8 neutrality-suite style):
+//!
+//! 1. **`run_streamed(TraceSource::new(&trace))` is `run(&trace)`,
+//!    bitwise.** Outcome and every per-server `RunResult` carry identical
+//!    bit-images — the batch path is built on the streamed one, and this
+//!    suite pins that they cannot drift apart.
+//! 2. **A live `PoissonSource` is its collected trace.** Streaming
+//!    arrivals straight from the generator (never materialized) produces
+//!    the same bits as draining the twin source to a `Trace` first and
+//!    replaying it.
+//! 3. **Thread counts don't matter.** The whole grid of bit-images is
+//!    identical under serial, 2-thread, and 8-thread sweep execution.
+
+use rubik_cluster::{
+    fleet_trace, Cluster, ClusterOutcome, FaultPlan, HealthAware, JoinShortestQueue, PegasusFleet,
+    RequestPolicy, RoundRobin, Router, ThresholdMigrator, TraceSource,
+};
+use rubik_load::{drain_to_trace, PoissonSource};
+use rubik_power::CorePowerModel;
+use rubik_sim::{FixedFrequencyPolicy, RunResult, SimConfig};
+use rubik_sweep::{SweepExecutor, SweepSpec};
+use rubik_workloads::AppProfile;
+
+fn result_bits(r: &RunResult) -> Vec<u64> {
+    let mut bits = vec![r.end_time().to_bits()];
+    for rec in r.records() {
+        bits.extend_from_slice(&[
+            rec.id,
+            rec.arrival.to_bits(),
+            rec.start.to_bits(),
+            rec.completion.to_bits(),
+            rec.queue_len_at_arrival as u64,
+        ]);
+    }
+    for s in r.segments() {
+        bits.extend_from_slice(&[
+            s.start.to_bits(),
+            s.end.to_bits(),
+            s.freq.mhz() as u64,
+            s.activity as u64,
+        ]);
+    }
+    bits
+}
+
+fn outcome_bits(o: &ClusterOutcome) -> Vec<u64> {
+    let a = &o.availability;
+    let mut bits = vec![
+        o.requests as u64,
+        o.migrated_requests as u64,
+        o.tail_latency.to_bits(),
+        o.mean_latency.to_bits(),
+        o.fleet_energy.to_bits(),
+        o.fleet_power.to_bits(),
+        o.duration.to_bits(),
+        a.offered as u64,
+        a.completed as u64,
+        a.goodput as u64,
+        a.lost as u64,
+        a.deadline_exceeded as u64,
+        a.timeouts as u64,
+        a.retries as u64,
+        a.requeued_on_failure as u64,
+        a.salvaged_in_flight as u64,
+        a.hedged as u64,
+        a.hedge_wins as u64,
+        a.hedge_cancelled as u64,
+        a.tail_latency_ok.map_or(u64::MAX, f64::to_bits),
+    ];
+    for s in &o.per_server {
+        bits.extend_from_slice(&[
+            s.class as u64,
+            s.requests as u64,
+            s.tail_latency.to_bits(),
+            s.energy.to_bits(),
+            s.busy_time.to_bits(),
+            s.idle_time.to_bits(),
+            s.sleep_time.to_bits(),
+            s.end_time.to_bits(),
+        ]);
+    }
+    bits
+}
+
+fn router(which: usize) -> Box<dyn Router> {
+    match which {
+        0 => Box::new(HealthAware::new(JoinShortestQueue::new())),
+        _ => Box::new(RoundRobin::new()),
+    }
+}
+
+fn eventful_plan(duration: f64) -> FaultPlan {
+    FaultPlan::new()
+        .crash(0, 0.25 * duration)
+        .recover(0, 0.70 * duration)
+        .straggle(1, 0.10 * duration, 0.60 * duration, 4.0)
+}
+
+/// One fully-loaded cluster per grid cell: router, watt cap, migrator, and
+/// (for half the grid) faults with timeouts and retries — equivalence is
+/// proven against every boundary the driver sequences, not just the plain
+/// event stream.
+fn cell_cluster(
+    config: &SimConfig,
+    fleet: usize,
+    which_router: usize,
+    faulted: bool,
+    duration: f64,
+    seed: u64,
+) -> Cluster<FixedFrequencyPolicy> {
+    let power = CorePowerModel::haswell_like();
+    let mean = AppProfile::masstree().mean_service_time();
+    let mut cluster = Cluster::new(config.clone(), fleet, router(which_router), |_| {
+        FixedFrequencyPolicy::new(config.dvfs.nominal())
+    })
+    .with_power(power)
+    .with_fleet_controller(Box::new(
+        PegasusFleet::new(4.0 * fleet as f64, power).with_epoch(duration / 20.0),
+    ))
+    .with_migrator(Box::new(ThresholdMigrator::default()));
+    if faulted {
+        cluster = cluster
+            .with_fault_plan(eventful_plan(duration))
+            .with_request_policy(
+                RequestPolicy::new()
+                    .with_timeout(8.0 * mean)
+                    .with_retries(4, mean, 16.0 * mean)
+                    .with_jitter_seed(seed)
+                    .salvaging_in_flight()
+                    .draining_on_crash(),
+            );
+    }
+    cluster
+}
+
+#[test]
+fn run_streamed_is_bitwise_identical_across_the_grid_and_thread_counts() {
+    let fleets = [2usize, 4];
+    let seeds = [7u64, 31];
+    let spec = SweepSpec::new()
+        .axis("router", 2)
+        .axis("fleet", fleets.len())
+        .axis("plan", 2)
+        .axis("seed", seeds.len());
+
+    let cell = |c: &rubik_sweep::Cell<'_>| {
+        let config = SimConfig::paper_simulated();
+        let fleet = fleets[c.get("fleet")];
+        let seed = seeds[c.get("seed")];
+        let faulted = c.get("plan") == 1;
+        let requests = 100 * fleet;
+        let trace = fleet_trace(&AppProfile::masstree(), 0.5, fleet, requests, seed);
+        let duration = trace.duration();
+        let build = || cell_cluster(&config, fleet, c.get("router"), faulted, duration, seed);
+
+        // Contender 1: the classic batch path.
+        let (batch_o, batch_r) = build().run_with_results(&trace);
+        // Contender 2: the same trace adapted into a source.
+        let (adapted_o, adapted_r) = build().run_streamed_with_results(TraceSource::new(&trace));
+        // Contender 3: a live PoissonSource, never materialized. Its draws
+        // are bit-identical to `fleet_trace` by construction, so this pins
+        // generator-to-engine streaming end to end.
+        let source = PoissonSource::new(AppProfile::masstree(), 0.5 * fleet as f64, requests, seed);
+        let (live_o, live_r) = build().run_streamed_with_results(source);
+
+        for (label, o, r) in [
+            ("TraceSource", &adapted_o, &adapted_r),
+            ("PoissonSource", &live_o, &live_r),
+        ] {
+            assert_eq!(
+                outcome_bits(&batch_o),
+                outcome_bits(o),
+                "run_streamed({label}) changed the ClusterOutcome (cell {})",
+                c.index()
+            );
+            assert_eq!(batch_r.len(), r.len());
+            for (i, (b, s)) in batch_r.iter().zip(r).enumerate() {
+                assert_eq!(
+                    result_bits(b),
+                    result_bits(s),
+                    "run_streamed({label}) changed server {i}'s RunResult (cell {})",
+                    c.index()
+                );
+            }
+        }
+
+        // Fold the full bit-image into the grid result so the cross-thread
+        // comparison pins every record and segment, not just the outcome.
+        let mut bits = outcome_bits(&batch_o);
+        for r in &batch_r {
+            bits.extend(result_bits(r));
+        }
+        bits
+    };
+
+    let reference = SweepExecutor::serial().run(&spec, cell).into_results();
+    for threads in [2usize, 8] {
+        let swept = SweepExecutor::new(threads).run(&spec, cell).into_results();
+        assert_eq!(
+            swept, reference,
+            "stream equivalence grid diverged at {threads} threads"
+        );
+    }
+}
+
+/// A `PoissonSource` drained to a `Trace` is `fleet_trace`, and replaying
+/// that trace is the same run as streaming the live source — the
+/// three-way identity the satellite rewrite of `fleet_trace` rests on.
+#[test]
+fn drained_source_and_live_source_and_fleet_trace_agree() {
+    let profile = AppProfile::xapian();
+    let trace = fleet_trace(&profile, 0.4, 3, 300, 11);
+    let drained = drain_to_trace(
+        PoissonSource::new(profile.clone(), 0.4 * 3.0, 300, 11),
+        None,
+    );
+    assert_eq!(trace.len(), drained.len());
+    for (a, b) in trace.requests().iter().zip(drained.requests()) {
+        assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+        assert_eq!(a.compute_cycles.to_bits(), b.compute_cycles.to_bits());
+    }
+
+    let config = SimConfig::paper_simulated();
+    let build = || {
+        Cluster::new(
+            config.clone(),
+            3,
+            Box::new(JoinShortestQueue::new()),
+            |_| FixedFrequencyPolicy::new(config.dvfs.nominal()),
+        )
+    };
+    let batch = build().run(&trace);
+    let streamed = build().run_streamed(PoissonSource::new(profile.clone(), 0.4 * 3.0, 300, 11));
+    assert_eq!(outcome_bits(&batch), outcome_bits(&streamed));
+}
+
+/// Telemetry-carrying streamed runs mirror `run_traced`: same bits, same
+/// serialized trace log.
+#[test]
+fn run_streamed_traced_matches_run_traced() {
+    let profile = AppProfile::masstree();
+    let trace = fleet_trace(&profile, 0.5, 2, 200, 7);
+    let config = SimConfig::paper_simulated();
+    let build = || {
+        Cluster::new(config.clone(), 2, Box::new(RoundRobin::new()), |_| {
+            FixedFrequencyPolicy::new(config.dvfs.nominal())
+        })
+    };
+    let (batch_o, batch_r, batch_log) = build().run_traced(&trace);
+    let (stream_o, stream_r, stream_log) = build().run_streamed_traced(TraceSource::new(&trace));
+    assert_eq!(outcome_bits(&batch_o), outcome_bits(&stream_o));
+    for (b, s) in batch_r.iter().zip(&stream_r) {
+        assert_eq!(result_bits(b), result_bits(s));
+    }
+    assert_eq!(
+        rubik_telemetry::to_json(&batch_log),
+        rubik_telemetry::to_json(&stream_log)
+    );
+}
+
+/// The driver enforces the `ArrivalSource` time-ordering contract instead
+/// of silently producing garbage on a broken source.
+#[test]
+#[should_panic(expected = "time-ordered")]
+fn run_streamed_rejects_out_of_order_sources() {
+    struct Backwards(u64);
+    impl rubik_cluster::ArrivalSource for Backwards {
+        fn next_arrival(&mut self) -> Option<rubik_sim::RequestSpec> {
+            if self.0 >= 2 {
+                return None;
+            }
+            let spec = rubik_sim::RequestSpec {
+                id: self.0,
+                arrival: 1.0 - self.0 as f64 * 0.5,
+                compute_cycles: 1e5,
+                membound_time: 1e-5,
+                class: 0,
+            };
+            self.0 += 1;
+            Some(spec)
+        }
+    }
+    let config = SimConfig::paper_simulated();
+    let cluster = Cluster::new(config.clone(), 1, Box::new(RoundRobin::new()), |_| {
+        FixedFrequencyPolicy::new(config.dvfs.nominal())
+    });
+    let _ = cluster.run_streamed(Backwards(0));
+}

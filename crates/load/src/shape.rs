@@ -1,0 +1,555 @@
+//! Time-varying load shapes.
+//!
+//! A [`LoadShape`] describes offered load (fraction of nominal capacity) as
+//! a function of time over a finite window. Shapes drive the
+//! non-homogeneous Poisson sources in [`crate::source`]: the instantaneous
+//! arrival rate at time `t` is `load_at(t) × capacity`, and the thinning
+//! envelope is `peak_load() × capacity`.
+
+/// Why a [`LoadShape`] is not usable as an arrival-rate function.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LoadShapeError {
+    /// A load level is negative, non-finite, or absurdly high (> 16×
+    /// nominal capacity — almost certainly a units mistake).
+    LoadOutOfRange(f64),
+    /// A segment duration is not positive and finite.
+    NonPositiveDuration(f64),
+    /// A step's switch time lies outside `(0, duration)`.
+    StepOutsideDuration {
+        /// The switch time.
+        at: f64,
+        /// The segment duration.
+        duration: f64,
+    },
+    /// A spike's `[start, start + width)` window is not inside the segment.
+    SpikeOutsideDuration {
+        /// The spike start time.
+        start: f64,
+        /// The spike width.
+        width: f64,
+        /// The segment duration.
+        duration: f64,
+    },
+    /// A diurnal period is not positive and finite.
+    NonPositivePeriod(f64),
+    /// A diurnal amplitude is negative, non-finite, or larger than the
+    /// mean (the rate would go negative).
+    AmplitudeExceedsMean {
+        /// The mean load.
+        mean: f64,
+        /// The swing amplitude.
+        amplitude: f64,
+    },
+    /// A [`LoadShape::Sequence`] has no segments.
+    EmptySequence,
+    /// The shape never offers positive load, so no arrivals can be drawn.
+    ZeroPeakLoad,
+}
+
+impl std::fmt::Display for LoadShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadShapeError::LoadOutOfRange(l) => {
+                write!(f, "load level {l} is outside [0, 16]")
+            }
+            LoadShapeError::NonPositiveDuration(d) => {
+                write!(f, "duration {d} must be positive and finite")
+            }
+            LoadShapeError::StepOutsideDuration { at, duration } => {
+                write!(f, "step time {at} is outside (0, {duration})")
+            }
+            LoadShapeError::SpikeOutsideDuration {
+                start,
+                width,
+                duration,
+            } => write!(
+                f,
+                "spike window [{start}, {start} + {width}) is not inside [0, {duration})"
+            ),
+            LoadShapeError::NonPositivePeriod(p) => {
+                write!(f, "period {p} must be positive and finite")
+            }
+            LoadShapeError::AmplitudeExceedsMean { mean, amplitude } => {
+                write!(f, "amplitude {amplitude} exceeds mean load {mean}")
+            }
+            LoadShapeError::EmptySequence => write!(f, "a shape sequence needs segments"),
+            LoadShapeError::ZeroPeakLoad => {
+                write!(f, "shape never offers positive load")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadShapeError {}
+
+/// Offered load (fraction of nominal capacity) as a function of time.
+///
+/// All durations and times are in seconds; all load levels are fractions of
+/// one server's nominal capacity (scaled to a fleet by the sources, not
+/// here). `load_at` is zero outside `[0, duration())`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadShape {
+    /// Constant load for `duration` seconds.
+    Steady {
+        /// The constant load level.
+        load: f64,
+        /// Window length in seconds.
+        duration: f64,
+    },
+    /// Linear ramp from `from` to `to` over `duration` seconds.
+    Ramp {
+        /// Load at `t = 0`.
+        from: f64,
+        /// Load at `t = duration`.
+        to: f64,
+        /// Window length in seconds.
+        duration: f64,
+    },
+    /// A load step: `before` until `at`, then `after` until `duration`.
+    Step {
+        /// Load before the switch.
+        before: f64,
+        /// Load after the switch.
+        after: f64,
+        /// Switch time, strictly inside `(0, duration)`.
+        at: f64,
+        /// Window length in seconds.
+        duration: f64,
+    },
+    /// A diurnal sinusoid: `mean + amplitude · sin(2πt / period)`.
+    Diurnal {
+        /// Mean load level.
+        mean: f64,
+        /// Swing amplitude (`0 ≤ amplitude ≤ mean`).
+        amplitude: f64,
+        /// One full day-night cycle, in seconds.
+        period: f64,
+        /// Window length in seconds (need not be a whole period).
+        duration: f64,
+    },
+    /// Baseline load with a rectangular burst: `peak` during
+    /// `[start, start + width)`, `base` elsewhere.
+    Spike {
+        /// Baseline load.
+        base: f64,
+        /// Load during the burst.
+        peak: f64,
+        /// Burst start time.
+        start: f64,
+        /// Burst width in seconds.
+        width: f64,
+        /// Window length in seconds.
+        duration: f64,
+    },
+    /// Segments played back to back; segment `k` starts where `k − 1`
+    /// ended. Subsumes arbitrary piecewise schedules.
+    Sequence(Vec<LoadShape>),
+}
+
+impl LoadShape {
+    /// Total window length in seconds.
+    pub fn duration(&self) -> f64 {
+        match self {
+            LoadShape::Steady { duration, .. }
+            | LoadShape::Ramp { duration, .. }
+            | LoadShape::Step { duration, .. }
+            | LoadShape::Diurnal { duration, .. }
+            | LoadShape::Spike { duration, .. } => *duration,
+            LoadShape::Sequence(parts) => parts.iter().map(LoadShape::duration).sum(),
+        }
+    }
+
+    /// Offered load at time `t`; zero outside `[0, duration())`.
+    pub fn load_at(&self, t: f64) -> f64 {
+        if t < 0.0 || t >= self.duration() {
+            return 0.0;
+        }
+        match self {
+            LoadShape::Steady { load, .. } => *load,
+            LoadShape::Ramp { from, to, duration } => from + (to - from) * t / duration,
+            LoadShape::Step {
+                before, after, at, ..
+            } => {
+                if t < *at {
+                    *before
+                } else {
+                    *after
+                }
+            }
+            LoadShape::Diurnal {
+                mean,
+                amplitude,
+                period,
+                ..
+            } => {
+                let phase = 2.0 * std::f64::consts::PI * t / period;
+                (mean + amplitude * phase.sin()).max(0.0)
+            }
+            LoadShape::Spike {
+                base,
+                peak,
+                start,
+                width,
+                ..
+            } => {
+                if t >= *start && t < start + width {
+                    *peak
+                } else {
+                    *base
+                }
+            }
+            LoadShape::Sequence(parts) => {
+                let mut offset = 0.0;
+                for part in parts {
+                    let d = part.duration();
+                    if t < offset + d {
+                        return part.load_at(t - offset);
+                    }
+                    offset += d;
+                }
+                0.0
+            }
+        }
+    }
+
+    /// The maximum load the shape ever offers — the thinning envelope used
+    /// by non-homogeneous Poisson sources.
+    pub fn peak_load(&self) -> f64 {
+        match self {
+            LoadShape::Steady { load, .. } => *load,
+            LoadShape::Ramp { from, to, .. } => from.max(*to),
+            LoadShape::Step { before, after, .. } => before.max(*after),
+            LoadShape::Diurnal {
+                mean, amplitude, ..
+            } => mean + amplitude,
+            LoadShape::Spike { base, peak, .. } => base.max(*peak),
+            LoadShape::Sequence(parts) => {
+                parts.iter().map(LoadShape::peak_load).fold(0.0, f64::max)
+            }
+        }
+    }
+
+    /// Time-averaged load over the window (exact for every variant except
+    /// [`LoadShape::Diurnal`], where partial periods make it approximate).
+    /// Used to size run durations for a target request count.
+    pub fn average_load(&self) -> f64 {
+        match self {
+            LoadShape::Steady { load, .. } => *load,
+            LoadShape::Ramp { from, to, .. } => 0.5 * (from + to),
+            LoadShape::Step {
+                before,
+                after,
+                at,
+                duration,
+            } => (before * at + after * (duration - at)) / duration,
+            LoadShape::Diurnal { mean, .. } => *mean,
+            LoadShape::Spike {
+                base,
+                peak,
+                start: _,
+                width,
+                duration,
+            } => (base * (duration - width) + peak * width) / duration,
+            LoadShape::Sequence(parts) => {
+                let total = self.duration();
+                parts
+                    .iter()
+                    .map(|p| p.average_load() * p.duration())
+                    .sum::<f64>()
+                    / total
+            }
+        }
+    }
+
+    /// Checks the shape is a usable arrival-rate function.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found: load levels outside
+    /// `[0, 16]`, non-positive durations or periods, step/spike windows
+    /// outside their segment, amplitudes exceeding the mean, empty
+    /// sequences, or a shape that never offers positive load.
+    pub fn validate(&self) -> Result<(), LoadShapeError> {
+        self.validate_segment()?;
+        if self.peak_load() <= 0.0 {
+            return Err(LoadShapeError::ZeroPeakLoad);
+        }
+        Ok(())
+    }
+
+    fn validate_segment(&self) -> Result<(), LoadShapeError> {
+        let check_load = |l: f64| {
+            if l.is_finite() && (0.0..=16.0).contains(&l) {
+                Ok(())
+            } else {
+                Err(LoadShapeError::LoadOutOfRange(l))
+            }
+        };
+        let check_duration = |d: f64| {
+            if d.is_finite() && d > 0.0 {
+                Ok(())
+            } else {
+                Err(LoadShapeError::NonPositiveDuration(d))
+            }
+        };
+        match self {
+            LoadShape::Steady { load, duration } => {
+                check_load(*load)?;
+                check_duration(*duration)
+            }
+            LoadShape::Ramp { from, to, duration } => {
+                check_load(*from)?;
+                check_load(*to)?;
+                check_duration(*duration)
+            }
+            LoadShape::Step {
+                before,
+                after,
+                at,
+                duration,
+            } => {
+                check_load(*before)?;
+                check_load(*after)?;
+                check_duration(*duration)?;
+                if !at.is_finite() || *at <= 0.0 || *at >= *duration {
+                    return Err(LoadShapeError::StepOutsideDuration {
+                        at: *at,
+                        duration: *duration,
+                    });
+                }
+                Ok(())
+            }
+            LoadShape::Diurnal {
+                mean,
+                amplitude,
+                period,
+                duration,
+            } => {
+                check_load(*mean)?;
+                check_duration(*duration)?;
+                if !period.is_finite() || *period <= 0.0 {
+                    return Err(LoadShapeError::NonPositivePeriod(*period));
+                }
+                if !amplitude.is_finite() || *amplitude < 0.0 || amplitude > mean {
+                    return Err(LoadShapeError::AmplitudeExceedsMean {
+                        mean: *mean,
+                        amplitude: *amplitude,
+                    });
+                }
+                Ok(())
+            }
+            LoadShape::Spike {
+                base,
+                peak,
+                start,
+                width,
+                duration,
+            } => {
+                check_load(*base)?;
+                check_load(*peak)?;
+                check_duration(*duration)?;
+                let inside = start.is_finite()
+                    && width.is_finite()
+                    && *start >= 0.0
+                    && *width > 0.0
+                    && start + width <= *duration;
+                if !inside {
+                    return Err(LoadShapeError::SpikeOutsideDuration {
+                        start: *start,
+                        width: *width,
+                        duration: *duration,
+                    });
+                }
+                Ok(())
+            }
+            LoadShape::Sequence(parts) => {
+                if parts.is_empty() {
+                    return Err(LoadShapeError::EmptySequence);
+                }
+                for part in parts {
+                    part.validate_segment()?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steady_is_flat() {
+        let s = LoadShape::Steady {
+            load: 0.4,
+            duration: 10.0,
+        };
+        assert_eq!(s.load_at(0.0), 0.4);
+        assert_eq!(s.load_at(9.99), 0.4);
+        assert_eq!(s.load_at(10.0), 0.0);
+        assert_eq!(s.load_at(-1.0), 0.0);
+        assert_eq!(s.peak_load(), 0.4);
+        assert_eq!(s.average_load(), 0.4);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn ramp_interpolates_linearly() {
+        let s = LoadShape::Ramp {
+            from: 0.2,
+            to: 0.6,
+            duration: 4.0,
+        };
+        assert!((s.load_at(0.0) - 0.2).abs() < 1e-12);
+        assert!((s.load_at(2.0) - 0.4).abs() < 1e-12);
+        assert!((s.load_at(3.999) - 0.6).abs() < 1e-3);
+        assert_eq!(s.peak_load(), 0.6);
+        assert!((s.average_load() - 0.4).abs() < 1e-12);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn step_switches_at_the_boundary() {
+        let s = LoadShape::Step {
+            before: 0.3,
+            after: 0.7,
+            at: 5.0,
+            duration: 10.0,
+        };
+        assert_eq!(s.load_at(4.999), 0.3);
+        assert_eq!(s.load_at(5.0), 0.7);
+        assert!((s.average_load() - 0.5).abs() < 1e-12);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn diurnal_swings_about_the_mean() {
+        let s = LoadShape::Diurnal {
+            mean: 0.4,
+            amplitude: 0.2,
+            period: 8.0,
+            duration: 8.0,
+        };
+        // Quarter period: peak of the sinusoid.
+        assert!((s.load_at(2.0) - 0.6).abs() < 1e-12);
+        // Three-quarter period: trough.
+        assert!((s.load_at(6.0) - 0.2).abs() < 1e-12);
+        assert!((s.peak_load() - 0.6).abs() < 1e-12);
+        assert_eq!(s.average_load(), 0.4);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn spike_is_rectangular() {
+        let s = LoadShape::Spike {
+            base: 0.2,
+            peak: 0.9,
+            start: 3.0,
+            width: 1.0,
+            duration: 10.0,
+        };
+        assert_eq!(s.load_at(2.999), 0.2);
+        assert_eq!(s.load_at(3.0), 0.9);
+        assert_eq!(s.load_at(3.999), 0.9);
+        assert_eq!(s.load_at(4.0), 0.2);
+        assert!((s.average_load() - (0.2 * 9.0 + 0.9) / 10.0).abs() < 1e-12);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn sequence_concatenates_segments() {
+        let s = LoadShape::Sequence(vec![
+            LoadShape::Steady {
+                load: 0.2,
+                duration: 2.0,
+            },
+            LoadShape::Ramp {
+                from: 0.2,
+                to: 0.8,
+                duration: 2.0,
+            },
+        ]);
+        assert_eq!(s.duration(), 4.0);
+        assert_eq!(s.load_at(1.0), 0.2);
+        assert!((s.load_at(3.0) - 0.5).abs() < 1e-12);
+        assert_eq!(s.load_at(4.0), 0.0);
+        assert_eq!(s.peak_load(), 0.8);
+        assert!((s.average_load() - (0.2 * 2.0 + 0.5 * 2.0) / 4.0).abs() < 1e-12);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        assert_eq!(
+            LoadShape::Steady {
+                load: -0.1,
+                duration: 1.0
+            }
+            .validate(),
+            Err(LoadShapeError::LoadOutOfRange(-0.1))
+        );
+        assert_eq!(
+            LoadShape::Steady {
+                load: 0.4,
+                duration: 0.0
+            }
+            .validate(),
+            Err(LoadShapeError::NonPositiveDuration(0.0))
+        );
+        assert_eq!(
+            LoadShape::Step {
+                before: 0.2,
+                after: 0.4,
+                at: 5.0,
+                duration: 5.0
+            }
+            .validate(),
+            Err(LoadShapeError::StepOutsideDuration {
+                at: 5.0,
+                duration: 5.0
+            })
+        );
+        assert_eq!(
+            LoadShape::Diurnal {
+                mean: 0.3,
+                amplitude: 0.4,
+                period: 10.0,
+                duration: 10.0
+            }
+            .validate(),
+            Err(LoadShapeError::AmplitudeExceedsMean {
+                mean: 0.3,
+                amplitude: 0.4
+            })
+        );
+        assert_eq!(
+            LoadShape::Spike {
+                base: 0.2,
+                peak: 0.8,
+                start: 9.5,
+                width: 1.0,
+                duration: 10.0
+            }
+            .validate(),
+            Err(LoadShapeError::SpikeOutsideDuration {
+                start: 9.5,
+                width: 1.0,
+                duration: 10.0
+            })
+        );
+        assert_eq!(
+            LoadShape::Sequence(vec![]).validate(),
+            Err(LoadShapeError::EmptySequence)
+        );
+        assert_eq!(
+            LoadShape::Steady {
+                load: 0.0,
+                duration: 1.0
+            }
+            .validate(),
+            Err(LoadShapeError::ZeroPeakLoad)
+        );
+    }
+}

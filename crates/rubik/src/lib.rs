@@ -13,6 +13,10 @@
 //!   (fixed-frequency, StaticOracle, DynamicOracle, AdrenalineOracle,
 //!   Pegasus-style feedback),
 //! * [`coloc`] — RubikColoc: colocation of batch and latency-critical work,
+//! * [`load`] — streaming open-loop arrival sources: steady Poisson,
+//!   time-varying shapes (ramps, steps, diurnal sinusoids, spikes) drawn as
+//!   non-homogeneous Poisson processes, deterministic multi-app merges, and
+//!   file-backed streaming trace replay for `Cluster::run_streamed`,
 //! * [`cluster`] — multi-server serving: fleets of stepped [`sim`] servers
 //!   (heterogeneous via [`FleetSpec`]) behind a routing policy, with
 //!   per-server Rubik controllers, fleet-level power capping
@@ -50,6 +54,7 @@
 pub use rubik_cluster as cluster;
 pub use rubik_coloc as coloc;
 pub use rubik_core as core;
+pub use rubik_load as load;
 pub use rubik_power as power;
 pub use rubik_sim as sim;
 pub use rubik_stats as stats;
@@ -71,6 +76,10 @@ pub use rubik_coloc::{
 pub use rubik_core::{
     AdrenalineOracle, AdrenalinePolicy, DynamicOracle, FixedFrequencyPolicy, PegasusConfig,
     PegasusPolicy, RubikConfig, RubikController, StaticOracle, TableBuilder, TargetTailTables,
+};
+pub use rubik_load::{
+    ArrivalSource, LoadShape, MergedSource, PoissonSource, ShapedSource, StreamingTraceReader,
+    StreamingTraceWriter, TraceSource,
 };
 pub use rubik_power::{CorePowerModel, ServerPowerModel, Tdp};
 pub use rubik_sim::{

@@ -59,14 +59,51 @@ impl WorkloadGenerator {
     /// Panics if `load <= 0`.
     pub fn steady_trace(&mut self, load: f64, num_requests: usize) -> Trace {
         assert!(load > 0.0, "load must be positive");
-        let rate = load * self.profile.capacity_qps(self.nominal, self.nominal);
+        let rate = self.steady_rate(load);
         let mut now = 0.0;
         let mut requests = Vec::with_capacity(num_requests);
         for id in 0..num_requests {
-            now += self.rng.exponential(1.0 / rate);
-            requests.push(self.draw_request(id as u64, now));
+            now += self.next_interarrival(rate);
+            requests.push(self.draw_request_at(id as u64, now));
         }
         Trace::new(requests)
+    }
+
+    /// The arrival rate (queries per second) corresponding to `load` — the
+    /// exact product [`steady_trace`](Self::steady_trace) uses, exposed so
+    /// incremental sources reproduce it bit-for-bit.
+    pub fn steady_rate(&self, load: f64) -> f64 {
+        load * self.profile.capacity_qps(self.nominal, self.nominal)
+    }
+
+    /// Draws one exponential interarrival gap at `rate` queries per second
+    /// from the generator's RNG stream. [`steady_trace`](Self::steady_trace)
+    /// is exactly this draw followed by
+    /// [`draw_request_at`](Self::draw_request_at), per request — pull-based
+    /// arrival sources interleave the same calls to produce bit-identical
+    /// streams one request at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate <= 0`.
+    pub fn next_interarrival(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0, "arrival rate must be positive");
+        self.rng.exponential(1.0 / rate)
+    }
+
+    /// Draws one request body (work factor, memory-bound time, class) at the
+    /// given arrival time — the per-request sampling of
+    /// [`steady_trace`](Self::steady_trace), exposed for incremental
+    /// sources.
+    pub fn draw_request_at(&mut self, id: u64, arrival: f64) -> RequestSpec {
+        self.draw_request(id, arrival)
+    }
+
+    /// One uniform draw in `[0, 1)` from the generator's RNG stream, used by
+    /// non-homogeneous Poisson (thinning) sources to accept or reject a
+    /// candidate arrival against the instantaneous rate.
+    pub fn thinning_draw(&mut self) -> f64 {
+        self.rng.uniform()
     }
 
     /// Generates a trace following a time-varying [`LoadProfile`]. Arrivals
