@@ -1,0 +1,125 @@
+//! Thread-scaling of the sharded cluster engine: wall time of one
+//! `Cluster::run_sharded` at 100 / 1000 / 10000 servers for 1, 2, and 4
+//! shards, with a Rubik controller per server behind the power-aware
+//! router — the same shape as `cluster_throughput`, which this bench
+//! exists to beat at large fleets.
+//!
+//! The single-heap loop serializes the whole fleet through one binary
+//! heap; sharding drains per-shard heaps on worker threads between
+//! boundaries, so on a multicore host the 1000-server cell should show
+//! throughput climbing with the shard count while staying bit-identical
+//! (pinned in `rubik-cluster/tests/shard_equivalence.rs`). The recorded
+//! section includes the host's available parallelism so single-core CI
+//! runners don't read as regressions.
+//!
+//! Results merge into `BENCH_controller.json` like the other benches, and
+//! a summary (per fleet × shard-count median wall time and requests/s) is
+//! merged into the `"fleet_shard"` section of `BENCH_cluster.json`.
+//!
+//! Env knobs: `RUBIK_FLEET_SHARD_REQUESTS` (default 20) sets requests per
+//! server; `RUBIK_BENCH_SAMPLE_MS` / `RUBIK_BENCH_SAMPLES` are the usual
+//! criterion smoke knobs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rubik::cluster::{fleet_trace, PowerAware};
+use rubik::{AppProfile, Cluster, RubikConfig, RubikController, ShardSpec, SimConfig, Trace};
+
+const BENCH_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_controller.json");
+const CLUSTER_JSON: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_cluster.json");
+
+const FLEETS: [usize; 3] = [100, 1000, 10000];
+const SHARDS: [usize; 3] = [1, 2, 4];
+const LOAD: f64 = 0.3;
+
+fn requests_per_server() -> usize {
+    std::env::var("RUBIK_FLEET_SHARD_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+fn run_fleet(config: &SimConfig, trace: &Trace, fleet: usize, shards: usize, bound: f64) -> f64 {
+    let cluster = Cluster::new(
+        config.clone(),
+        fleet,
+        Box::new(PowerAware::default()),
+        |_| {
+            RubikController::seeded_for_trace(
+                RubikConfig::new(bound).with_profiling_window(1024),
+                config.dvfs.clone(),
+                trace,
+                256,
+            )
+        },
+    );
+    let outcome = cluster.run_sharded(ShardSpec::new(shards), trace);
+    assert_eq!(outcome.requests, trace.len());
+    outcome.fleet_energy // checksum so the run cannot be optimized away
+}
+
+fn bench_fleet_shard(c: &mut Criterion) {
+    let config = SimConfig::paper_simulated();
+    let profile = AppProfile::masstree();
+    let bound = 3.0 * profile.mean_service_time();
+    let per_server = requests_per_server();
+
+    let mut group = c.benchmark_group("fleet_shard");
+    for fleet in FLEETS {
+        let trace = fleet_trace(&profile, LOAD, fleet, per_server * fleet, 2015);
+        for shards in SHARDS {
+            let id = BenchmarkId::new(format!("servers_{fleet}/shards"), shards);
+            group.bench_with_input(id, &shards, |b, &shards| {
+                b.iter(|| run_fleet(&config, &trace, fleet, shards, bound))
+            });
+        }
+    }
+    group.finish();
+
+    write_shard_summary(c, per_server);
+}
+
+/// Distills the group's results into the `"fleet_shard"` section of
+/// `BENCH_cluster.json`: per fleet × shard-count median wall time and
+/// request throughput, stamped with the host parallelism the numbers
+/// were measured under.
+fn write_shard_summary(c: &Criterion, per_server: usize) {
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut entries = Vec::new();
+    for fleet in FLEETS {
+        for shards in SHARDS {
+            let id = format!("fleet_shard/servers_{fleet}/shards/{shards}");
+            if let Some(r) = c.results().iter().find(|r| r.id == id) {
+                let requests = per_server * fleet;
+                let rps = requests as f64 / (r.median_ns * 1e-9);
+                entries.push(format!(
+                    "      {{\"servers\": {fleet}, \"shards\": {shards}, \
+                     \"requests\": {requests}, \"median_ns\": {:.1}, \
+                     \"requests_per_sec\": {rps:.1}}}",
+                    r.median_ns
+                ));
+            }
+        }
+    }
+    if entries.is_empty() {
+        return;
+    }
+    let section = format!(
+        "{{\n    \"load_per_server\": {LOAD},\n    \"requests_per_server\": {per_server},\n    \
+         \"router\": \"power-aware\",\n    \"policy\": \"rubik-per-server\",\n    \
+         \"host_parallelism\": {host_threads},\n    \"cells\": [\n{}\n    ]\n  }}",
+        entries.join(",\n")
+    );
+    if let Err(e) = rubik_bench::merge_bench_section(CLUSTER_JSON, "fleet_shard", &section) {
+        eprintln!("fleet_shard: could not write {CLUSTER_JSON}: {e}");
+    } else {
+        println!("fleet_shard: merged into {CLUSTER_JSON}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5).output_json(BENCH_JSON);
+    targets = bench_fleet_shard
+}
+criterion_main!(benches);

@@ -102,7 +102,9 @@ fn run_fleet(
         cluster = cluster
             .with_fleet_controller(Box::new(PegasusFleet::new(budget, power).with_epoch(EPOCH)));
     }
-    cluster.run_streamed_with_results(source(profile, duration))
+    cluster
+        .run_streamed_with_results(source(profile, duration))
+        .expect("generated sources are time-ordered")
 }
 
 fn bench_fleet_stream(c: &mut Criterion) {

@@ -25,6 +25,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::mpsc;
 
 use rubik_load::{ArrivalSource, TraceSource};
 use rubik_power::CorePowerModel;
@@ -40,8 +41,8 @@ use rubik_telemetry::{
     Telemetry, TraceLog,
 };
 
-/// Why a [`Cluster`] could not be built.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Why a [`Cluster`] could not be built or a streamed run could not finish.
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ClusterError {
     /// The fleet has zero servers; a cluster needs at least one.
@@ -53,6 +54,19 @@ pub enum ClusterError {
     /// The offered per-server load is not positive and finite, so no
     /// arrival process can be constructed from it.
     InvalidLoad,
+    /// A streamed [`ArrivalSource`] violated its contract: arrival number
+    /// `index` (0-based, in pull order) was yielded at time `at` after an
+    /// arrival at the later (or non-finite) time `prev`. Requests already
+    /// routed before the violation are abandoned — the run produces no
+    /// outcome.
+    OutOfOrderArrival {
+        /// 0-based position of the offending arrival in pull order.
+        index: usize,
+        /// The offending arrival's time.
+        at: f64,
+        /// The previous arrival's time.
+        prev: f64,
+    },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -61,6 +75,10 @@ impl std::fmt::Display for ClusterError {
             ClusterError::EmptyFleet => write!(f, "a cluster needs at least one server"),
             ClusterError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
             ClusterError::InvalidLoad => write!(f, "load must be positive and finite"),
+            ClusterError::OutOfOrderArrival { index, at, prev } => write!(
+                f,
+                "arrival source must be time-ordered: arrival #{index} at {at} after {prev}"
+            ),
         }
     }
 }
@@ -101,6 +119,58 @@ impl Ord for HeapEntry {
 impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// How a run is sharded across worker threads (see
+/// [`Cluster::run_sharded`]).
+///
+/// The fleet is partitioned into `shards` contiguous server blocks, each
+/// advancing on its own stamped heap between global boundaries. Shard
+/// counts are clamped to the fleet size at run time, and
+/// [`ShardSpec::single`] recovers the classic single-heap loop exactly.
+/// Sharding never changes results — every `run_sharded*` output is
+/// bit-identical to its unsharded twin — so the only tradeoff is
+/// throughput: one worker thread per extra shard, paying off once
+/// per-event work (e.g. a Rubik controller per server) dominates routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    shards: usize,
+}
+
+impl ShardSpec {
+    /// Shards the fleet `shards` ways (1 = the classic serial loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "a run needs at least one shard");
+        Self { shards }
+    }
+
+    /// One shard per available hardware thread (1 if unknown).
+    pub fn auto() -> Self {
+        Self {
+            shards: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// The single-shard spec: no worker threads, the classic event loop.
+    pub fn single() -> Self {
+        Self { shards: 1 }
+    }
+
+    /// The configured shard count (before clamping to the fleet size).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+}
+
+impl Default for ShardSpec {
+    /// Defaults to [`ShardSpec::auto`].
+    fn default() -> Self {
+        Self::auto()
     }
 }
 
@@ -360,12 +430,13 @@ impl<P: DvfsPolicy> Cluster<P> {
     /// bitwise-identical to `run(&trace)` — the batch path is itself built
     /// on this one.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the source yields arrivals out of time order (a violation
-    /// of the [`ArrivalSource`] contract).
-    pub fn run_streamed<S: ArrivalSource>(self, source: S) -> ClusterOutcome {
-        self.run_streamed_with_results(source).0
+    /// Returns [`ClusterError::OutOfOrderArrival`] if the source yields
+    /// arrivals out of time order (a violation of the [`ArrivalSource`]
+    /// contract).
+    pub fn run_streamed<S: ArrivalSource>(self, source: S) -> Result<ClusterOutcome, ClusterError> {
+        Ok(self.run_streamed_with_results(source)?.0)
     }
 
     /// Like [`Cluster::run_streamed`], but also returns each server's raw
@@ -373,9 +444,9 @@ impl<P: DvfsPolicy> Cluster<P> {
     pub fn run_streamed_with_results<S: ArrivalSource>(
         self,
         mut source: S,
-    ) -> (ClusterOutcome, Vec<RunResult>) {
-        let (outcome, results, _) = self.run_core(&mut source);
-        (outcome, results)
+    ) -> Result<(ClusterOutcome, Vec<RunResult>), ClusterError> {
+        let (outcome, results, _) = self.run_core(&mut source, 1, None)?;
+        Ok((outcome, results))
     }
 
     /// Like [`Cluster::run_streamed_with_results`], but also returns the
@@ -385,12 +456,12 @@ impl<P: DvfsPolicy> Cluster<P> {
     pub fn run_streamed_traced<S: ArrivalSource>(
         mut self,
         mut source: S,
-    ) -> (ClusterOutcome, Vec<RunResult>, TraceLog) {
+    ) -> Result<(ClusterOutcome, Vec<RunResult>, TraceLog), ClusterError> {
         if !self.telemetry.is_enabled() {
             self.telemetry = Telemetry::recording();
         }
-        let (outcome, results, log) = self.run_core(&mut source);
-        (outcome, results, log.expect("telemetry is enabled"))
+        let (outcome, results, log) = self.run_core(&mut source, 1, None)?;
+        Ok((outcome, results, log.expect("telemetry is enabled")))
     }
 
     /// Like [`Cluster::run`], but also returns each server's raw
@@ -410,7 +481,9 @@ impl<P: DvfsPolicy> Cluster<P> {
     /// rebalanced and capped. A cluster without hooks takes the exact code
     /// path (and produces the exact bits) it did before hooks existed.
     pub fn run_with_results(self, trace: &Trace) -> (ClusterOutcome, Vec<RunResult>) {
-        let (outcome, results, _) = self.run_core(&mut TraceSource::new(trace));
+        let (outcome, results, _) = self
+            .run_core(&mut TraceSource::new(trace), 1, None)
+            .expect("a Trace is time-ordered by construction");
         (outcome, results)
     }
 
@@ -423,23 +496,35 @@ impl<P: DvfsPolicy> Cluster<P> {
         if !self.telemetry.is_enabled() {
             self.telemetry = Telemetry::recording();
         }
-        let (outcome, results, log) = self.run_core(&mut TraceSource::new(trace));
+        let (outcome, results, log) = self
+            .run_core(&mut TraceSource::new(trace), 1, None)
+            .expect("a Trace is time-ordered by construction");
         (outcome, results, log.expect("telemetry is enabled"))
     }
 
+    /// The one event loop every public run method funnels into.
+    ///
+    /// `shard_count` partitions the fleet (1 = the classic single-heap
+    /// loop, bit-for-bit); when a [`ShardPool`] is supplied, event windows
+    /// between boundaries are drained on its worker threads whenever that
+    /// is provably equivalent to the serial order (see
+    /// [`EventLoop::drain`]).
     fn run_core<S: ArrivalSource>(
         mut self,
         source: &mut S,
-    ) -> (ClusterOutcome, Vec<RunResult>, Option<TraceLog>) {
+        shard_count: usize,
+        pool: Option<&ShardPool<P>>,
+    ) -> Result<(ClusterOutcome, Vec<RunResult>, Option<TraceLog>), ClusterError> {
         let n = self.servers.len();
-        let mut loop_state = EventLoop {
-            heap: BinaryHeap::with_capacity(2 * n),
-            stamps: vec![0; n],
-            views: Vec::with_capacity(n),
-            capacities: std::mem::take(&mut self.capacities),
-            classes: std::mem::take(&mut self.classes),
-            healths: vec![ServerHealth::Up; n],
-        };
+        // One view per server, maintained incrementally: only a stepped or
+        // offered server's view changes, so routing stays O(fleet) in reads
+        // but O(events) — not O(arrivals × fleet) — in writes.
+        let mut loop_state = EventLoop::new(
+            std::mem::take(&mut self.servers),
+            shard_count,
+            std::mem::take(&mut self.capacities),
+            std::mem::take(&mut self.classes),
+        );
         // The fault/lifecycle layer exists only when something was attached;
         // without it every drain takes the pre-existing unwatched path. (An
         // *empty* plan builds a layer whose next boundary is infinite — the
@@ -454,19 +539,6 @@ impl<P: DvfsPolicy> Cluster<P> {
             } else {
                 None
             };
-        // One view per server, maintained incrementally: only a stepped or
-        // offered server's view changes, so routing stays O(fleet) in reads
-        // but O(events) — not O(arrivals × fleet) — in writes.
-        for i in 0..n {
-            loop_state.views.push(loop_state.view_of(&self.servers, i));
-            if let Some(time) = self.servers[i].next_event_time() {
-                loop_state.heap.push(Reverse(HeapEntry {
-                    time,
-                    server: i,
-                    stamp: loop_state.stamps[i],
-                }));
-            }
-        }
 
         let mut fleet = self.fleet.take();
         let mut migrator = self.migrator.take();
@@ -485,9 +557,8 @@ impl<P: DvfsPolicy> Cluster<P> {
             batch: Vec::new(),
             // The original per-policy latency objectives: `ScaleBound`
             // commands rescale relative to these, never compounding.
-            base_bounds: self
-                .servers
-                .iter()
+            base_bounds: loop_state
+                .servers()
                 .map(|s| s.policy().latency_bound())
                 .collect(),
             migrated: 0,
@@ -496,7 +567,7 @@ impl<P: DvfsPolicy> Cluster<P> {
         // Initial apportioning before any event, so a finite budget is in
         // force from the very first request.
         if let Some(ctl) = fleet.as_deref_mut() {
-            hooks.run_epoch(ctl, 0.0, 0.0, &mut self.servers, &mut loop_state);
+            hooks.run_epoch(ctl, 0.0, 0.0, &mut loop_state);
         }
         let mut next_epoch = epoch;
         let mut next_rebalance = rebalance;
@@ -520,12 +591,21 @@ impl<P: DvfsPolicy> Cluster<P> {
         let mut offered = 0usize;
         let mut last_arrival = f64::NEG_INFINITY;
         while let Some(request) = source.next_arrival() {
-            assert!(
-                request.arrival >= last_arrival,
-                "arrival source must be time-ordered: {} after {}",
-                request.arrival,
-                last_arrival
-            );
+            if !matches!(
+                request.arrival.partial_cmp(&last_arrival),
+                Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+            ) {
+                // A misbehaving user source is an input error, not a driver
+                // bug: surface it through the result path (this also traps
+                // NaN arrivals, which compare as incomparable). Typed here
+                // instead of an assert so `run_streamed` callers can
+                // handle it.
+                return Err(ClusterError::OutOfOrderArrival {
+                    index: offered,
+                    at: request.arrival,
+                    prev: last_arrival,
+                });
+            }
             last_arrival = request.arrival;
             // Run any hook boundaries at or before the arrival instant
             // (boundary actions happen *between* events; an arrival at
@@ -542,7 +622,7 @@ impl<P: DvfsPolicy> Cluster<P> {
                 if boundary > request.arrival {
                     break;
                 }
-                loop_state.drain_before(&mut self.servers, boundary, layer.as_mut(), &mut tele);
+                loop_state.drain(boundary, pool, layer.as_mut(), &mut tele);
                 if fault_b <= boundary {
                     let l = layer.as_mut().expect("fault boundary implies layer");
                     run_faults(
@@ -550,18 +630,17 @@ impl<P: DvfsPolicy> Cluster<P> {
                         &mut tele,
                         boundary,
                         self.router.as_mut(),
-                        &mut self.servers,
                         &mut loop_state,
                     );
                 }
                 if next_rebalance == boundary {
                     let m = migrator.as_deref_mut().expect("rebalance implies migrator");
-                    hooks.run_migration(m, &mut tele, boundary, &mut self.servers, &mut loop_state);
+                    hooks.run_migration(m, &mut tele, boundary, &mut loop_state);
                     next_rebalance += rebalance;
                 }
                 if next_epoch == boundary {
                     let ctl = fleet.as_deref_mut().expect("epoch implies controller");
-                    hooks.run_epoch(ctl, boundary, epoch, &mut self.servers, &mut loop_state);
+                    hooks.run_epoch(ctl, boundary, epoch, &mut loop_state);
                     next_epoch += epoch;
                 }
                 if next_sample == boundary {
@@ -571,7 +650,6 @@ impl<P: DvfsPolicy> Cluster<P> {
                         meter,
                         &mut tele_powers,
                         boundary,
-                        &self.servers,
                         &loop_state,
                         layer.as_ref(),
                         &hooks.power,
@@ -583,12 +661,7 @@ impl<P: DvfsPolicy> Cluster<P> {
             // Process every fleet event strictly before the arrival; events
             // at exactly the arrival instant are left for the destination
             // server's engine to order against the arrival itself.
-            loop_state.drain_before(
-                &mut self.servers,
-                request.arrival,
-                layer.as_mut(),
-                &mut tele,
-            );
+            loop_state.drain(request.arrival, pool, layer.as_mut(), &mut tele);
 
             let target = self.router.route(&request, &loop_state.views);
             assert!(
@@ -596,8 +669,8 @@ impl<P: DvfsPolicy> Cluster<P> {
                 "router {} chose server {target} of a {n}-server fleet",
                 self.router.name()
             );
-            self.servers[target].offer(request);
-            loop_state.schedule(&self.servers, target);
+            loop_state.server_mut(target).offer(request);
+            loop_state.schedule(target);
             if let Some(l) = layer.as_mut() {
                 l.on_routed(request, target, 1, request.arrival);
             }
@@ -621,17 +694,16 @@ impl<P: DvfsPolicy> Cluster<P> {
         // closed server, and a late `Recover` must still be applied so
         // downtime closes out).
         for i in 0..n {
-            self.servers[i].close();
-            loop_state.schedule(&self.servers, i);
+            loop_state.server_mut(i).close();
+            loop_state.schedule(i);
         }
         loop {
             let fault_b = layer
                 .as_ref()
                 .map_or(f64::INFINITY, FaultLayer::next_boundary);
             let boundary = next_rebalance.min(next_epoch).min(fault_b).min(next_sample);
-            loop_state.drain_before(&mut self.servers, boundary, layer.as_mut(), &mut tele);
-            if fault_b.is_infinite() && !self.servers.iter().any(|s| s.next_event_time().is_some())
-            {
+            loop_state.drain(boundary, pool, layer.as_mut(), &mut tele);
+            if fault_b.is_infinite() && !loop_state.has_events() {
                 break;
             }
             if fault_b <= boundary {
@@ -641,18 +713,17 @@ impl<P: DvfsPolicy> Cluster<P> {
                     &mut tele,
                     boundary,
                     self.router.as_mut(),
-                    &mut self.servers,
                     &mut loop_state,
                 );
             }
             if next_rebalance == boundary {
                 let m = migrator.as_deref_mut().expect("rebalance implies migrator");
-                hooks.run_migration(m, &mut tele, boundary, &mut self.servers, &mut loop_state);
+                hooks.run_migration(m, &mut tele, boundary, &mut loop_state);
                 next_rebalance += rebalance;
             }
             if next_epoch == boundary {
                 let ctl = fleet.as_deref_mut().expect("epoch implies controller");
-                hooks.run_epoch(ctl, boundary, epoch, &mut self.servers, &mut loop_state);
+                hooks.run_epoch(ctl, boundary, epoch, &mut loop_state);
                 next_epoch += epoch;
             }
             if next_sample == boundary {
@@ -662,7 +733,6 @@ impl<P: DvfsPolicy> Cluster<P> {
                     meter,
                     &mut tele_powers,
                     boundary,
-                    &self.servers,
                     &loop_state,
                     layer.as_ref(),
                     &hooks.power,
@@ -675,9 +745,11 @@ impl<P: DvfsPolicy> Cluster<P> {
         // power is charged through the whole run: without this, a server
         // that drained early would be charged nothing while a backlogged
         // neighbour worked on, flattering imbalanced routings.
-        let end = self.servers.iter().map(ServerSim::now).fold(0.0, f64::max);
-        for server in &mut self.servers {
-            server.coast_to(end);
+        let end = loop_state.servers().map(ServerSim::now).fold(0.0, f64::max);
+        for shard in &mut loop_state.shards {
+            for server in &mut shard.servers {
+                server.coast_to(end);
+            }
         }
 
         // Close out the telemetry time series with the final (possibly
@@ -689,7 +761,6 @@ impl<P: DvfsPolicy> Cluster<P> {
                     meter,
                     &mut tele_powers,
                     end,
-                    &self.servers,
                     &loop_state,
                     layer.as_ref(),
                     &hooks.power,
@@ -697,14 +768,19 @@ impl<P: DvfsPolicy> Cluster<P> {
             }
         }
 
-        let downtimes: Vec<f64> = self.servers.iter().map(|s| s.downtime()).collect();
-        let results: Vec<RunResult> = self.servers.into_iter().map(ServerSim::finish).collect();
-        let mut outcome = ClusterOutcome::aggregate_classed(
-            &results,
-            Some(&loop_state.classes),
-            &self.power,
-            self.quantile,
-        );
+        let downtimes: Vec<f64> = loop_state.servers().map(|s| s.downtime()).collect();
+        let EventLoop {
+            shards, classes, ..
+        } = loop_state;
+        // Shards are contiguous ascending blocks, so flattening them
+        // restores global server order.
+        let results: Vec<RunResult> = shards
+            .into_iter()
+            .flat_map(|shard| shard.servers)
+            .map(ServerSim::finish)
+            .collect();
+        let mut outcome =
+            ClusterOutcome::aggregate_classed(&results, Some(&classes), &self.power, self.quantile);
         outcome.migrated_requests = hooks.migrated;
         for (server, downtime) in outcome.per_server.iter_mut().zip(&downtimes) {
             server.downtime = *downtime;
@@ -713,25 +789,374 @@ impl<P: DvfsPolicy> Cluster<P> {
             outcome.availability = l.finalize(offered, self.quantile, &results);
         }
         let log = tele.finalize(&results, end);
-        (outcome, results, log)
+        Ok((outcome, results, log))
     }
 }
 
-/// The driver's event-loop state: the stamped heap, the incrementally
-/// maintained router views, and the static per-server labels the views
-/// carry.
-struct EventLoop {
-    heap: BinaryHeap<Reverse<HeapEntry>>,
+impl<P: DvfsPolicy + Send> Cluster<P> {
+    /// [`Cluster::run`], sharded: partitions the fleet per `shards` and
+    /// drains event windows on worker threads, merging at every boundary
+    /// in deterministic `(time, server)` order. **Bit-identical** to
+    /// [`Cluster::run`] — outcome, per-server results, and telemetry all
+    /// carry the same bytes at any shard count (pinned by the
+    /// `shard_equivalence` suite).
+    pub fn run_sharded(self, shards: ShardSpec, trace: &Trace) -> ClusterOutcome {
+        self.run_sharded_with_results(shards, trace).0
+    }
+
+    /// [`Cluster::run_with_results`], sharded (see [`Cluster::run_sharded`]).
+    pub fn run_sharded_with_results(
+        self,
+        shards: ShardSpec,
+        trace: &Trace,
+    ) -> (ClusterOutcome, Vec<RunResult>) {
+        let (outcome, results, _) = self
+            .run_sharded_core(&mut TraceSource::new(trace), shards.shards())
+            .expect("a Trace is time-ordered by construction");
+        (outcome, results)
+    }
+
+    /// [`Cluster::run_traced`], sharded (see [`Cluster::run_sharded`]).
+    pub fn run_sharded_traced(
+        mut self,
+        shards: ShardSpec,
+        trace: &Trace,
+    ) -> (ClusterOutcome, Vec<RunResult>, TraceLog) {
+        if !self.telemetry.is_enabled() {
+            self.telemetry = Telemetry::recording();
+        }
+        let (outcome, results, log) = self
+            .run_sharded_core(&mut TraceSource::new(trace), shards.shards())
+            .expect("a Trace is time-ordered by construction");
+        (outcome, results, log.expect("telemetry is enabled"))
+    }
+
+    /// [`Cluster::run_streamed`], sharded: pulls arrivals lazily from any
+    /// [`ArrivalSource`] while draining event windows on worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::OutOfOrderArrival`] if the source yields
+    /// arrivals out of time order.
+    pub fn run_sharded_streamed<S: ArrivalSource>(
+        self,
+        shards: ShardSpec,
+        source: S,
+    ) -> Result<ClusterOutcome, ClusterError> {
+        Ok(self.run_sharded_streamed_with_results(shards, source)?.0)
+    }
+
+    /// [`Cluster::run_streamed_with_results`], sharded (see
+    /// [`Cluster::run_sharded_streamed`]).
+    pub fn run_sharded_streamed_with_results<S: ArrivalSource>(
+        self,
+        shards: ShardSpec,
+        mut source: S,
+    ) -> Result<(ClusterOutcome, Vec<RunResult>), ClusterError> {
+        let (outcome, results, _) = self.run_sharded_core(&mut source, shards.shards())?;
+        Ok((outcome, results))
+    }
+
+    /// Spawns the worker pool (one thread per shard beyond the first, which
+    /// the driver thread drains itself) and runs the shared core loop.
+    /// Workers live for the whole run inside a [`std::thread::scope`], so
+    /// non-`'static` policies work and a mid-run error still joins them.
+    fn run_sharded_core<S: ArrivalSource>(
+        self,
+        source: &mut S,
+        shard_count: usize,
+    ) -> Result<(ClusterOutcome, Vec<RunResult>, Option<TraceLog>), ClusterError> {
+        let k = shard_count.clamp(1, self.servers.len().max(1));
+        if k <= 1 {
+            return self.run_core(source, 1, None);
+        }
+        std::thread::scope(|scope| {
+            let mut workers = Vec::with_capacity(k - 1);
+            for _ in 1..k {
+                let (task_tx, task_rx) = mpsc::channel::<Task<P>>();
+                let (done_tx, done_rx) = mpsc::channel::<Shard<P>>();
+                scope.spawn(move || worker_loop(task_rx, done_tx));
+                workers.push(WorkerHandle {
+                    tasks: task_tx,
+                    done: done_rx,
+                });
+            }
+            let pool = ShardPool { workers };
+            self.run_core(source, k, Some(&pool))
+        })
+    }
+}
+
+/// A completion observed during an off-thread shard drain, replayed to the
+/// fault layer at the barrier in global `(time, server)` order.
+#[derive(Debug, Clone, Copy)]
+struct CompletionNote {
+    at: f64,
+    server: usize,
+    id: u64,
+    latency: f64,
+}
+
+/// One shard of the fleet: a contiguous block of servers
+/// `[base, base + servers.len())` with its own stamped heap. Between
+/// global boundaries a shard's events are independent of every other
+/// shard's, so shards drain concurrently; `dirty` and `notes` carry the
+/// side effects (router-view refreshes, fault-layer completions) back to
+/// the driver thread for deterministic barrier replay.
+struct Shard<P: DvfsPolicy> {
+    base: usize,
+    servers: Vec<ServerSim<P>>,
     stamps: Vec<u64>,
+    /// Heap entries carry *global* server indices, so merged serial drains
+    /// order identically to the single-heap loop.
+    heap: BinaryHeap<Reverse<HeapEntry>>,
+    /// Global indices of servers stepped during an off-thread drain, in
+    /// step order (duplicates allowed; view refresh is idempotent).
+    dirty: Vec<u32>,
+    /// Completions observed during an off-thread drain, in step order —
+    /// which within one shard is already `(time, server)` order.
+    notes: Vec<CompletionNote>,
+}
+
+impl<P: DvfsPolicy> Default for Shard<P> {
+    /// An empty placeholder, swapped in while the real shard is away on a
+    /// worker thread.
+    fn default() -> Self {
+        Self {
+            base: 0,
+            servers: Vec::new(),
+            stamps: Vec::new(),
+            heap: BinaryHeap::new(),
+            dirty: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+}
+
+impl<P: DvfsPolicy> Shard<P> {
+    /// The earliest still-valid event in this shard, as `(time, global
+    /// server index)`. Pops stale entries on the way — safe, because a
+    /// stale entry is never processed by any drain order.
+    fn peek_due(&mut self) -> Option<(f64, usize)> {
+        while let Some(&Reverse(entry)) = self.heap.peek() {
+            if entry.stamp == self.stamps[entry.server - self.base] {
+                return Some((entry.time, entry.server));
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Steps this shard's events in `(time, server)` order while they lie
+    /// strictly before `limit`, recording stepped servers in `dirty` and
+    /// (when `collect`) completions in `notes`. Runs on worker threads: no
+    /// router views, no fault layer, no telemetry — those are driver-side
+    /// and replayed at the barrier.
+    fn drain(&mut self, limit: f64, collect: bool) {
+        while let Some(&Reverse(entry)) = self.heap.peek() {
+            if entry.time >= limit {
+                break;
+            }
+            self.heap.pop();
+            let local = entry.server - self.base;
+            if entry.stamp != self.stamps[local] {
+                continue; // stale: the server was stepped or offered work since
+            }
+            let stepped = self.servers[local].step();
+            debug_assert!(stepped.is_some(), "a scheduled event must fire");
+            if collect {
+                if let Some(SimEvent::Completion(rec)) = &stepped {
+                    self.notes.push(CompletionNote {
+                        at: rec.completion,
+                        server: entry.server,
+                        id: rec.id,
+                        latency: rec.latency(),
+                    });
+                }
+            }
+            self.dirty.push(entry.server as u32);
+            self.stamps[local] += 1;
+            if let Some(time) = self.servers[local].next_event_time() {
+                self.heap.push(Reverse(HeapEntry {
+                    time,
+                    server: entry.server,
+                    stamp: self.stamps[local],
+                }));
+            }
+        }
+    }
+}
+
+/// A drain assignment shipped to a worker: the shard travels by value and
+/// comes back through the worker's `done` channel.
+struct Task<P: DvfsPolicy> {
+    shard: Shard<P>,
+    limit: f64,
+    collect: bool,
+}
+
+struct WorkerHandle<P: DvfsPolicy> {
+    tasks: mpsc::Sender<Task<P>>,
+    done: mpsc::Receiver<Shard<P>>,
+}
+
+impl<P: DvfsPolicy> WorkerHandle<P> {
+    /// Collects a drained shard, spinning briefly before parking — the
+    /// barrier round-trip is the per-arrival hot path.
+    fn recv_done(&self) -> Shard<P> {
+        for _ in 0..4096 {
+            match self.done.try_recv() {
+                Ok(shard) => return shard,
+                Err(mpsc::TryRecvError::Empty) => std::hint::spin_loop(),
+                Err(mpsc::TryRecvError::Disconnected) => panic!("shard worker exited mid-run"),
+            }
+        }
+        self.done.recv().expect("shard worker exited mid-run")
+    }
+}
+
+/// The per-run worker pool: worker `w` serves shard `w + 1` (the driver
+/// thread drains shard 0 itself, overlapping with the workers).
+struct ShardPool<P: DvfsPolicy> {
+    workers: Vec<WorkerHandle<P>>,
+}
+
+/// A pool worker: receives drain tasks until the pool (and its sender) is
+/// dropped at the end of the run. Spins briefly between tasks before
+/// falling back to a blocking receive, so back-to-back barriers don't pay
+/// an OS wakeup but an idle stretch doesn't burn a core.
+fn worker_loop<P: DvfsPolicy>(tasks: mpsc::Receiver<Task<P>>, done: mpsc::Sender<Shard<P>>) {
+    'serve: loop {
+        let mut task = None;
+        for spin in 0..4096 {
+            match tasks.try_recv() {
+                Ok(t) => {
+                    task = Some(t);
+                    break;
+                }
+                Err(mpsc::TryRecvError::Empty) if spin % 64 == 63 => std::thread::yield_now(),
+                Err(mpsc::TryRecvError::Empty) => std::hint::spin_loop(),
+                Err(mpsc::TryRecvError::Disconnected) => break 'serve,
+            }
+        }
+        let mut task = match task {
+            Some(t) => t,
+            None => match tasks.recv() {
+                Ok(t) => t,
+                Err(_) => break 'serve,
+            },
+        };
+        task.shard.drain(task.limit, task.collect);
+        if done.send(task.shard).is_err() {
+            break 'serve;
+        }
+    }
+}
+
+/// The driver's event-loop state: the fleet partitioned into shards (one
+/// for the classic serial loop), the incrementally maintained router
+/// views, and the static per-server labels the views carry.
+struct EventLoop<P: DvfsPolicy> {
+    shards: Vec<Shard<P>>,
+    /// Global server index → owning shard.
+    owner: Vec<u32>,
     views: Vec<ServerView>,
     capacities: Vec<f64>,
     classes: Vec<u32>,
     healths: Vec<ServerHealth>,
+    /// Reused per-barrier scratch: which shards had due work this window.
+    scratch_active: Vec<bool>,
+    /// Reused per-barrier scratch: per-shard cursors for the notes merge.
+    scratch_cursors: Vec<usize>,
 }
 
-impl EventLoop {
-    fn view_of<P: DvfsPolicy>(&self, servers: &[ServerSim<P>], i: usize) -> ServerView {
-        let s = &servers[i];
+impl<P: DvfsPolicy> EventLoop<P> {
+    /// Partitions `servers` into `shard_count` contiguous balanced blocks
+    /// (clamped to the fleet size) and seeds each shard's heap and every
+    /// router view.
+    fn new(
+        servers: Vec<ServerSim<P>>,
+        shard_count: usize,
+        capacities: Vec<f64>,
+        classes: Vec<u32>,
+    ) -> Self {
+        let n = servers.len();
+        let k = shard_count.clamp(1, n.max(1));
+        let mut owner = vec![0u32; n];
+        let mut shards: Vec<Shard<P>> = Vec::with_capacity(k);
+        let mut remaining = servers.into_iter();
+        let mut base = 0usize;
+        for s in 0..k {
+            let size = n / k + usize::from(s < n % k);
+            let block: Vec<ServerSim<P>> = remaining.by_ref().take(size).collect();
+            for slot in &mut owner[base..base + size] {
+                *slot = s as u32;
+            }
+            let mut shard = Shard {
+                base,
+                servers: block,
+                stamps: vec![0; size],
+                heap: BinaryHeap::with_capacity(2 * size),
+                dirty: Vec::new(),
+                notes: Vec::new(),
+            };
+            for local in 0..size {
+                if let Some(time) = shard.servers[local].next_event_time() {
+                    shard.heap.push(Reverse(HeapEntry {
+                        time,
+                        server: base + local,
+                        stamp: 0,
+                    }));
+                }
+            }
+            base += size;
+            shards.push(shard);
+        }
+        let mut state = Self {
+            shards,
+            owner,
+            views: Vec::with_capacity(n),
+            capacities,
+            classes,
+            healths: vec![ServerHealth::Up; n],
+            scratch_active: Vec::new(),
+            scratch_cursors: Vec::new(),
+        };
+        for i in 0..n {
+            let view = state.view_of(i);
+            state.views.push(view);
+        }
+        state
+    }
+
+    /// Number of servers in the fleet.
+    fn len(&self) -> usize {
+        self.owner.len()
+    }
+
+    fn server(&self, i: usize) -> &ServerSim<P> {
+        let shard = &self.shards[self.owner[i] as usize];
+        &shard.servers[i - shard.base]
+    }
+
+    fn server_mut(&mut self, i: usize) -> &mut ServerSim<P> {
+        let shard = &mut self.shards[self.owner[i] as usize];
+        &mut shard.servers[i - shard.base]
+    }
+
+    /// Every server, in global index order (shards are contiguous
+    /// ascending blocks).
+    fn servers(&self) -> impl Iterator<Item = &ServerSim<P>> {
+        self.shards.iter().flat_map(|shard| shard.servers.iter())
+    }
+
+    /// Whether any server still has a pending event.
+    fn has_events(&self) -> bool {
+        self.servers().any(|s| s.next_event_time().is_some())
+    }
+
+    fn view_of(&self, i: usize) -> ServerView {
+        let s = self.server(i);
         ServerView {
             index: i,
             in_flight: s.in_flight(),
@@ -747,56 +1172,175 @@ impl EventLoop {
     }
 
     /// Re-registers server `i` after its state changed: refreshes its router
-    /// view, advances its stamp (invalidating any entry already in the
-    /// heap), and pushes its current next-event time, if any.
-    fn schedule<P: DvfsPolicy>(&mut self, servers: &[ServerSim<P>], i: usize) {
-        self.views[i] = self.view_of(servers, i);
-        self.stamps[i] += 1;
-        if let Some(time) = servers[i].next_event_time() {
-            self.heap.push(Reverse(HeapEntry {
+    /// view, advances its stamp (invalidating any entry already in its
+    /// shard's heap), and pushes its current next-event time, if any.
+    fn schedule(&mut self, i: usize) {
+        let view = self.view_of(i);
+        self.views[i] = view;
+        let shard = &mut self.shards[self.owner[i] as usize];
+        let local = i - shard.base;
+        shard.stamps[local] += 1;
+        if let Some(time) = shard.servers[local].next_event_time() {
+            shard.heap.push(Reverse(HeapEntry {
                 time,
                 server: i,
-                stamp: self.stamps[i],
+                stamp: shard.stamps[local],
             }));
         }
     }
 
-    /// Steps fleet events in `(time, server)` order while they lie strictly
-    /// before `limit`. When a fault layer is attached, completions are
-    /// reported to it so pending timeouts are retired — and a completion
-    /// that resolves a hedged pair cancels the losing copy on the spot
-    /// (first-completion-wins).
-    fn drain_before<P: DvfsPolicy>(
+    /// Drains every fleet event strictly before `limit`, choosing between
+    /// the merged serial order and the sharded parallel path.
+    ///
+    /// The parallel path is taken only when it is provably bit-identical
+    /// to the serial one: server simulations are independent inside an
+    /// event window, and with hedging disabled the fault layer's
+    /// per-completion bookkeeping (retiring pending attempts) commutes —
+    /// the barrier replay in global `(time, server)` order reproduces the
+    /// serial layer state exactly. A hedged completion, by contrast,
+    /// cancels the losing copy on *another* server mid-window, so hedged
+    /// runs always use the merged serial drain.
+    fn drain(
         &mut self,
-        servers: &mut [ServerSim<P>],
+        limit: f64,
+        pool: Option<&ShardPool<P>>,
+        layer: Option<&mut FaultLayer>,
+        tele: &mut Telemetry,
+    ) {
+        match pool {
+            Some(pool) if !layer.as_ref().is_some_and(|l| l.hedging_enabled()) => {
+                self.drain_parallel(limit, pool, layer);
+            }
+            _ => self.drain_serial(limit, layer, tele),
+        }
+    }
+
+    /// Steps fleet events in `(time, server)` order while they lie strictly
+    /// before `limit`, merging across shard heaps (with one shard this is
+    /// the classic single-heap loop). When a fault layer is attached,
+    /// completions are reported to it so pending timeouts are retired — and
+    /// a completion that resolves a hedged pair cancels the losing copy on
+    /// the spot (first-completion-wins).
+    fn drain_serial(
+        &mut self,
         limit: f64,
         mut layer: Option<&mut FaultLayer>,
         tele: &mut Telemetry,
     ) {
-        while let Some(&Reverse(entry)) = self.heap.peek() {
-            if entry.time >= limit {
-                break;
-            }
-            self.heap.pop();
-            if entry.stamp != self.stamps[entry.server] {
-                continue; // stale: the server was stepped or offered work since
-            }
-            let stepped = servers[entry.server].step();
-            debug_assert!(stepped.is_some(), "a scheduled event must fire");
-            if let (Some(SimEvent::Completion(rec)), Some(l)) = (&stepped, layer.as_deref_mut()) {
-                if let Some(res) = l.on_completion(rec.id, entry.server, rec.latency()) {
-                    resolve_hedge(
-                        servers,
-                        self,
-                        tele,
-                        rec.id,
-                        rec.completion,
-                        entry.server,
-                        res,
-                    );
+        loop {
+            // The earliest still-valid entry across shards, ordered by
+            // (time, server) — exactly the single-heap pop order, since a
+            // server lives in exactly one shard.
+            let mut best: Option<(f64, usize, usize)> = None;
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                if let Some((time, server)) = shard.peek_due() {
+                    if time < limit && best.is_none_or(|(bt, bs, _)| (time, server) < (bt, bs)) {
+                        best = Some((time, server, s));
+                    }
                 }
             }
-            self.schedule(servers, entry.server);
+            let Some((_, server, s)) = best else { break };
+            let stepped = {
+                let shard = &mut self.shards[s];
+                shard.heap.pop();
+                shard.servers[server - shard.base].step()
+            };
+            debug_assert!(stepped.is_some(), "a scheduled event must fire");
+            if let (Some(SimEvent::Completion(rec)), Some(l)) = (&stepped, layer.as_deref_mut()) {
+                if let Some(res) = l.on_completion(rec.id, server, rec.latency()) {
+                    resolve_hedge(self, tele, rec.id, rec.completion, server, res);
+                }
+            }
+            self.schedule(server);
+        }
+    }
+
+    /// Drains shards concurrently up to `limit`: dispatches every shard
+    /// with due work to its worker (the driver thread takes the first
+    /// active shard itself), then replays the side effects at the barrier —
+    /// router-view refreshes, and fault-layer completions merged across
+    /// shards in global `(time, server)` order.
+    fn drain_parallel(&mut self, limit: f64, pool: &ShardPool<P>, layer: Option<&mut FaultLayer>) {
+        let k = self.shards.len();
+        self.scratch_active.clear();
+        self.scratch_active.resize(k, false);
+        let mut active = 0usize;
+        let mut first = usize::MAX;
+        for s in 0..k {
+            if self.shards[s].peek_due().is_some_and(|(t, _)| t < limit) {
+                self.scratch_active[s] = true;
+                active += 1;
+                first = first.min(s);
+            }
+        }
+        if active == 0 {
+            return;
+        }
+        let collect = layer.is_some();
+        for s in (first + 1)..k {
+            if self.scratch_active[s] {
+                let shard = std::mem::take(&mut self.shards[s]);
+                pool.workers[s - 1]
+                    .tasks
+                    .send(Task {
+                        shard,
+                        limit,
+                        collect,
+                    })
+                    .expect("shard worker exited mid-run");
+            }
+        }
+        self.shards[first].drain(limit, collect);
+        for s in (first + 1)..k {
+            if self.scratch_active[s] {
+                self.shards[s] = pool.workers[s - 1].recv_done();
+            }
+        }
+
+        // Barrier, part 1: refresh the router view of every server stepped
+        // off-thread. Order doesn't matter (refresh is idempotent and views
+        // are only read after the drain); the work is the same O(events)
+        // view writes the serial path does inline.
+        for s in first..k {
+            if !self.scratch_active[s] {
+                continue;
+            }
+            let dirty = std::mem::take(&mut self.shards[s].dirty);
+            for &i in &dirty {
+                let view = self.view_of(i as usize);
+                self.views[i as usize] = view;
+            }
+            let mut dirty = dirty;
+            dirty.clear();
+            self.shards[s].dirty = dirty;
+        }
+
+        // Barrier, part 2: replay completions to the fault layer in global
+        // (time, server) order — a k-way merge over the shards' note lists,
+        // each already sorted by its own drain order. With hedging disabled
+        // (guaranteed on this path) no completion resolves a hedge, so
+        // replay leaves the layer in exactly the serial drain's state.
+        if let Some(l) = layer {
+            self.scratch_cursors.clear();
+            self.scratch_cursors.resize(k, 0);
+            loop {
+                let mut best: Option<(f64, usize, usize)> = None;
+                for s in first..k {
+                    if let Some(note) = self.shards[s].notes.get(self.scratch_cursors[s]) {
+                        if best.is_none_or(|(bt, bs, _)| (note.at, note.server) < (bt, bs)) {
+                            best = Some((note.at, note.server, s));
+                        }
+                    }
+                }
+                let Some((_, _, s)) = best else { break };
+                let note = self.shards[s].notes[self.scratch_cursors[s]];
+                self.scratch_cursors[s] += 1;
+                let resolved = l.on_completion(note.id, note.server, note.latency);
+                debug_assert!(resolved.is_none(), "hedged runs must drain serially");
+            }
+            for shard in &mut self.shards {
+                shard.notes.clear();
+            }
         }
     }
 }
@@ -808,8 +1352,7 @@ impl EventLoop {
 /// fleet event strictly before `at` has already been processed: the losing
 /// copy's next event (if any) cannot lie in the cancelled past.
 fn resolve_hedge<P: DvfsPolicy>(
-    servers: &mut [ServerSim<P>],
-    loop_state: &mut EventLoop,
+    state: &mut EventLoop<P>,
     tele: &mut Telemetry,
     id: u64,
     at: f64,
@@ -829,16 +1372,17 @@ fn resolve_hedge<P: DvfsPolicy>(
     }
     // A server that coasted past `at` (e.g. under an earlier fault
     // alignment at this same boundary) cancels at its own clock instead.
-    let cancel = |servers: &mut [ServerSim<P>], j: usize| {
-        servers[j].cancel(at.max(servers[j].now()), id).is_some()
+    let cancel = |state: &mut EventLoop<P>, j: usize| {
+        let t = at.max(state.server(j).now());
+        state.server_mut(j).cancel(t, id).is_some()
     };
-    let found = if cancel(servers, res.loser) {
+    let found = if cancel(state, res.loser) {
         Some(res.loser)
     } else {
-        (0..servers.len()).find(|&j| j != res.loser && cancel(servers, j))
+        (0..state.len()).find(|&j| j != res.loser && cancel(state, j))
     };
     if let Some(j) = found {
-        loop_state.schedule(servers, j);
+        state.schedule(j);
         tele.request_event(
             id,
             RequestEvent {
@@ -855,21 +1399,20 @@ fn resolve_hedge<P: DvfsPolicy>(
 /// straggler factor, stuck frequency, or failure takes effect at `t`, not
 /// at the server's last event.
 fn align_server_to<P: DvfsPolicy>(
-    servers: &mut [ServerSim<P>],
+    state: &mut EventLoop<P>,
     i: usize,
     t: f64,
     layer: &mut FaultLayer,
     tele: &mut Telemetry,
-    loop_state: &mut EventLoop,
 ) {
-    while servers[i].next_event_time().is_some_and(|te| te <= t) {
-        if let Some(SimEvent::Completion(rec)) = servers[i].step() {
+    while state.server(i).next_event_time().is_some_and(|te| te <= t) {
+        if let Some(SimEvent::Completion(rec)) = state.server_mut(i).step() {
             if let Some(res) = layer.on_completion(rec.id, i, rec.latency()) {
-                resolve_hedge(servers, loop_state, tele, rec.id, rec.completion, i, res);
+                resolve_hedge(state, tele, rec.id, rec.completion, i, res);
             }
         }
     }
-    servers[i].coast_to(t);
+    state.server_mut(i).coast_to(t);
 }
 
 /// Applies every scripted op, retry delivery, hedge launch, and attempt
@@ -884,11 +1427,10 @@ fn run_faults<P: DvfsPolicy>(
     tele: &mut Telemetry,
     now: f64,
     router: &mut dyn Router,
-    servers: &mut [ServerSim<P>],
-    loop_state: &mut EventLoop,
+    state: &mut EventLoop<P>,
 ) {
     while let Some(op) = layer.pop_due_op(now) {
-        align_server_to(servers, op.server, now, layer, tele, loop_state);
+        align_server_to(state, op.server, now, layer, tele);
         let effective = layer.track_op(&op);
         match op.kind {
             OpKind::Crash => {
@@ -897,8 +1439,8 @@ fn run_faults<P: DvfsPolicy>(
                     server: op.server as u32,
                     kind: ServerEventKind::Down,
                 });
-                let in_flight = servers[op.server].fail(now);
-                loop_state.healths[op.server] = layer.health_of(op.server);
+                let in_flight = state.server_mut(op.server).fail(now);
+                state.healths[op.server] = layer.health_of(op.server);
                 if let Some(spec) = in_flight {
                     if layer.copy_lost(spec.id, op.server) {
                         // One copy of a hedged pair died with the server;
@@ -928,18 +1470,18 @@ fn run_faults<P: DvfsPolicy>(
                         );
                     }
                 }
-                loop_state.schedule(servers, op.server);
+                state.schedule(op.server);
                 if layer.policy().drain_on_crash {
                     let mut stranded = Vec::new();
-                    while let Some(spec) = servers[op.server].steal_queued() {
+                    while let Some(spec) = state.server_mut(op.server).steal_queued() {
                         stranded.push(spec);
                     }
-                    loop_state.schedule(servers, op.server);
+                    state.schedule(op.server);
                     // Stealing pops the FIFO back-to-front; re-routing in
                     // reverse preserves arrival order across the receivers.
                     for spec in stranded.into_iter().rev() {
-                        let target = router.route(&spec, &loop_state.views);
-                        servers[target].inject(now, spec);
+                        let target = router.route(&spec, &state.views);
+                        state.server_mut(target).inject(now, spec);
                         layer.requeued(spec.id, op.server, target);
                         tele.request_event(
                             spec.id,
@@ -951,7 +1493,7 @@ fn run_faults<P: DvfsPolicy>(
                                 },
                             },
                         );
-                        loop_state.schedule(servers, target);
+                        state.schedule(target);
                     }
                 }
             }
@@ -961,14 +1503,14 @@ fn run_faults<P: DvfsPolicy>(
                     server: op.server as u32,
                     kind: ServerEventKind::Up,
                 });
-                if servers[op.server].is_down() {
-                    servers[op.server].recover(now);
+                if state.server(op.server).is_down() {
+                    state.server_mut(op.server).recover(now);
                 }
-                if servers[op.server].stuck_freq().is_some() {
-                    servers[op.server].stick_freq(None);
+                if state.server(op.server).stuck_freq().is_some() {
+                    state.server_mut(op.server).stick_freq(None);
                 }
-                loop_state.healths[op.server] = layer.health_of(op.server);
-                loop_state.schedule(servers, op.server);
+                state.healths[op.server] = layer.health_of(op.server);
+                state.schedule(op.server);
             }
             OpKind::StraggleStart { slowdown, .. } => {
                 tele.server_event(ServerEvent {
@@ -976,21 +1518,21 @@ fn run_faults<P: DvfsPolicy>(
                     server: op.server as u32,
                     kind: ServerEventKind::StraggleStart { slowdown },
                 });
-                servers[op.server].set_slowdown(slowdown);
-                loop_state.healths[op.server] = layer.health_of(op.server);
-                loop_state.schedule(servers, op.server);
+                state.server_mut(op.server).set_slowdown(slowdown);
+                state.healths[op.server] = layer.health_of(op.server);
+                state.schedule(op.server);
             }
             OpKind::StraggleEnd => {
                 if effective {
-                    servers[op.server].set_slowdown(1.0);
+                    state.server_mut(op.server).set_slowdown(1.0);
                     tele.server_event(ServerEvent {
                         at: now,
                         server: op.server as u32,
                         kind: ServerEventKind::StraggleEnd,
                     });
                 }
-                loop_state.healths[op.server] = layer.health_of(op.server);
-                loop_state.schedule(servers, op.server);
+                state.healths[op.server] = layer.health_of(op.server);
+                state.schedule(op.server);
             }
             OpKind::Stick { level } => {
                 tele.server_event(ServerEvent {
@@ -1000,8 +1542,8 @@ fn run_faults<P: DvfsPolicy>(
                         mhz: level.map(|f| f.mhz()),
                     },
                 });
-                servers[op.server].stick_freq(level);
-                loop_state.schedule(servers, op.server);
+                state.server_mut(op.server).stick_freq(level);
+                state.schedule(op.server);
             }
         }
     }
@@ -1009,8 +1551,8 @@ fn run_faults<P: DvfsPolicy>(
     // this very instant. The router sees live (post-fault) views; wrap it
     // in `HealthAware` to keep retries off down or straggling servers.
     while let Some((spec, attempt)) = layer.pop_due_retry(now) {
-        let target = router.route(&spec, &loop_state.views);
-        servers[target].inject(now, spec);
+        let target = router.route(&spec, &state.views);
+        state.server_mut(target).inject(now, spec);
         layer.on_routed(spec, target, attempt, now);
         tele.request_event(
             spec.id,
@@ -1022,7 +1564,7 @@ fn run_faults<P: DvfsPolicy>(
                 },
             },
         );
-        loop_state.schedule(servers, target);
+        state.schedule(target);
     }
     // Hedge launches due now: inject a duplicate of the still-pending
     // attempt on the shortest-queue routable server other than the one
@@ -1030,7 +1572,7 @@ fn run_faults<P: DvfsPolicy>(
     // With no second routable candidate the launch is skipped — hedging
     // never stacks both copies on one server or feeds a down one.
     while let Some((spec, attempt, primary)) = layer.pop_due_hedge(now) {
-        let target = loop_state
+        let target = state
             .views
             .iter()
             .filter(|v| v.index != primary && v.health.routable())
@@ -1039,7 +1581,7 @@ fn run_faults<P: DvfsPolicy>(
         let Some(target) = target else {
             continue;
         };
-        servers[target].inject(now, spec);
+        state.server_mut(target).inject(now, spec);
         layer.hedge_launched(spec.id, target);
         tele.request_event(
             spec.id,
@@ -1051,13 +1593,13 @@ fn run_faults<P: DvfsPolicy>(
                 },
             },
         );
-        loop_state.schedule(servers, target);
+        state.schedule(target);
     }
     // Attempt timeouts: pull timed-out requests off their queues and hand
     // them to the retry schedule. Work already in service is never
     // interrupted — the timeout is recorded and the attempt runs out.
     while let Some((id, attempt, server)) = layer.pop_due_timeout(now) {
-        if let Some(spec) = servers[server].remove_queued(id) {
+        if let Some(spec) = state.server_mut(server).remove_queued(id) {
             tele.request_event(
                 id,
                 RequestEvent {
@@ -1086,7 +1628,7 @@ fn run_faults<P: DvfsPolicy>(
                     },
                 ),
             }
-            loop_state.schedule(servers, server);
+            state.schedule(server);
         }
     }
 }
@@ -1101,14 +1643,13 @@ fn sample_fleet<P: DvfsPolicy>(
     meter: &mut EpochMeter,
     powers: &mut Vec<f64>,
     now: f64,
-    servers: &[ServerSim<P>],
-    loop_state: &EventLoop,
+    state: &EventLoop<P>,
     layer: Option<&FaultLayer>,
     power: &CorePowerModel,
 ) {
     let start = meter.last_time();
-    meter.measure(servers, power, now, powers);
-    let per_server: Vec<ServerSample> = loop_state
+    meter.measure(state.servers(), power, now, powers);
+    let per_server: Vec<ServerSample> = state
         .views
         .iter()
         .zip(powers.iter())
@@ -1157,21 +1698,20 @@ impl Hooks {
         migrator: &mut dyn Migrator,
         tele: &mut Telemetry,
         now: f64,
-        servers: &mut [ServerSim<P>],
-        loop_state: &mut EventLoop,
+        state: &mut EventLoop<P>,
     ) {
         self.moves.clear();
-        migrator.plan(now, &loop_state.views, &mut self.moves);
+        migrator.plan(now, &state.views, &mut self.moves);
         for k in 0..self.moves.len() {
             let m = self.moves[k];
             assert!(
-                m.from < servers.len() && m.to < servers.len() && m.from != m.to,
+                m.from < state.len() && m.to < state.len() && m.from != m.to,
                 "migrator {} planned an invalid move {m:?}",
                 migrator.name()
             );
             self.batch.clear();
             for _ in 0..m.count {
-                match servers[m.from].steal_queued() {
+                match state.server_mut(m.from).steal_queued() {
                     Some(spec) => self.batch.push(spec),
                     None => break, // queue shorter than planned: move less
                 }
@@ -1185,7 +1725,7 @@ impl Hooks {
             // happens at the boundary instant, advancing the receiver's
             // clock to `now` first.
             for spec in self.batch.drain(..).rev() {
-                servers[m.to].inject(now, spec);
+                state.server_mut(m.to).inject(now, spec);
                 tele.request_event(
                     spec.id,
                     RequestEvent {
@@ -1197,8 +1737,8 @@ impl Hooks {
                     },
                 );
             }
-            loop_state.schedule(servers, m.from);
-            loop_state.schedule(servers, m.to);
+            state.schedule(m.from);
+            state.schedule(m.to);
         }
     }
 
@@ -1209,20 +1749,19 @@ impl Hooks {
         ctl: &mut dyn FleetController,
         now: f64,
         elapsed: f64,
-        servers: &mut [ServerSim<P>],
-        loop_state: &mut EventLoop,
+        state: &mut EventLoop<P>,
     ) {
         if elapsed > 0.0 {
             self.meter
-                .measure(servers, &self.power, now, &mut self.powers);
+                .measure(state.servers(), &self.power, now, &mut self.powers);
         } else {
             self.powers.clear();
-            self.powers.resize(servers.len(), 0.0);
+            self.powers.resize(state.len(), 0.0);
         }
-        let power_views: Vec<ServerPowerView<'_>> = loop_state
+        let power_views: Vec<ServerPowerView<'_>> = state
             .views
             .iter()
-            .zip(servers.iter())
+            .zip(state.servers())
             .zip(&self.powers)
             .map(|((&view, server), &measured_power)| ServerPowerView {
                 view,
@@ -1236,20 +1775,23 @@ impl Hooks {
         for k in 0..self.commands.len() {
             match self.commands[k] {
                 FleetCommand::SetCeiling { server, ceiling } => {
-                    assert!(server < servers.len(), "ceiling for unknown server");
-                    servers[server].retarget(ceiling);
+                    assert!(server < state.len(), "ceiling for unknown server");
+                    state.server_mut(server).retarget(ceiling);
                     // A retarget can start a V/F transition, changing the
                     // server's next event time.
-                    loop_state.schedule(servers, server);
+                    state.schedule(server);
                 }
                 FleetCommand::ScaleBound { server, scale } => {
-                    assert!(server < servers.len(), "bound scale for unknown server");
+                    assert!(server < state.len(), "bound scale for unknown server");
                     assert!(
                         scale > 0.0 && scale.is_finite(),
                         "bound scale must be positive and finite"
                     );
                     if let Some(base) = self.base_bounds[server] {
-                        servers[server].policy_mut().set_latency_bound(base * scale);
+                        state
+                            .server_mut(server)
+                            .policy_mut()
+                            .set_latency_bound(base * scale);
                     }
                 }
             }

@@ -29,7 +29,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use rubik_sim::{Freq, RequestSpec, RunResult};
-use rubik_stats::{percentile, percentile_of_sorted, DeterministicRng};
+use rubik_stats::{percentile, DeterministicRng, RollingQuantileWindow};
 
 use crate::driver::ClusterError;
 use crate::outcome::AvailabilityStats;
@@ -299,6 +299,12 @@ pub struct RequestPolicy {
     /// under a crashed-estimate workload) the tracked quantile can be tiny,
     /// and this keeps hedges from firing on every request.
     pub hedge_min_delay: f64,
+    /// How many recent completion latencies the hedge trigger quantile is
+    /// computed over (oldest-out). Bounding the tracker keeps a streamed
+    /// run's memory at O(in-flight + window) instead of O(completed), and
+    /// lets the trigger adapt when the latency distribution drifts
+    /// mid-run. Default 1024.
+    pub hedge_window: usize,
 }
 
 impl Default for RequestPolicy {
@@ -314,6 +320,7 @@ impl Default for RequestPolicy {
             drain_on_crash: false,
             hedge_quantile: None,
             hedge_min_delay: 0.0,
+            hedge_window: 1024,
         }
     }
 }
@@ -394,6 +401,16 @@ impl RequestPolicy {
         );
         self.hedge_quantile = Some(quantile);
         self.hedge_min_delay = min_delay;
+        self
+    }
+
+    /// Sets how many recent completion latencies feed the hedge trigger
+    /// quantile (default 1024). Larger windows smooth the trigger; smaller
+    /// ones adapt faster to drift. Memory and per-completion work are both
+    /// bounded by the window, never by the stream length.
+    pub fn with_hedge_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "hedge window must be positive");
+        self.hedge_window = window;
         self
     }
 
@@ -652,9 +669,11 @@ pub(crate) struct FaultLayer {
     retries: BinaryHeap<Reverse<RetryEntry>>,
     hedges: BinaryHeap<Reverse<HedgeEntry>>,
     pending: HashMap<u64, Pending>,
-    /// Completion latencies observed so far, kept sorted; feeds the hedge
-    /// trigger quantile. Only populated when hedging is enabled.
-    latencies: Vec<f64>,
+    /// The most recent completion latencies (bounded, oldest-out); feeds
+    /// the hedge trigger quantile. Only populated when hedging is enabled,
+    /// and never larger than [`RequestPolicy::hedge_window`] — a streamed
+    /// run's memory stays O(in-flight + window), not O(completed).
+    latencies: RollingQuantileWindow,
     policy: RequestPolicy,
     tracker: HealthTracker,
     stats: AvailabilityStats,
@@ -670,7 +689,7 @@ impl FaultLayer {
             retries: BinaryHeap::new(),
             hedges: BinaryHeap::new(),
             pending: HashMap::new(),
-            latencies: Vec::new(),
+            latencies: RollingQuantileWindow::new(policy.hedge_window.max(1)),
             policy,
             tracker: HealthTracker::new(servers),
             stats: AvailabilityStats::default(),
@@ -680,6 +699,14 @@ impl FaultLayer {
 
     pub(crate) fn policy(&self) -> &RequestPolicy {
         &self.policy
+    }
+
+    /// Whether hedging is enabled. A hedge resolution cancels the losing
+    /// copy on *another* server mid-drain — the one cross-server feedback
+    /// inside an event window — so the sharded driver falls back to the
+    /// merged serial drain whenever this is true.
+    pub(crate) fn hedging_enabled(&self) -> bool {
+        self.policy.hedge_quantile.is_some()
     }
 
     pub(crate) fn health_of(&self, server: usize) -> ServerHealth {
@@ -797,11 +824,7 @@ impl FaultLayer {
             }));
         }
         if let Some(q) = self.policy.hedge_quantile {
-            let tracked = if self.latencies.is_empty() {
-                0.0
-            } else {
-                percentile_of_sorted(&self.latencies, q)
-            };
+            let tracked = self.latencies.quantile(q).unwrap_or(0.0);
             self.seq += 1;
             self.hedges.push(Reverse(HedgeEntry {
                 due: now + tracked.max(self.policy.hedge_min_delay),
@@ -833,8 +856,7 @@ impl FaultLayer {
         latency: f64,
     ) -> Option<HedgeResolution> {
         if self.policy.hedge_quantile.is_some() {
-            let i = self.latencies.partition_point(|&l| l < latency);
-            self.latencies.insert(i, latency);
+            self.latencies.push(latency);
         }
         let p = self.pending.remove(&id)?;
         let twin = p.hedge?;
@@ -1011,6 +1033,51 @@ mod tests {
         let layer = FaultLayer::new(Some(&FaultPlan::new()), RequestPolicy::default(), 4);
         assert!(layer.next_boundary().is_infinite());
         assert!(layer.exhausted());
+    }
+
+    #[test]
+    fn hedge_trigger_quantile_tracks_a_bounded_window_of_recent_latencies() {
+        // Property: the trigger delay `on_routed` samples is the exact
+        // quantile of the last `hedge_window` completion latencies — never
+        // of the full history — and the tracker retains at most
+        // `hedge_window` samples no matter how many completions stream by.
+        let window = 32;
+        let q = 0.9;
+        let policy = RequestPolicy::new()
+            .with_hedging(q, 0.0)
+            .with_hedge_window(window);
+        let mut layer = FaultLayer::new(None, policy, 4);
+        let mut rng = DeterministicRng::new(7);
+        let mut history: Vec<f64> = Vec::new();
+        for id in 0..500u64 {
+            layer.on_routed(RequestSpec::new(id, 0.0, 1e6, 0.0), 0, 1, 0.0);
+            let trigger = layer
+                .hedges
+                .iter()
+                .map(|&Reverse(e)| e)
+                .max_by_key(|e| e.seq)
+                .expect("on_routed schedules a hedge")
+                .due;
+            let tail = &history[history.len().saturating_sub(window)..];
+            let mut sorted = tail.to_vec();
+            sorted.sort_unstable_by(f64::total_cmp);
+            let expected = if sorted.is_empty() {
+                0.0
+            } else {
+                rubik_stats::percentile_of_sorted(&sorted, q)
+            };
+            assert_eq!(
+                trigger.to_bits(),
+                expected.to_bits(),
+                "trigger diverged from the exact in-window quantile after {} completions",
+                history.len()
+            );
+            let latency = 1e-3 * (1.0 + rng.uniform());
+            assert!(layer.on_completion(id, 0, latency).is_none());
+            history.push(latency);
+            assert!(layer.latencies.len() <= window);
+        }
+        assert_eq!(layer.latencies.len(), window);
     }
 
     #[test]

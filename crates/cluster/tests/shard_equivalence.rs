@@ -1,0 +1,289 @@
+//! The sharded-engine determinism contract: `Cluster::run_sharded*` is
+//! **bit-identical** to the single-heap `run*` family at every shard
+//! count. Pinned the same way `stream_equivalence` pins the streaming
+//! contract — full bit-images (outcome, every per-server `RunResult`,
+//! telemetry bytes) across a `router × fleet × fault-plan × seed` grid,
+//! at 1, 2, 4, and 8 shards, under serial and multi-threaded sweep
+//! execution (worker pools nested inside sweep threads).
+//!
+//! The grid deliberately includes fleets smaller than the shard count
+//! (shard clamping), fully-loaded cells (watt cap + migrator + faults +
+//! timeouts/retries), and a hedged cell — hedging is the one cross-shard
+//! interaction inside an event window, so hedged runs must take the
+//! merged serial drain and still produce the same bits.
+
+use rubik_cluster::{
+    fleet_trace, Cluster, ClusterOutcome, FaultPlan, HealthAware, JoinShortestQueue, PegasusFleet,
+    RequestPolicy, RoundRobin, Router, ShardSpec, ThresholdMigrator,
+};
+use rubik_load::PoissonSource;
+use rubik_power::CorePowerModel;
+use rubik_sim::{FixedFrequencyPolicy, RunResult, SimConfig};
+use rubik_sweep::{SweepExecutor, SweepSpec};
+use rubik_workloads::AppProfile;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn result_bits(r: &RunResult) -> Vec<u64> {
+    let mut bits = vec![r.end_time().to_bits()];
+    for rec in r.records() {
+        bits.extend_from_slice(&[
+            rec.id,
+            rec.arrival.to_bits(),
+            rec.start.to_bits(),
+            rec.completion.to_bits(),
+            rec.queue_len_at_arrival as u64,
+        ]);
+    }
+    for s in r.segments() {
+        bits.extend_from_slice(&[
+            s.start.to_bits(),
+            s.end.to_bits(),
+            s.freq.mhz() as u64,
+            s.activity as u64,
+        ]);
+    }
+    bits
+}
+
+fn outcome_bits(o: &ClusterOutcome) -> Vec<u64> {
+    let a = &o.availability;
+    let mut bits = vec![
+        o.requests as u64,
+        o.migrated_requests as u64,
+        o.tail_latency.to_bits(),
+        o.mean_latency.to_bits(),
+        o.fleet_energy.to_bits(),
+        o.fleet_power.to_bits(),
+        o.duration.to_bits(),
+        a.offered as u64,
+        a.completed as u64,
+        a.goodput as u64,
+        a.lost as u64,
+        a.deadline_exceeded as u64,
+        a.timeouts as u64,
+        a.retries as u64,
+        a.requeued_on_failure as u64,
+        a.salvaged_in_flight as u64,
+        a.hedged as u64,
+        a.hedge_wins as u64,
+        a.hedge_cancelled as u64,
+        a.tail_latency_ok.map_or(u64::MAX, f64::to_bits),
+    ];
+    for s in &o.per_server {
+        bits.extend_from_slice(&[
+            s.class as u64,
+            s.requests as u64,
+            s.tail_latency.to_bits(),
+            s.energy.to_bits(),
+            s.busy_time.to_bits(),
+            s.idle_time.to_bits(),
+            s.sleep_time.to_bits(),
+            s.end_time.to_bits(),
+        ]);
+    }
+    bits
+}
+
+fn router(which: usize) -> Box<dyn Router> {
+    match which {
+        0 => Box::new(HealthAware::new(JoinShortestQueue::new())),
+        _ => Box::new(RoundRobin::new()),
+    }
+}
+
+fn eventful_plan(duration: f64) -> FaultPlan {
+    FaultPlan::new()
+        .crash(0, 0.25 * duration)
+        .recover(0, 0.70 * duration)
+        .straggle(1, 0.10 * duration, 0.60 * duration, 4.0)
+}
+
+/// One fully-loaded cluster per grid cell. `plan` 0 = bare, 1 = faults
+/// with timeouts and retries, 2 = the same plus hedging (forcing the
+/// merged serial drain inside the sharded engine).
+fn cell_cluster(
+    config: &SimConfig,
+    fleet: usize,
+    which_router: usize,
+    plan: usize,
+    duration: f64,
+    seed: u64,
+) -> Cluster<FixedFrequencyPolicy> {
+    let power = CorePowerModel::haswell_like();
+    let mean = AppProfile::masstree().mean_service_time();
+    let mut cluster = Cluster::new(config.clone(), fleet, router(which_router), |_| {
+        FixedFrequencyPolicy::new(config.dvfs.nominal())
+    })
+    .with_power(power)
+    .with_fleet_controller(Box::new(
+        PegasusFleet::new(4.0 * fleet as f64, power).with_epoch(duration / 20.0),
+    ))
+    .with_migrator(Box::new(ThresholdMigrator::default()));
+    if plan > 0 {
+        let mut policy = RequestPolicy::new()
+            .with_timeout(8.0 * mean)
+            .with_retries(4, mean, 16.0 * mean)
+            .with_jitter_seed(seed)
+            .salvaging_in_flight()
+            .draining_on_crash();
+        if plan == 2 {
+            policy = policy.with_hedging(0.9, 0.5 * mean).with_hedge_window(64);
+        }
+        cluster = cluster
+            .with_fault_plan(eventful_plan(duration))
+            .with_request_policy(policy);
+    }
+    cluster
+}
+
+#[test]
+fn run_sharded_is_bitwise_identical_across_the_grid_and_shard_counts() {
+    let fleets = [2usize, 5];
+    let seeds = [7u64, 31];
+    let spec = SweepSpec::new()
+        .axis("router", 2)
+        .axis("fleet", fleets.len())
+        .axis("plan", 3)
+        .axis("seed", seeds.len());
+
+    let cell = |c: &rubik_sweep::Cell<'_>| {
+        let config = SimConfig::paper_simulated();
+        let fleet = fleets[c.get("fleet")];
+        let seed = seeds[c.get("seed")];
+        let plan = c.get("plan");
+        let requests = 100 * fleet;
+        let trace = fleet_trace(&AppProfile::masstree(), 0.5, fleet, requests, seed);
+        let duration = trace.duration();
+        let build = || cell_cluster(&config, fleet, c.get("router"), plan, duration, seed);
+
+        let (batch_o, batch_r) = build().run_with_results(&trace);
+        for shards in SHARD_COUNTS {
+            let (sharded_o, sharded_r) =
+                build().run_sharded_with_results(ShardSpec::new(shards), &trace);
+            assert_eq!(
+                outcome_bits(&batch_o),
+                outcome_bits(&sharded_o),
+                "run_sharded({shards}) changed the ClusterOutcome (cell {})",
+                c.index()
+            );
+            assert_eq!(batch_r.len(), sharded_r.len());
+            for (i, (b, s)) in batch_r.iter().zip(&sharded_r).enumerate() {
+                assert_eq!(
+                    result_bits(b),
+                    result_bits(s),
+                    "run_sharded({shards}) changed server {i}'s RunResult (cell {})",
+                    c.index()
+                );
+            }
+        }
+
+        // Fold the full bit-image into the grid result so the cross-thread
+        // comparison pins every record and segment, not just the outcome.
+        let mut bits = outcome_bits(&batch_o);
+        for r in &batch_r {
+            bits.extend(result_bits(r));
+        }
+        bits
+    };
+
+    let reference = SweepExecutor::serial().run(&spec, cell).into_results();
+    // Sharded runs nest a worker pool inside each sweep thread; the grid
+    // must not care.
+    let swept = SweepExecutor::new(2).run(&spec, cell).into_results();
+    assert_eq!(
+        swept, reference,
+        "shard equivalence grid diverged under threaded sweep execution"
+    );
+}
+
+/// Telemetry bytes are part of the contract: a sharded traced run
+/// serializes to the same JSON as the single-heap traced run, faults,
+/// migrations, epochs and all.
+#[test]
+fn run_sharded_traced_matches_run_traced() {
+    let config = SimConfig::paper_simulated();
+    let fleet = 4;
+    let trace = fleet_trace(&AppProfile::masstree(), 0.5, fleet, 400, 7);
+    let duration = trace.duration();
+    let build = || cell_cluster(&config, fleet, 0, 1, duration, 7);
+
+    let (batch_o, batch_r, batch_log) = build().run_traced(&trace);
+    for shards in SHARD_COUNTS {
+        let (sharded_o, sharded_r, sharded_log) =
+            build().run_sharded_traced(ShardSpec::new(shards), &trace);
+        assert_eq!(outcome_bits(&batch_o), outcome_bits(&sharded_o));
+        for (b, s) in batch_r.iter().zip(&sharded_r) {
+            assert_eq!(result_bits(b), result_bits(s));
+        }
+        assert_eq!(
+            rubik_telemetry::to_json(&batch_log),
+            rubik_telemetry::to_json(&sharded_log),
+            "telemetry bytes diverged at {shards} shards"
+        );
+    }
+}
+
+/// The sharded engine composes with streaming: a live source through
+/// `run_sharded_streamed` is bit-identical to the batch sharded run of
+/// its materialized twin — and to the plain streamed run.
+#[test]
+fn run_sharded_streamed_matches_batch_and_streamed_runs() {
+    let config = SimConfig::paper_simulated();
+    let fleet = 4;
+    let requests = 400;
+    let seed = 11;
+    let trace = fleet_trace(&AppProfile::masstree(), 0.5, fleet, requests, seed);
+    let duration = trace.duration();
+    let build = || cell_cluster(&config, fleet, 0, 1, duration, seed);
+    let source = || PoissonSource::new(AppProfile::masstree(), 0.5 * fleet as f64, requests, seed);
+
+    let (batch_o, batch_r) = build().run_with_results(&trace);
+    let (plain_o, plain_r) = build()
+        .run_streamed_with_results(source())
+        .expect("a Poisson source is time-ordered");
+    assert_eq!(outcome_bits(&batch_o), outcome_bits(&plain_o));
+
+    for shards in SHARD_COUNTS {
+        let (sharded_o, sharded_r) = build()
+            .run_sharded_streamed_with_results(ShardSpec::new(shards), source())
+            .expect("a Poisson source is time-ordered");
+        assert_eq!(
+            outcome_bits(&batch_o),
+            outcome_bits(&sharded_o),
+            "sharded streamed outcome diverged at {shards} shards"
+        );
+        for ((b, p), s) in batch_r.iter().zip(&plain_r).zip(&sharded_r) {
+            assert_eq!(result_bits(b), result_bits(p));
+            assert_eq!(result_bits(b), result_bits(s));
+        }
+    }
+}
+
+/// `ShardSpec` ergonomics: absurd shard counts clamp to the fleet size,
+/// `single()` is the serial loop, and `auto()` produces *some* valid
+/// count — all bit-identical.
+#[test]
+fn shard_spec_clamps_and_auto_detects() {
+    let config = SimConfig::paper_simulated();
+    let trace = fleet_trace(&AppProfile::masstree(), 0.5, 3, 150, 5);
+    let build = || {
+        Cluster::new(
+            config.clone(),
+            3,
+            Box::new(JoinShortestQueue::new()),
+            |_| FixedFrequencyPolicy::new(config.dvfs.nominal()),
+        )
+    };
+    let reference = build().run(&trace);
+    for spec in [
+        ShardSpec::new(64), // clamps to 3
+        ShardSpec::single(),
+        ShardSpec::auto(),
+        ShardSpec::default(),
+    ] {
+        assert!(spec.shards() >= 1);
+        let sharded = build().run_sharded(spec, &trace);
+        assert_eq!(reference, sharded);
+    }
+}

@@ -10,11 +10,18 @@
 //! path (source pull, route, offer, schedule) stays allocation-free. The
 //! allocation count of the long run must therefore stay within a fixed slack
 //! of the short run instead of scaling with the request count.
+//!
+//! The same contract is pinned with a fault layer attached (hedging +
+//! deadlines + timeouts): the hedge trigger tracker is a bounded rolling
+//! window, so completions past the window's capacity cost zero allocations —
+//! this is the regression test for the unbounded sorted-`Vec` tracker, whose
+//! per-completion `insert` made allocations (and work) scale with the total
+//! completion count.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use rubik_cluster::{Cluster, JoinShortestQueue};
+use rubik_cluster::{Cluster, JoinShortestQueue, RequestPolicy};
 use rubik_load::PoissonSource;
 use rubik_sim::{FixedFrequencyPolicy, SimConfig};
 use rubik_workloads::AppProfile;
@@ -44,17 +51,51 @@ static GLOBAL: CountingAllocator = CountingAllocator;
 
 const FLEET: usize = 4;
 
-fn allocations_for_streamed_run(requests: usize) -> u64 {
-    let config = SimConfig::paper_simulated();
-    let cluster = Cluster::new(
+fn cluster(config: &SimConfig) -> Cluster<FixedFrequencyPolicy> {
+    Cluster::new(
         config.clone(),
         FLEET,
         Box::new(JoinShortestQueue::new()),
         |_| FixedFrequencyPolicy::new(config.dvfs.nominal()),
-    );
-    let source = PoissonSource::new(AppProfile::masstree(), 0.5 * FLEET as f64, requests, 42);
+    )
+}
+
+fn source(requests: usize) -> PoissonSource {
+    PoissonSource::new(AppProfile::masstree(), 0.5 * FLEET as f64, requests, 42)
+}
+
+fn allocations_for_streamed_run(requests: usize) -> u64 {
+    let config = SimConfig::paper_simulated();
+    let cluster = cluster(&config);
+    let source = source(requests);
     let before = ALLOCATIONS.load(Ordering::Relaxed);
-    let outcome = cluster.run_streamed(source);
+    let outcome = cluster
+        .run_streamed(source)
+        .expect("a Poisson source is time-ordered");
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(outcome.requests, requests);
+    after - before
+}
+
+/// Same streamed run, but with the full fault layer engaged: hedging (with
+/// a small rolling trigger window so the 4096-request run evicts heavily),
+/// per-request deadlines, and attempt timeouts with retries.
+fn allocations_for_hedged_run(requests: usize) -> u64 {
+    let config = SimConfig::paper_simulated();
+    let mean = AppProfile::masstree().mean_service_time();
+    let policy = RequestPolicy::new()
+        .with_hedging(0.95, 0.5 * mean)
+        .with_hedge_window(128)
+        .with_deadline(64.0 * mean)
+        .with_timeout(16.0 * mean)
+        .with_retries(2, mean, 8.0 * mean)
+        .with_jitter_seed(7);
+    let cluster = cluster(&config).with_request_policy(policy);
+    let source = source(requests);
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let outcome = cluster
+        .run_streamed(source)
+        .expect("a Poisson source is time-ordered");
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(outcome.requests, requests);
     after - before
@@ -75,5 +116,24 @@ fn run_streamed_allocations_do_not_scale_with_request_count() {
     assert!(
         large < small + 160,
         "run_streamed allocations grew with request count: {small} -> {large}"
+    );
+}
+
+#[test]
+fn hedged_streamed_allocations_do_not_scale_with_request_count() {
+    // Warm-up run (fills allocator pools, faults in code paths).
+    let _ = allocations_for_hedged_run(512);
+
+    let small = allocations_for_hedged_run(512);
+    let large = allocations_for_hedged_run(4096);
+
+    // With hedging + deadlines + timeouts enabled, steady state may only
+    // allocate for the in-flight tracking maps at their high-water mark and
+    // the bounded hedge window — none of which grow with the stream length.
+    // The old unbounded latency tracker failed exactly this bound: its
+    // sorted Vec doubled all the way to O(completions).
+    assert!(
+        large < small + 160,
+        "hedged run_streamed allocations grew with request count: {small} -> {large}"
     );
 }

@@ -158,12 +158,16 @@ fn run_streamed_is_bitwise_identical_across_the_grid_and_thread_counts() {
         // Contender 1: the classic batch path.
         let (batch_o, batch_r) = build().run_with_results(&trace);
         // Contender 2: the same trace adapted into a source.
-        let (adapted_o, adapted_r) = build().run_streamed_with_results(TraceSource::new(&trace));
+        let (adapted_o, adapted_r) = build()
+            .run_streamed_with_results(TraceSource::new(&trace))
+            .expect("a Trace is time-ordered");
         // Contender 3: a live PoissonSource, never materialized. Its draws
         // are bit-identical to `fleet_trace` by construction, so this pins
         // generator-to-engine streaming end to end.
         let source = PoissonSource::new(AppProfile::masstree(), 0.5 * fleet as f64, requests, seed);
-        let (live_o, live_r) = build().run_streamed_with_results(source);
+        let (live_o, live_r) = build()
+            .run_streamed_with_results(source)
+            .expect("a Poisson source is time-ordered");
 
         for (label, o, r) in [
             ("TraceSource", &adapted_o, &adapted_r),
@@ -232,7 +236,9 @@ fn drained_source_and_live_source_and_fleet_trace_agree() {
         )
     };
     let batch = build().run(&trace);
-    let streamed = build().run_streamed(PoissonSource::new(profile.clone(), 0.4 * 3.0, 300, 11));
+    let streamed = build()
+        .run_streamed(PoissonSource::new(profile.clone(), 0.4 * 3.0, 300, 11))
+        .expect("a Poisson source is time-ordered");
     assert_eq!(outcome_bits(&batch), outcome_bits(&streamed));
 }
 
@@ -249,7 +255,9 @@ fn run_streamed_traced_matches_run_traced() {
         })
     };
     let (batch_o, batch_r, batch_log) = build().run_traced(&trace);
-    let (stream_o, stream_r, stream_log) = build().run_streamed_traced(TraceSource::new(&trace));
+    let (stream_o, stream_r, stream_log) = build()
+        .run_streamed_traced(TraceSource::new(&trace))
+        .expect("a Trace is time-ordered");
     assert_eq!(outcome_bits(&batch_o), outcome_bits(&stream_o));
     for (b, s) in batch_r.iter().zip(&stream_r) {
         assert_eq!(result_bits(b), result_bits(s));
@@ -260,10 +268,10 @@ fn run_streamed_traced_matches_run_traced() {
     );
 }
 
-/// The driver enforces the `ArrivalSource` time-ordering contract instead
-/// of silently producing garbage on a broken source.
+/// The driver enforces the `ArrivalSource` time-ordering contract as a
+/// typed error on `run_streamed`'s result path — a misbehaving user source
+/// is a reportable condition, not a panic and not silent garbage.
 #[test]
-#[should_panic(expected = "time-ordered")]
 fn run_streamed_rejects_out_of_order_sources() {
     struct Backwards(u64);
     impl rubik_cluster::ArrivalSource for Backwards {
@@ -283,8 +291,32 @@ fn run_streamed_rejects_out_of_order_sources() {
         }
     }
     let config = SimConfig::paper_simulated();
-    let cluster = Cluster::new(config.clone(), 1, Box::new(RoundRobin::new()), |_| {
-        FixedFrequencyPolicy::new(config.dvfs.nominal())
-    });
-    let _ = cluster.run_streamed(Backwards(0));
+    let build = || {
+        Cluster::new(config.clone(), 1, Box::new(RoundRobin::new()), |_| {
+            FixedFrequencyPolicy::new(config.dvfs.nominal())
+        })
+    };
+    let err = build()
+        .run_streamed(Backwards(0))
+        .expect_err("an out-of-order source must be rejected");
+    match &err {
+        &rubik_cluster::ClusterError::OutOfOrderArrival { index, at, prev } => {
+            assert_eq!(index, 1);
+            assert_eq!(at, 0.5);
+            assert_eq!(prev, 1.0);
+        }
+        other => panic!("expected OutOfOrderArrival, got {other:?}"),
+    }
+    assert!(
+        err.to_string().contains("time-ordered"),
+        "error message should state the contract: {err}"
+    );
+    // The sharded path surfaces the same typed error.
+    let sharded_err = build()
+        .run_sharded_streamed(rubik_cluster::ShardSpec::new(2), Backwards(0))
+        .expect_err("the sharded path must reject out-of-order sources too");
+    assert!(matches!(
+        sharded_err,
+        rubik_cluster::ClusterError::OutOfOrderArrival { index: 1, .. }
+    ));
 }

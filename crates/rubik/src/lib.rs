@@ -67,7 +67,7 @@ pub use rubik_cluster::{
     CorrelatedFaults, FailureTopology, FaultEvent, FaultPlan, FleetCommand, FleetController,
     FleetSpec, HealthAware, JoinShortestQueue, Migration, Migrator, Passthrough, PegasusFleet,
     PowerAware, RequestPolicy, RoundRobin, Router, ServerHealth, ServerPowerView, ServerView,
-    StochasticFaults, ThresholdMigrator,
+    ShardSpec, StochasticFaults, ThresholdMigrator,
 };
 pub use rubik_coloc::{
     ColocOutcome, ColocScheme, ColocatedCore, DatacenterComparison, DatacenterConfig,

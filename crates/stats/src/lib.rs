@@ -49,7 +49,7 @@ pub use correlation::pearson;
 pub use gaussian::{gaussian_quantile, standard_normal_cdf, GaussianTail};
 pub use histogram::Histogram;
 pub use percentile::{percentile, percentile_of_sorted};
-pub use rolling::RollingTailTracker;
+pub use rolling::{RollingQuantileWindow, RollingTailTracker};
 pub use sampling::{DeterministicRng, ServiceSampler};
 pub use summary::OnlineStats;
 
